@@ -1,0 +1,79 @@
+// Facet-separating-loss sign ablation (DESIGN.md §2.1).
+//
+// Eq. 12 as printed, (1/α)·log(1+exp(−α·cos)), *rewards* facet
+// similarity; the corrected form penalizes it. This bench shows the
+// inversion empirically on the Ciao analogue: mean |cos| between facet
+// embeddings of the same entity (collinearity) under both signs, next to
+// ranking quality, at an emphasized λ_facet.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "common/vec.h"
+#include "core/mars.h"
+#include "data/benchmark_datasets.h"
+
+namespace mars {
+namespace {
+
+double MeanFacetCollinearity(const Mars& model, size_t num_items) {
+  const size_t kf = model.config().num_facets;
+  double total = 0.0;
+  size_t n = 0;
+  for (ItemId v = 0; v < num_items; v += 3) {
+    for (size_t i = 0; i < kf; ++i) {
+      for (size_t j = i + 1; j < kf; ++j) {
+        const auto a = model.ItemFacetEmbedding(v, i);
+        const auto b = model.ItemFacetEmbedding(v, j);
+        total += Dot(a.data(), b.data(), a.size());
+        ++n;
+      }
+    }
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+void Run() {
+  bench::Banner("Ablation — Eq. 12 sign of the spherical facet loss (Ciao)");
+  const bool fast = BenchFastMode();
+  ThreadPool pool(DefaultThreadCount());
+
+  ExperimentData data(MakeBenchmarkDataset(BenchmarkId::kCiao, fast), 13);
+
+  TablePrinter table(
+      "Facet-loss sign (lambda_facet = 0.1 to emphasize the term)");
+  table.SetHeader({"Variant", "Mean facet cos (items)", "HR@10", "nDCG@10"});
+
+  for (FacetLossSign sign :
+       {FacetLossSign::kSeparate, FacetLossSign::kAsPrinted}) {
+    MultiFacetConfig cfg = HarnessFacetConfig();
+    cfg.lambda_facet = 0.1;
+    MarsOptions mopts;
+    mopts.facet_sign = sign;
+    Mars model(cfg, mopts);
+    const ExperimentResult r = RunExperiment(
+        &model, &data, HarnessTrainOptions(ModelId::kMars, fast), "Ciao",
+        &pool);
+    const double collinearity =
+        MeanFacetCollinearity(model, data.train().num_items());
+    table.AddRow({sign == FacetLossSign::kSeparate
+                      ? "corrected (+α·cos, separates)"
+                      : "as printed (−α·cos, collapses)",
+                  FormatFixed(collinearity, 4), bench::Metric(r.test.hr10),
+                  bench::Metric(r.test.ndcg10)});
+  }
+  table.Print();
+  table.WriteCsv("ablation_facet_sign.csv");
+  std::printf(
+      "\nLower mean facet cosine = more diverse facet spaces; the printed\n"
+      "sign visibly collapses the facets toward each other.\n");
+}
+
+}  // namespace
+}  // namespace mars
+
+int main() {
+  mars::Run();
+  return 0;
+}

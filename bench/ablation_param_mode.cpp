@@ -1,0 +1,65 @@
+// Parameterization ablation (DESIGN.md §2.2).
+//
+// Eq. 1-2 define facet embeddings through shared projection matrices over
+// universal embeddings; Eq. 19 optimizes the facet embeddings directly.
+// This bench compares, on Delicious and Ciao:
+//  * MAR  kProjected — shared Φ/Ψ projections, norm-clipped forward,
+//  * MAR  kFree      — free ball-constrained facet tables (default),
+//  * MARS            — free spherical facet tables + calibrated RSGD.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/mar.h"
+#include "core/mars.h"
+#include "data/benchmark_datasets.h"
+
+namespace mars {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation — facet parameterization (Eq. 1-2 vs Eq. 19)");
+  const bool fast = BenchFastMode();
+  ThreadPool pool(DefaultThreadCount());
+
+  TablePrinter table("Facet parameterization");
+  table.SetHeader({"Dataset", "Model", "HR@10", "nDCG@10", "Train s"});
+
+  for (BenchmarkId ds_id : {BenchmarkId::kDelicious, BenchmarkId::kCiao}) {
+    const std::string ds_name = BenchmarkName(ds_id);
+    ExperimentData data(MakeBenchmarkDataset(ds_id, fast), 13);
+
+    bool first = true;
+    auto report = [&](Recommender* model, const std::string& label,
+                      const TrainOptions& opts) {
+      TrainOptions o = opts;
+      const ExperimentResult r =
+          RunExperiment(model, &data, o, ds_name, &pool);
+      table.AddRow({first ? ds_name : "", label, bench::Metric(r.test.hr10),
+                    bench::Metric(r.test.ndcg10),
+                    FormatFixed(r.train_seconds, 2)});
+      first = false;
+    };
+
+    Mar projected(HarnessFacetConfig(), FacetParam::kProjected);
+    report(&projected, "MAR kProjected (Eq. 1-2)",
+           HarnessTrainOptions(ModelId::kMar, fast));
+    Mar free_mar(HarnessFacetConfig(), FacetParam::kFree);
+    report(&free_mar, "MAR kFree (Eq. 19)",
+           HarnessTrainOptions(ModelId::kMar, fast));
+    Mars mars_model(HarnessFacetConfig());
+    report(&mars_model, "MARS (Eq. 19 + sphere)",
+           HarnessTrainOptions(ModelId::kMars, fast));
+    table.AddSeparator();
+  }
+  table.Print();
+  table.WriteCsv("ablation_param_mode.csv");
+}
+
+}  // namespace
+}  // namespace mars
+
+int main() {
+  mars::Run();
+  return 0;
+}

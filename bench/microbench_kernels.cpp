@@ -1,0 +1,183 @@
+// Kernel microbenchmarks (google-benchmark): the hot primitives every
+// training loop and the evaluator are built on.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/vec.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "data/split.h"
+#include "opt/sphere.h"
+#include "sampling/alias_table.h"
+#include "sampling/negative_sampler.h"
+#include "sampling/triplet_sampler.h"
+
+namespace mars {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(n, 1);
+  const auto b = RandomVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dot)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SquaredDistance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(n, 3);
+  const auto b = RandomVec(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredDistance(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SquaredDistance)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Softmax(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto logits = RandomVec(n, 5);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    Softmax(logits.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(4)->Arg(8);
+
+void BM_FacetProjection(benchmark::State& state) {
+  // One Eq. 1 projection u^k = Φ_kᵀ u at embedding dim D.
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix phi(d, d);
+  phi.FillIdentityPlusNoise(&rng, 0.1f);
+  const auto u = RandomVec(d, 7);
+  std::vector<float> out(d);
+  for (auto _ : state) {
+    GemvTransposed(phi, u.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FacetProjection)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CalibratedRsgdStep(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  auto x = RandomVec(d, 8);
+  NormalizeInPlace(x.data(), d);
+  const auto g = RandomVec(d, 9);
+  std::vector<float> scratch(d);
+  for (auto _ : state) {
+    RiemannianSgdStep(x.data(), g.data(), 0.01f, d, scratch.data(), true);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CalibratedRsgdStep)->Arg(32)->Arg(128);
+
+void BM_PlainRsgdStep(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  auto x = RandomVec(d, 10);
+  NormalizeInPlace(x.data(), d);
+  const auto g = RandomVec(d, 11);
+  std::vector<float> scratch(d);
+  for (auto _ : state) {
+    RiemannianSgdStep(x.data(), g.data(), 0.01f, d, scratch.data(), false);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_PlainRsgdStep)->Arg(32)->Arg(128);
+
+std::shared_ptr<ImplicitDataset> BenchDataset() {
+  static std::shared_ptr<ImplicitDataset> ds = [] {
+    SyntheticConfig cfg;
+    cfg.num_users = 1000;
+    cfg.num_items = 2000;
+    cfg.target_interactions = 20000;
+    cfg.seed = 12;
+    return GenerateSyntheticDataset(cfg);
+  }();
+  return ds;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng wgen(13);
+  std::vector<double> weights(100000);
+  for (auto& w : weights) w = wgen.Uniform(0.1, 10.0);
+  AliasTable table(weights);
+  Rng rng(14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_NegativeSample(benchmark::State& state) {
+  const auto ds = BenchDataset();
+  NegativeSampler sampler(*ds);
+  Rng rng(15);
+  ItemId out;
+  UserId u = 0;
+  for (auto _ : state) {
+    sampler.Sample(u, &rng, &out);
+    benchmark::DoNotOptimize(out);
+    u = (u + 1) % ds->num_users();
+  }
+}
+BENCHMARK(BM_NegativeSample);
+
+void BM_TripletSampleBiased(benchmark::State& state) {
+  const auto ds = BenchDataset();
+  TripletSampler sampler(*ds, TripletUserMode::kFrequencyBiased, 0.8);
+  Rng rng(16);
+  Triplet t;
+  for (auto _ : state) {
+    sampler.Sample(&rng, &t);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TripletSampleBiased);
+
+void BM_EvaluateUser(benchmark::State& state) {
+  // Cost of ranking one user against 100 sampled negatives with a dot-
+  // product scorer at D = 32.
+  const auto ds = BenchDataset();
+  const auto split = MakeLeaveOneOutSplit(*ds, 3);
+  Evaluator eval(*split.train, split.test_item, EvalProtocol{});
+  class DotScorer : public ItemScorer {
+   public:
+    DotScorer(size_t users, size_t items) : user_(users, 32), item_(items, 32) {
+      Rng rng(17);
+      user_.FillNormal(&rng, 0.0f, 0.2f);
+      item_.FillNormal(&rng, 0.0f, 0.2f);
+    }
+    float Score(UserId u, ItemId v) const override {
+      return Dot(user_.Row(u), item_.Row(v), 32);
+    }
+    Matrix user_, item_;
+  } scorer(ds->num_users(), ds->num_items());
+
+  UserId u = 0;
+  for (auto _ : state) {
+    while (split.test_item[u] < 0) u = (u + 1) % ds->num_users();
+    benchmark::DoNotOptimize(eval.RankOf(scorer, u));
+    u = (u + 1) % ds->num_users();
+  }
+}
+BENCHMARK(BM_EvaluateUser);
+
+}  // namespace
+}  // namespace mars
+
+BENCHMARK_MAIN();

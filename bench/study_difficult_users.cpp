@@ -1,0 +1,98 @@
+// Controlled study of "difficult" users (paper Sec. VI future work).
+//
+// The paper argues that weak norm constraints make models "lazy" exactly
+// on difficult users — those with little or slightly contradictory
+// training data — and that MARS's strict spherical constraint fixes this.
+// The conclusion proposes studying it with users grouped by interaction
+// count; this bench runs that experiment on Ciao and BookX:
+// users are split into quartiles by training degree and CML / MAR / MARS
+// are compared per quartile. Expected shape: MARS's relative gain over
+// CML and MAR is largest in the low-degree (difficult) quartiles.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/mar.h"
+#include "core/mars.h"
+#include "data/benchmark_datasets.h"
+#include "models/cml.h"
+
+namespace mars {
+namespace {
+
+/// Assigns each user a quartile id (0 = least active) by training degree.
+std::vector<int> DegreeQuartiles(const ImplicitDataset& train) {
+  std::vector<UserId> order;
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    if (train.UserDegree(u) > 0) order.push_back(u);
+  }
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    return train.UserDegree(a) < train.UserDegree(b);
+  });
+  std::vector<int> group(train.num_users(), -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    group[order[i]] = static_cast<int>(i * 4 / order.size());
+  }
+  return group;
+}
+
+void Run() {
+  bench::Banner(
+      "Study — difficult users: per-degree-quartile comparison (Sec. VI)");
+  const bool fast = BenchFastMode();
+  ThreadPool pool(DefaultThreadCount());
+
+  TablePrinter table(
+      "HR@10 per user-activity quartile (Q1 = least active = hardest)");
+  table.SetHeader({"Dataset", "Quartile", "Users", "CML", "MAR", "MARS",
+                   "MARS vs CML"});
+
+  for (BenchmarkId ds_id : {BenchmarkId::kCiao, BenchmarkId::kBookX}) {
+    const std::string ds_name = BenchmarkName(ds_id);
+    ExperimentData data(MakeBenchmarkDataset(ds_id, fast), 13);
+    const std::vector<int> quartile = DegreeQuartiles(data.train());
+
+    Cml cml(CmlConfig{.dim = 32});
+    RunExperiment(&cml, &data, HarnessTrainOptions(ModelId::kCml, fast),
+                  ds_name, &pool);
+    Mar mar(HarnessFacetConfig());
+    RunExperiment(&mar, &data, TunedTrainOptions(ModelId::kMar, ds_id, fast),
+                  ds_name, &pool);
+    MultiFacetConfig mars_cfg = HarnessFacetConfig();
+    const ZooOverrides ov = TunedOverrides(ModelId::kMars, ds_id);
+    if (ov.num_facets > 0) mars_cfg.num_facets = ov.num_facets;
+    Mars mars_model(mars_cfg);
+    RunExperiment(&mars_model, &data,
+                  TunedTrainOptions(ModelId::kMars, ds_id, fast), ds_name,
+                  &pool);
+
+    const auto cml_g =
+        data.test_evaluator().EvaluateGrouped(cml, quartile, 4, &pool);
+    const auto mar_g =
+        data.test_evaluator().EvaluateGrouped(mar, quartile, 4, &pool);
+    const auto mars_g =
+        data.test_evaluator().EvaluateGrouped(mars_model, quartile, 4, &pool);
+
+    for (int q = 0; q < 4; ++q) {
+      table.AddRow({q == 0 ? ds_name : "", "Q" + std::to_string(q + 1),
+                    std::to_string(cml_g[q].users_evaluated),
+                    bench::Metric(cml_g[q].hr10),
+                    bench::Metric(mar_g[q].hr10),
+                    bench::Metric(mars_g[q].hr10),
+                    bench::Improvement(mars_g[q].hr10, cml_g[q].hr10)});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+  table.WriteCsv("study_difficult_users.csv");
+}
+
+}  // namespace
+}  // namespace mars
+
+int main() {
+  mars::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Model bake-off on your own data.
+//
+// Loads an interaction CSV (user,item,timestamp) if a path is given —
+// otherwise generates a synthetic dataset — and compares a chosen subset
+// of the model zoo under the standard leave-one-out protocol. This is the
+// template for evaluating the library on real production logs.
+//
+// Usage:
+//   compare_models [interactions.csv]
+#include <cstdio>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "data/io.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "exp/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace mars;
+
+  std::shared_ptr<ImplicitDataset> dataset;
+  if (argc > 1) {
+    dataset = LoadInteractionsCsv(argv[1]);
+    if (dataset == nullptr) {
+      std::fprintf(stderr, "could not load %s\n", argv[1]);
+      return 1;
+    }
+    if (dataset->num_items() <= 100) {
+      std::fprintf(stderr,
+                   "dataset must have > 100 items for the 100-negative "
+                   "evaluation protocol\n");
+      return 1;
+    }
+  } else {
+    SyntheticConfig cfg;
+    cfg.num_users = 500;
+    cfg.num_items = 800;
+    cfg.target_interactions = 9000;
+    cfg.seed = 21;
+    dataset = GenerateSyntheticDataset(cfg);
+    std::printf("(no CSV given; using a generated multi-facet dataset — "
+                "pass a user,item,timestamp CSV to use your own)\n");
+  }
+  std::printf("data: %s\n", StatsToString(ComputeStats(*dataset)).c_str());
+
+  ExperimentData data(dataset, /*seed=*/17);
+  ThreadPool pool(DefaultThreadCount());
+
+  std::printf("\n%-9s %8s %8s %9s %9s %8s\n", "model", "HR@10", "HR@20",
+              "nDCG@10", "nDCG@20", "train-s");
+  for (ModelId id : {ModelId::kBpr, ModelId::kCml, ModelId::kTransCf,
+                     ModelId::kSml, ModelId::kMar, ModelId::kMars}) {
+    const ExperimentResult r =
+        RunZooExperiment(id, &data, "custom", {}, /*fast=*/false, &pool);
+    std::printf("%-9s %8.4f %8.4f %9.4f %9.4f %8.1f\n", r.model.c_str(),
+                r.test.hr10, r.test.hr20, r.test.ndcg10, r.test.ndcg20,
+                r.train_seconds);
+  }
+  std::printf("\nHint: chance HR@10 under this protocol is 10/101 ≈ 0.099.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// The paper's Fig. 1 toy scenario, end to end.
+//
+// Five movies spanning five genres (Disaster, Romantic, Comedy, Science
+// Fiction, Scary) and users whose tastes straddle genres — e.g. user C
+// likes "Love Actually" for the humour while user B likes it for the
+// romance. In a single metric space those preferences conflict: items 2
+// and 4 must be both close (for C) and far apart (for A/B). This example
+// builds a slightly enlarged version of that world, trains CML (single
+// space) and MARS (multi-facet spheres), and shows MARS resolving the
+// conflict.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mars.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "models/cml.h"
+
+namespace {
+
+using namespace mars;
+
+/// Builds a population of users mimicking Fig. 1: each user follows one of
+/// three archetypes (A: disaster+scifi, B: romance, C: comedy) but — like
+/// real people — with a secondary interest, so genres overlap on items.
+std::shared_ptr<ImplicitDataset> BuildMovieWorld(size_t users_per_type,
+                                                 size_t movies_per_genre,
+                                                 uint64_t seed) {
+  // Genres: 0 Disaster, 1 Romantic, 2 Comedy, 3 SciFi, 4 Scary.
+  // "Love Actually"-style crossover movies belong to two genres; we model
+  // that by giving some movies a secondary genre drawn at generation time.
+  const int num_genres = 5;
+  Rng rng(seed);
+  const size_t num_movies = movies_per_genre * num_genres;
+  std::vector<int> primary(num_movies), secondary(num_movies, -1);
+  for (size_t m = 0; m < num_movies; ++m) {
+    primary[m] = static_cast<int>(m / movies_per_genre);
+    if (rng.Bernoulli(0.3)) {
+      secondary[m] = static_cast<int>(rng.UniformInt(num_genres));
+    }
+  }
+
+  // Archetypes: preferred genre sets.
+  const std::vector<std::vector<int>> archetypes = {
+      {0, 3},  // A: disaster + scifi
+      {1},     // B: romance
+      {2, 1},  // C: comedy (also watches rom-coms)
+  };
+
+  std::vector<Interaction> log;
+  const size_t num_users = users_per_type * archetypes.size();
+  for (UserId u = 0; u < num_users; ++u) {
+    const auto& liked = archetypes[u % archetypes.size()];
+    int64_t ts = 0;
+    for (size_t m = 0; m < num_movies; ++m) {
+      bool match = false;
+      for (int g : liked) {
+        if (primary[m] == g || secondary[m] == g) match = true;
+      }
+      const double p = match ? 0.45 : 0.02;
+      if (rng.Bernoulli(p)) {
+        log.push_back({u, static_cast<ItemId>(m), ts++});
+      }
+    }
+    // Guarantee enough history for leave-one-out.
+    while (ts < 3) {
+      const ItemId m = static_cast<ItemId>(rng.UniformInt(num_movies));
+      log.push_back({u, m, ts++});
+    }
+  }
+
+  auto ds = std::make_shared<ImplicitDataset>(num_users, num_movies,
+                                              std::move(log));
+  ds->SetItemCategories(primary, {"Disaster", "Romantic", "Comedy", "SciFi",
+                                  "Scary"});
+  return ds;
+}
+
+}  // namespace
+
+namespace {
+
+/// Fraction of each user's top-10 unseen recommendations that fall in one
+/// of their archetype's liked genres. With only five genres and heavily
+/// overlapping positives, this is the informative metric for the toy world
+/// (the sampled-candidate HR protocol saturates here because most matched
+/// movies are already positives).
+double GenrePrecisionAt10(const mars::ItemScorer& model,
+                          const mars::ImplicitDataset& train,
+                          size_t users_per_type) {
+  using namespace mars;
+  const std::vector<std::vector<int>> archetypes = {{0, 3}, {1}, {2, 1}};
+  double matched = 0.0;
+  size_t total = 0;
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const auto& liked = archetypes[u % archetypes.size()];
+    std::vector<std::pair<float, ItemId>> scored;
+    for (ItemId v = 0; v < train.num_items(); ++v) {
+      if (train.HasInteraction(u, v)) continue;
+      scored.emplace_back(model.Score(u, v), v);
+    }
+    const size_t top = std::min<size_t>(10, scored.size());
+    std::partial_sort(
+        scored.begin(), scored.begin() + top, scored.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t i = 0; i < top; ++i) {
+      const int genre = train.ItemCategory(scored[i].second);
+      for (int g : liked) {
+        if (genre == g) {
+          matched += 1.0;
+          break;
+        }
+      }
+      ++total;
+    }
+  }
+  (void)users_per_type;
+  return total > 0 ? matched / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mars;
+
+  const auto movies = BuildMovieWorld(/*users_per_type=*/120,
+                                      /*movies_per_genre=*/60, /*seed=*/3);
+  std::printf("movie world: %zu users, %zu movies, %zu interactions\n",
+              movies->num_users(), movies->num_items(),
+              movies->num_interactions());
+
+  const LeaveOneOutSplit split = MakeLeaveOneOutSplit(*movies, 1);
+
+  // Single metric space.
+  Cml cml(CmlConfig{.dim = 16});
+  TrainOptions cml_opts;
+  cml_opts.epochs = 25;
+  cml_opts.learning_rate = 0.05;
+  cml.Fit(*split.train, cml_opts);
+  const double cml_p = GenrePrecisionAt10(cml, *split.train, 120);
+
+  // Multi-facet spheres.
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 3;
+  Mars mars_model(cfg);
+  TrainOptions mars_opts;
+  mars_opts.epochs = 25;
+  mars_opts.learning_rate = 0.3;
+  mars_model.Fit(*split.train, mars_opts);
+  const double mars_p = GenrePrecisionAt10(mars_model, *split.train, 120);
+
+  // Chance = expected liked-genre share of a random unseen movie (~2/5
+  // for archetypes A and C, 1/5 for B).
+  std::printf("\n                liked-genre precision@10\n");
+  std::printf("random          ~0.33\n");
+  std::printf("CML  (1 space)   %.3f\n", cml_p);
+  std::printf("MARS (3 spaces)  %.3f\n", mars_p);
+
+  // The Fig. 1 conflict, measured: take a rom-com (Romantic primary with
+  // Comedy overlap users) and check how differently the facet spaces place
+  // it relative to a pure Comedy movie.
+  ItemId romcom = 0, pure_comedy = 0;
+  for (ItemId v = 0; v < movies->num_items(); ++v) {
+    if (movies->ItemCategory(v) == 1) romcom = v;
+    if (movies->ItemCategory(v) == 2) pure_comedy = v;
+  }
+  std::printf("\nper-facet cosine similarity between movie %u (%s) and "
+              "movie %u (%s):\n",
+              romcom, movies->CategoryName(movies->ItemCategory(romcom)).c_str(),
+              pure_comedy,
+              movies->CategoryName(movies->ItemCategory(pure_comedy)).c_str());
+  for (size_t k = 0; k < cfg.num_facets; ++k) {
+    const auto a = mars_model.ItemFacetEmbedding(romcom, k);
+    const auto b = mars_model.ItemFacetEmbedding(pure_comedy, k);
+    float dot = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+    std::printf("  facet %zu: cos = %+.3f\n", k, dot);
+  }
+  std::printf("(different facets can hold different verdicts — the single "
+              "space must pick one)\n");
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "analysis/facet_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+
+FacetView MakeFacetView(const Mar& model) {
+  FacetView view;
+  view.num_facets = model.config().num_facets;
+  view.dim = model.config().dim;
+  view.user_embedding = [&model](UserId u, size_t k) {
+    return model.UserFacetEmbedding(u, k);
+  };
+  view.item_embedding = [&model](ItemId v, size_t k) {
+    return model.ItemFacetEmbedding(v, k);
+  };
+  view.facet_weights = [&model](UserId u) { return model.FacetWeights(u); };
+  return view;
+}
+
+FacetView MakeFacetView(const Mars& model) {
+  FacetView view;
+  view.num_facets = model.config().num_facets;
+  view.dim = model.config().dim;
+  view.user_embedding = [&model](UserId u, size_t k) {
+    return model.UserFacetEmbedding(u, k);
+  };
+  view.item_embedding = [&model](ItemId v, size_t k) {
+    return model.ItemFacetEmbedding(v, k);
+  };
+  view.facet_weights = [&model](UserId u) { return model.FacetWeights(u); };
+  return view;
+}
+
+FacetView MakeSingleSpaceView(const Matrix& user_embeddings,
+                              const Matrix& item_embeddings) {
+  MARS_CHECK(user_embeddings.cols() == item_embeddings.cols());
+  FacetView view;
+  view.num_facets = 1;
+  view.dim = user_embeddings.cols();
+  view.user_embedding = [&user_embeddings](UserId u, size_t) {
+    const float* row = user_embeddings.Row(u);
+    return std::vector<float>(row, row + user_embeddings.cols());
+  };
+  view.item_embedding = [&item_embeddings](ItemId v, size_t) {
+    const float* row = item_embeddings.Row(v);
+    return std::vector<float>(row, row + item_embeddings.cols());
+  };
+  view.facet_weights = [](UserId) { return std::vector<float>{1.0f}; };
+  return view;
+}
+
+Matrix StackItemFacetEmbeddings(const FacetView& view, size_t num_items,
+                                size_t k) {
+  MARS_CHECK(k < view.num_facets);
+  Matrix out(num_items, view.dim);
+  for (ItemId v = 0; v < num_items; ++v) {
+    const std::vector<float> e = view.item_embedding(v, k);
+    Copy(e.data(), out.Row(v), view.dim);
+  }
+  return out;
+}
+
+SeparationStats ComputeSeparation(const Matrix& embeddings,
+                                  const std::vector<int>& categories,
+                                  size_t max_pairs) {
+  MARS_CHECK(embeddings.rows() == categories.size());
+  const size_t n = embeddings.rows();
+  const size_t d = embeddings.cols();
+  SeparationStats stats;
+  if (n < 2) return stats;
+
+  // Subsampled pairwise distances.
+  Rng rng(0x5E9A12);  // deterministic
+  double intra_sum = 0.0, inter_sum = 0.0;
+  size_t intra_n = 0, inter_n = 0;
+  const size_t total_pairs = n * (n - 1) / 2;
+  const size_t samples = std::min(max_pairs, total_pairs * 2);
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t i = static_cast<size_t>(rng.UniformInt(n));
+    size_t j = static_cast<size_t>(rng.UniformInt(n));
+    if (i == j) continue;
+    const double dist = std::sqrt(
+        SquaredDistance(embeddings.Row(i), embeddings.Row(j), d));
+    if (categories[i] == categories[j]) {
+      intra_sum += dist;
+      ++intra_n;
+    } else {
+      inter_sum += dist;
+      ++inter_n;
+    }
+  }
+  if (intra_n > 0) stats.mean_intra = intra_sum / intra_n;
+  if (inter_n > 0) stats.mean_inter = inter_sum / inter_n;
+  if (stats.mean_intra > 1e-12) {
+    stats.separation_ratio = stats.mean_inter / stats.mean_intra;
+  }
+
+  // Centroid purity.
+  int num_cats = 0;
+  for (int c : categories) num_cats = std::max(num_cats, c + 1);
+  Matrix centroids(num_cats, d);
+  std::vector<size_t> counts(num_cats, 0);
+  for (size_t i = 0; i < n; ++i) {
+    Axpy(1.0f, embeddings.Row(i), centroids.Row(categories[i]), d);
+    ++counts[categories[i]];
+  }
+  for (int c = 0; c < num_cats; ++c) {
+    if (counts[c] > 0) {
+      Scale(1.0f / static_cast<float>(counts[c]), centroids.Row(c), d);
+    }
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int best = -1;
+    float best_d = 0.0f;
+    for (int c = 0; c < num_cats; ++c) {
+      if (counts[c] == 0) continue;
+      const float dist = SquaredDistance(embeddings.Row(i), centroids.Row(c), d);
+      if (best < 0 || dist < best_d) {
+        best = c;
+        best_d = dist;
+      }
+    }
+    if (best == categories[i]) ++correct;
+  }
+  stats.centroid_purity = static_cast<double>(correct) / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<std::vector<CategoryShare>> FacetCategoryShares(
+    const FacetView& view, const ImplicitDataset& dataset) {
+  MARS_CHECK(dataset.has_categories());
+  const size_t kf = view.num_facets;
+  const int num_cats = dataset.num_categories();
+
+  // mass[k][c] = Σ_{(u,v): cat(v)=c} θ_u^k
+  std::vector<std::vector<double>> mass(
+      kf, std::vector<double>(num_cats, 0.0));
+  std::vector<double> total(kf, 0.0);
+  for (const Interaction& x : dataset.interactions()) {
+    const std::vector<float> theta = view.facet_weights(x.user);
+    const int c = dataset.ItemCategory(x.item);
+    for (size_t k = 0; k < kf; ++k) {
+      mass[k][c] += theta[k];
+      total[k] += theta[k];
+    }
+  }
+
+  std::vector<std::vector<CategoryShare>> shares(kf);
+  for (size_t k = 0; k < kf; ++k) {
+    for (int c = 0; c < num_cats; ++c) {
+      CategoryShare cs;
+      cs.category = c;
+      cs.name = dataset.CategoryName(c);
+      cs.share = total[k] > 0.0 ? mass[k][c] / total[k] : 0.0;
+      shares[k].push_back(cs);
+    }
+    std::sort(shares[k].begin(), shares[k].end(),
+              [](const CategoryShare& a, const CategoryShare& b) {
+                return a.share > b.share;
+              });
+  }
+  return shares;
+}
+
+UserFacetProfile ProfileUser(const FacetView& view,
+                             const ImplicitDataset& dataset, UserId u) {
+  MARS_CHECK(dataset.has_categories());
+  const size_t kf = view.num_facets;
+  UserFacetProfile profile;
+  profile.user = u;
+  profile.theta = view.facet_weights(u);
+
+  // Attribute each interacted item to the facet with the highest cosine
+  // similarity between the user's and the item's facet embeddings.
+  std::vector<std::vector<size_t>> cat_counts(
+      kf, std::vector<size_t>(dataset.num_categories(), 0));
+  std::vector<std::vector<float>> user_embs(kf);
+  for (size_t k = 0; k < kf; ++k) user_embs[k] = view.user_embedding(u, k);
+
+  for (ItemId v : dataset.ItemsOf(u)) {
+    size_t best_k = 0;
+    float best_s = -1e30f;
+    for (size_t k = 0; k < kf; ++k) {
+      const std::vector<float> item_emb = view.item_embedding(v, k);
+      const float s = Cosine(user_embs[k].data(), item_emb.data(), view.dim);
+      if (s > best_s) {
+        best_s = s;
+        best_k = k;
+      }
+    }
+    ++cat_counts[best_k][dataset.ItemCategory(v)];
+  }
+
+  profile.facet_categories.resize(kf);
+  for (size_t k = 0; k < kf; ++k) {
+    std::vector<std::pair<std::string, size_t>> entries;
+    for (int c = 0; c < dataset.num_categories(); ++c) {
+      if (cat_counts[k][c] > 0) {
+        entries.emplace_back(dataset.CategoryName(c), cat_counts[k][c]);
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    profile.facet_categories[k] = std::move(entries);
+  }
+  return profile;
+}
+
+}  // namespace mars

@@ -1,0 +1,93 @@
+// Case-study analytics over learned multi-facet models (paper Sec. V-E).
+//
+// Powers the reproductions of Fig. 7 (are item categories better separated
+// in facet spaces than in a single space?), Table V (which categories
+// dominate each facet space?), and Table VI (how do individual users
+// distribute their facet weights?).
+#ifndef MARS_ANALYSIS_FACET_ANALYSIS_H_
+#define MARS_ANALYSIS_FACET_ANALYSIS_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/mar.h"
+#include "core/mars.h"
+#include "data/dataset.h"
+
+namespace mars {
+
+/// Model-agnostic view over a multi-facet embedding model.
+struct FacetView {
+  size_t num_facets = 0;
+  size_t dim = 0;
+  std::function<std::vector<float>(UserId, size_t)> user_embedding;
+  std::function<std::vector<float>(ItemId, size_t)> item_embedding;
+  std::function<std::vector<float>(UserId)> facet_weights;
+};
+
+/// Adapters for the two core models.
+FacetView MakeFacetView(const Mar& model);
+FacetView MakeFacetView(const Mars& model);
+
+/// A single-space view (K = 1) over any (user, item) embedding pair, used
+/// to run the same analytics on CML for the Fig. 7 comparison.
+FacetView MakeSingleSpaceView(const Matrix& user_embeddings,
+                              const Matrix& item_embeddings);
+
+/// Stacks all item embeddings of facet `k` into an M×D matrix (input to
+/// PCA and separation statistics).
+Matrix StackItemFacetEmbeddings(const FacetView& view, size_t num_items,
+                                size_t k);
+
+/// Category-separation statistics of one embedding space.
+struct SeparationStats {
+  /// Mean distance between items of the same category.
+  double mean_intra = 0.0;
+  /// Mean distance between items of different categories.
+  double mean_inter = 0.0;
+  /// inter / intra; > 1 means categories are separated.
+  double separation_ratio = 0.0;
+  /// Fraction of items whose nearest category centroid is their own.
+  double centroid_purity = 0.0;
+};
+
+/// Computes separation statistics for `embeddings` (rows = items) under
+/// ground-truth `categories`. Pairwise terms are subsampled to at most
+/// `max_pairs` deterministic draws.
+SeparationStats ComputeSeparation(const Matrix& embeddings,
+                                  const std::vector<int>& categories,
+                                  size_t max_pairs = 200000);
+
+/// Share of interaction mass a category receives in facet `k`:
+///   share(c | k) = Σ_{(u,v)∈I, cat(v)=c} θ_u^k / Σ_{(u,v)∈I} θ_u^k
+/// (Table V: "top categories with proportions in each embedding space").
+struct CategoryShare {
+  int category = 0;
+  std::string name;
+  double share = 0.0;
+};
+
+/// Per-facet category shares, sorted descending by share.
+std::vector<std::vector<CategoryShare>> FacetCategoryShares(
+    const FacetView& view, const ImplicitDataset& dataset);
+
+/// One user's facet profile (Table VI): facet weights plus the categories
+/// of the items they interacted with, attributed to the facet where the
+/// user-item cosine similarity is highest.
+struct UserFacetProfile {
+  UserId user = 0;
+  std::vector<float> theta;
+  /// Per facet: (category name, interaction count), sorted descending.
+  std::vector<std::vector<std::pair<std::string, size_t>>> facet_categories;
+};
+
+/// Builds the profile of user `u`.
+UserFacetProfile ProfileUser(const FacetView& view,
+                             const ImplicitDataset& dataset, UserId u);
+
+}  // namespace mars
+
+#endif  // MARS_ANALYSIS_FACET_ANALYSIS_H_

@@ -1,0 +1,73 @@
+#include "analysis/pca.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+
+PcaResult ComputePca(const Matrix& data, size_t components,
+                     size_t power_iterations) {
+  MARS_CHECK(components >= 1);
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  MARS_CHECK(n >= 2 && d >= components);
+
+  // Mean-center a working copy.
+  Matrix centered(n, d);
+  std::vector<double> mean(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = data.Row(r);
+    for (size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (size_t c = 0; c < d; ++c) mean[c] /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const float* src = data.Row(r);
+    float* dst = centered.Row(r);
+    for (size_t c = 0; c < d; ++c) {
+      dst[c] = src[c] - static_cast<float>(mean[c]);
+    }
+  }
+
+  // Covariance (d×d, scaled by 1/(n-1)).
+  Matrix cov(d, d);
+  Gram(centered, &cov);
+  const float inv = 1.0f / static_cast<float>(n - 1);
+  for (size_t i = 0; i < d; ++i) Scale(inv, cov.Row(i), d);
+
+  PcaResult result;
+  result.components = Matrix(components, d);
+  result.eigenvalues.resize(components);
+
+  Rng rng(0xFACADE);
+  std::vector<float> v(d), av(d);
+  for (size_t comp = 0; comp < components; ++comp) {
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    NormalizeInPlace(v.data(), d);
+    double lambda = 0.0;
+    for (size_t it = 0; it < power_iterations; ++it) {
+      Gemv(cov, v.data(), av.data());
+      lambda = Norm(av.data(), d);
+      if (lambda < 1e-12) break;
+      Copy(av.data(), v.data(), d);
+      Scale(1.0f / static_cast<float>(lambda), v.data(), d);
+    }
+    result.eigenvalues[comp] = lambda;
+    Copy(v.data(), result.components.Row(comp), d);
+    // Deflate: cov -= λ v vᵀ.
+    AddOuterProduct(-static_cast<float>(lambda), v.data(), v.data(), &cov);
+  }
+
+  result.projected = Matrix(n, components);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t comp = 0; comp < components; ++comp) {
+      result.projected.At(r, comp) =
+          Dot(centered.Row(r), result.components.Row(comp), d);
+    }
+  }
+  return result;
+}
+
+}  // namespace mars

@@ -1,0 +1,34 @@
+// Principal component analysis via power iteration with deflation.
+//
+// Used by the Fig. 7 reproduction to project item facet embeddings to 2-D
+// for visualization dumps. Deterministic (fixed internal seed) and
+// dependency-free; adequate for the small covariance matrices (D ≤ 1024)
+// this library produces.
+#ifndef MARS_ANALYSIS_PCA_H_
+#define MARS_ANALYSIS_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace mars {
+
+/// Result of a PCA projection.
+struct PcaResult {
+  /// Projected data (rows × components).
+  Matrix projected;
+  /// Principal directions (components × input dim).
+  Matrix components;
+  /// Eigenvalues (variance along each component), descending.
+  std::vector<double> eigenvalues;
+};
+
+/// Projects `data` (rows = samples) onto its top `components` principal
+/// directions. Data is mean-centered internally.
+PcaResult ComputePca(const Matrix& data, size_t components,
+                     size_t power_iterations = 100);
+
+}  // namespace mars
+
+#endif  // MARS_ANALYSIS_PCA_H_

@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros.
+//
+// The library does not use exceptions across public APIs (per the project
+// style conventions); violated invariants abort with a diagnostic instead.
+// MARS_CHECK is always on; MARS_DCHECK compiles out in NDEBUG builds.
+#ifndef MARS_COMMON_CHECK_H_
+#define MARS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MARS_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MARS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MARS_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MARS_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define MARS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define MARS_DCHECK(cond) MARS_CHECK(cond)
+#endif
+
+#endif  // MARS_COMMON_CHECK_H_

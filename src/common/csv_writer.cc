@@ -1,0 +1,26 @@
+#include "common/csv_writer.h"
+
+#include "common/string_util.h"
+
+namespace mars {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << fields[i];
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(FormatFixed(v, 6));
+  WriteRow(fields);
+}
+
+void CsvWriter::Flush() { out_.flush(); }
+
+}  // namespace mars

@@ -1,0 +1,64 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: MARS_LOG(INFO) << "trained epoch " << e;
+// Levels: DEBUG < INFO < WARN < ERROR. The minimum emitted level defaults to
+// INFO and can be changed programmatically or via the MARS_LOG_LEVEL
+// environment variable (DEBUG/INFO/WARN/ERROR).
+#ifndef MARS_COMMON_LOGGING_H_
+#define MARS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mars {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+/// Sets the minimum emitted level.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mars
+
+#define MARS_LOG_DEBUG \
+  ::mars::internal::LogMessage(::mars::LogLevel::kDebug, __FILE__, __LINE__)
+#define MARS_LOG_INFO \
+  ::mars::internal::LogMessage(::mars::LogLevel::kInfo, __FILE__, __LINE__)
+#define MARS_LOG_WARN \
+  ::mars::internal::LogMessage(::mars::LogLevel::kWarn, __FILE__, __LINE__)
+#define MARS_LOG_ERROR \
+  ::mars::internal::LogMessage(::mars::LogLevel::kError, __FILE__, __LINE__)
+
+#define MARS_LOG(severity) MARS_LOG_##severity
+
+#endif  // MARS_COMMON_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mars {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(const std::vector<std::string>& header) {
+  header_ = header;
+}
+
+void TablePrinter::AddRow(const std::vector<std::string>& row) {
+  rows_.push_back(row);
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({kSeparatorTag});
+}
+
+std::string TablePrinter::ToString() const {
+  // Compute column widths across header and all rows.
+  size_t ncols = header_.size();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) continue;
+    ncols = std::max(ncols, row.size());
+  }
+  std::vector<size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) continue;
+    widen(row);
+  }
+
+  size_t total = 0;
+  for (size_t w : width) total += w + 3;
+  if (total > 0) total -= 1;
+
+  std::string out;
+  if (!title_.empty()) {
+    out += "== " + title_ + " ==\n";
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      line += cell;
+      if (i + 1 < ncols) {
+        line.append(width[i] - cell.size(), ' ');
+        line += " | ";
+      }
+    }
+    out += line + "\n";
+  };
+  const std::string rule(total, '-');
+  if (!header_.empty()) {
+    render_row(header_);
+    out += rule + "\n";
+  }
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) {
+      out += rule + "\n";
+    } else {
+      render_row(row);
+    }
+  }
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.is_open()) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) f << ",";
+      f << row[i];
+    }
+    f << "\n";
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) continue;
+    write_row(row);
+  }
+  return true;
+}
+
+}  // namespace mars

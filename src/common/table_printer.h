@@ -1,0 +1,49 @@
+// Fixed-width console table printer.
+//
+// Every bench binary reproduces a paper table by filling one of these and
+// printing it, so the console output mirrors the row/column structure the
+// paper reports (model × metric grids with Imp columns, sweeps, etc.).
+#ifndef MARS_COMMON_TABLE_PRINTER_H_
+#define MARS_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mars {
+
+/// Builds and renders an aligned text table.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row.
+  void SetHeader(const std::vector<std::string>& header);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void AddRow(const std::vector<std::string>& row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV (no alignment padding) to `path`.
+  /// Returns false if the file could not be opened.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01SEP\x01";
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+// Simple fixed-size thread pool used to parallelize evaluation
+// (per-user ranking is embarrassingly parallel).
+#ifndef MARS_COMMON_THREAD_POOL_H_
+#define MARS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mars {
+
+/// Fixed-size worker pool. Submit closures; Wait() blocks until all
+/// submitted work has finished. Not re-entrant (do not Submit from a task).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits.
+  /// Work is chunked to limit queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Returns a reasonable default parallelism (hardware_concurrency, >= 1).
+size_t DefaultThreadCount();
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_THREAD_POOL_H_

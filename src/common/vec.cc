@@ -1,0 +1,138 @@
+#include "common/vec.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mars {
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+  }
+  float acc = acc0 + acc1;
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Norm(const float* a, size_t n) { return std::sqrt(SquaredNorm(a, n)); }
+
+float SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
+
+void Axpy(float alpha, const float* b, float* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+}
+
+void Scale(float alpha, float* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] *= alpha;
+}
+
+void Sub(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void Add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Copy(const float* a, float* out, size_t n) {
+  std::memcpy(out, a, n * sizeof(float));
+}
+
+void Fill(float value, float* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] = value;
+}
+
+void Hadamard(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+float Cosine(const float* a, const float* b, size_t n) {
+  const float na = Norm(a, n);
+  const float nb = Norm(b, n);
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return Dot(a, b, n) / (na * nb);
+}
+
+bool NormalizeInPlace(float* a, size_t n) {
+  const float norm = Norm(a, n);
+  if (norm < 1e-12f) return false;
+  Scale(1.0f / norm, a, n);
+  return true;
+}
+
+bool ProjectToUnitBall(float* a, size_t n) {
+  const float norm = Norm(a, n);
+  if (norm <= 1.0f) return false;
+  Scale(1.0f / norm, a, n);
+  return true;
+}
+
+void Softmax(const float* logits, float* out, size_t n) {
+  MARS_CHECK(n > 0);
+  float max_logit = logits[0];
+  for (size_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(static_cast<double>(logits[i] - max_logit));
+    sum += out[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (size_t i = 0; i < n; ++i) out[i] *= inv;
+}
+
+double Softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  MARS_CHECK(a.size() == b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+float SquaredDistance(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  MARS_CHECK(a.size() == b.size());
+  return SquaredDistance(a.data(), b.data(), a.size());
+}
+
+float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  MARS_CHECK(a.size() == b.size());
+  return Cosine(a.data(), b.data(), a.size());
+}
+
+}  // namespace mars

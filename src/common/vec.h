@@ -1,0 +1,76 @@
+// Dense single-precision vector kernels.
+//
+// These are the hot-loop primitives every model in the library is built on:
+// dot products, squared distances, AXPY updates, normalization, cosine
+// similarity. All functions operate on raw float spans so embedding tables
+// can be stored as flat contiguous arrays (cache-friendly, allocation-free
+// in the training loop).
+#ifndef MARS_COMMON_VEC_H_
+#define MARS_COMMON_VEC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mars {
+
+/// Dot product <a, b> over `n` elements.
+float Dot(const float* a, const float* b, size_t n);
+
+/// Squared Euclidean distance ||a - b||^2.
+float SquaredDistance(const float* a, const float* b, size_t n);
+
+/// Euclidean norm ||a||.
+float Norm(const float* a, size_t n);
+
+/// Squared norm ||a||^2.
+float SquaredNorm(const float* a, size_t n);
+
+/// a += alpha * b.
+void Axpy(float alpha, const float* b, float* a, size_t n);
+
+/// a *= alpha.
+void Scale(float alpha, float* a, size_t n);
+
+/// out = a - b.
+void Sub(const float* a, const float* b, float* out, size_t n);
+
+/// out = a + b.
+void Add(const float* a, const float* b, float* out, size_t n);
+
+/// out = a (copy).
+void Copy(const float* a, float* out, size_t n);
+
+/// Sets all elements to `value`.
+void Fill(float value, float* a, size_t n);
+
+/// Elementwise product out = a ⊙ b.
+void Hadamard(const float* a, const float* b, float* out, size_t n);
+
+/// Cosine similarity <a,b>/(||a||·||b||); returns 0 if either norm is ~0.
+float Cosine(const float* a, const float* b, size_t n);
+
+/// Rescales `a` to unit norm in place. No-op (returns false) if ||a|| ~ 0.
+bool NormalizeInPlace(float* a, size_t n);
+
+/// Projects `a` onto the unit ball: if ||a|| > 1, rescale to norm 1.
+/// Returns true if a rescale happened. This is the CML-style constraint.
+bool ProjectToUnitBall(float* a, size_t n);
+
+/// Numerically-stable softmax of `logits` into `out` (sizes must match).
+void Softmax(const float* logits, float* out, size_t n);
+
+/// Stable log(1 + exp(x)).
+double Softplus(double x);
+
+/// Logistic sigmoid 1/(1+exp(-x)), numerically stable.
+double Sigmoid(double x);
+
+/// Convenience overloads on std::vector<float>.
+float Dot(const std::vector<float>& a, const std::vector<float>& b);
+float SquaredDistance(const std::vector<float>& a,
+                      const std::vector<float>& b);
+float Cosine(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_VEC_H_

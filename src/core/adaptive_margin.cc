@@ -1,0 +1,49 @@
+#include "core/adaptive_margin.h"
+
+#include <algorithm>
+
+namespace mars {
+
+namespace {
+
+/// Counts distinct users reachable from `u` in two hops using an epoch-
+/// stamped scratch array (avoids clearing a bitmap per user).
+size_t DistinctTwoHop(const ImplicitDataset& train, UserId u,
+                      std::vector<uint32_t>* stamp, uint32_t epoch) {
+  size_t count = 0;
+  for (ItemId v : train.ItemsOf(u)) {
+    for (UserId w : train.UsersOf(v)) {
+      if ((*stamp)[w] != epoch) {
+        (*stamp)[w] = epoch;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<float> ComputeAdaptiveMargins(const ImplicitDataset& train) {
+  const size_t n = train.num_users();
+  std::vector<float> gamma(n, 1.0f);
+  if (n == 0) return gamma;
+  std::vector<uint32_t> stamp(n, 0);
+  for (UserId u = 0; u < n; ++u) {
+    const size_t two_hop = DistinctTwoHop(train, u, &stamp, u + 1);
+    const float frac =
+        static_cast<float>(two_hop) / static_cast<float>(n);
+    gamma[u] = std::clamp(1.0f - frac, 0.0f, 1.0f);
+  }
+  return gamma;
+}
+
+float ComputeAdaptiveMargin(const ImplicitDataset& train, UserId u) {
+  std::vector<uint32_t> stamp(train.num_users(), 0);
+  const size_t two_hop = DistinctTwoHop(train, u, &stamp, 1);
+  const float frac = static_cast<float>(two_hop) /
+                     static_cast<float>(train.num_users());
+  return std::clamp(1.0f - frac, 0.0f, 1.0f);
+}
+
+}  // namespace mars

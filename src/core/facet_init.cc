@@ -1,0 +1,38 @@
+#include "core/facet_init.h"
+
+#include <cmath>
+
+#include "models/nmf.h"
+
+namespace mars {
+
+Matrix InitThetaLogitsFromNmf(const ImplicitDataset& train, size_t num_facets,
+                              size_t iterations, uint64_t seed,
+                              double blend) {
+  const Matrix w = NmfUserFactors(train, num_facets, iterations, seed);
+  Matrix logits(train.num_users(), num_facets);
+  constexpr float kEps = 1e-6f;
+  const float uniform = 1.0f / static_cast<float>(num_facets);
+  const float rho = static_cast<float>(blend);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const float* row = w.Row(u);
+    float total = 0.0f;
+    for (size_t k = 0; k < num_facets; ++k) total += row[k];
+    float* out = logits.Row(u);
+    if (total <= kEps) {
+      for (size_t k = 0; k < num_facets; ++k) out[k] = 0.0f;
+      continue;
+    }
+    for (size_t k = 0; k < num_facets; ++k) {
+      const float mixed = (1.0f - rho) * (row[k] / total) + rho * uniform;
+      out[k] = std::log(mixed + kEps);
+    }
+  }
+  return logits;
+}
+
+Matrix InitThetaLogitsUniform(size_t num_users, size_t num_facets) {
+  return Matrix(num_users, num_facets, 0.0f);
+}
+
+}  // namespace mars

@@ -1,0 +1,30 @@
+// Facet-weight initialization via NMF (paper Sec. V-A3: "we apply it
+// [NMF] to initialize the multiple facets of users and items; the number
+// of latent factors is set to the number of metric spaces").
+#ifndef MARS_CORE_FACET_INIT_H_
+#define MARS_CORE_FACET_INIT_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "data/dataset.h"
+
+namespace mars {
+
+/// Returns an N×K matrix of facet-weight logits such that softmax(logits)
+/// equals the user's normalized NMF loadings blended with the uniform
+/// distribution: θ_init = (1-blend)·ŵ + blend/K. The blend keeps every
+/// facet alive at initialization — a raw NMF mixture routinely zeroes out
+/// factors, and a facet whose θ starts at ~0 receives ~0 gradient and
+/// never recovers. Falls back to uniform for users with no training
+/// interactions.
+Matrix InitThetaLogitsFromNmf(const ImplicitDataset& train, size_t num_facets,
+                              size_t iterations, uint64_t seed,
+                              double blend = 0.5);
+
+/// Uniform logits (all zeros), the ablation alternative.
+Matrix InitThetaLogitsUniform(size_t num_users, size_t num_facets);
+
+}  // namespace mars
+
+#endif  // MARS_CORE_FACET_INIT_H_

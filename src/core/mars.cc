@@ -1,0 +1,265 @@
+#include "core/mars.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/vec.h"
+#include "core/adaptive_margin.h"
+#include "core/facet_init.h"
+#include "models/embedding.h"
+#include "models/train_loop.h"
+#include "opt/sgd.h"
+#include "opt/sphere.h"
+#include "sampling/triplet_sampler.h"
+
+namespace mars {
+
+Mars::Mars(MultiFacetConfig config, MarsOptions mars_options)
+    : config_(config), mars_options_(mars_options) {
+  MARS_CHECK(config_.num_facets >= 1);
+  MARS_CHECK(config_.dim >= 2);
+  radii_.assign(config_.num_facets, 1.0f);
+}
+
+void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
+  const size_t d = config_.dim;
+  const size_t kf = config_.num_facets;
+  Rng rng(options.seed);
+
+  // --- Initialization: Eq. 1-2 factorization feeds the spheres ------------
+  // Universal embeddings + near-identity projections, then each facet
+  // embedding is the normalized projection output.
+  {
+    Matrix user_universal(train.num_users(), d);
+    Matrix item_universal(train.num_items(), d);
+    InitEmbedding(&user_universal, &rng);
+    InitEmbedding(&item_universal, &rng);
+    user_facets_.assign(kf, Matrix(train.num_users(), d));
+    item_facets_.assign(kf, Matrix(train.num_items(), d));
+    Matrix phi(d, d), psi(d, d);
+    std::vector<float> z(d);
+    for (size_t k = 0; k < kf; ++k) {
+      phi.FillIdentityPlusNoise(&rng, 0.25f);
+      psi.FillIdentityPlusNoise(&rng, 0.25f);
+      for (UserId u = 0; u < train.num_users(); ++u) {
+        GemvTransposed(phi, user_universal.Row(u), z.data());
+        if (!NormalizeInPlace(z.data(), d)) z[0] = 1.0f;
+        Copy(z.data(), user_facets_[k].Row(u), d);
+      }
+      for (ItemId v = 0; v < train.num_items(); ++v) {
+        GemvTransposed(psi, item_universal.Row(v), z.data());
+        if (!NormalizeInPlace(z.data(), d)) z[0] = 1.0f;
+        Copy(z.data(), item_facets_[k].Row(v), d);
+      }
+    }
+  }
+
+  theta_logits_ =
+      config_.theta_init_nmf
+          ? InitThetaLogitsFromNmf(train, kf, config_.theta_nmf_iterations,
+                                   options.seed + 17)
+          : InitThetaLogitsUniform(train.num_users(), kf);
+  radii_.assign(kf, 1.0f);
+
+  margins_ = config_.adaptive_margin
+                 ? ComputeAdaptiveMargins(train)
+                 : std::vector<float>(train.num_users(),
+                                      static_cast<float>(config_.fixed_margin));
+
+  const TripletSampler sampler(train,
+                               config_.biased_sampling
+                                   ? TripletUserMode::kFrequencyBiased
+                                   : TripletUserMode::kUniformInteraction,
+                               config_.sampling_beta);
+  const size_t steps = ResolveStepsPerEpoch(options, train);
+  const float lambda_pull = static_cast<float>(config_.lambda_pull);
+  const float lambda_facet = static_cast<float>(config_.lambda_facet);
+  const float alpha = static_cast<float>(config_.alpha);
+  const float clip = static_cast<float>(config_.grad_clip);
+  const bool calibrated = mars_options_.calibrated;
+  // Corrected facet loss penalizes +cos (separate); the as-printed variant
+  // penalizes −cos, which *pulls facets together* (kept for the ablation).
+  const float facet_sign =
+      mars_options_.facet_sign == FacetLossSign::kSeparate ? 1.0f : -1.0f;
+
+  std::vector<float> gu(kf * d), gvp(kf * d), gvq(kf * d);
+  std::vector<float> theta(kf), coeff(kf), sp(kf), sq(kf);
+  std::vector<float> scratch(d);
+
+  const float lr_comp =
+      config_.scale_lr_by_facets ? static_cast<float>(kf) : 1.0f;
+
+  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
+    const float lr = static_cast<float>(lr_d) * lr_comp;
+    const float theta_lr = static_cast<float>(lr_d) *
+                           static_cast<float>(config_.theta_lr_scale);
+    Triplet t;
+    for (size_t s = 0; s < steps; ++s) {
+      if (!sampler.Sample(&rng, &t)) continue;
+
+      // --- Forward: cosine similarities per facet ------------------------
+      for (size_t k = 0; k < kf; ++k) {
+        const float* uk = user_facets_[k].Row(t.user);
+        sp[k] = Dot(uk, item_facets_[k].Row(t.positive), d);
+        sq[k] = Dot(uk, item_facets_[k].Row(t.negative), d);
+      }
+      Softmax(theta_logits_.Row(t.user), theta.data(), kf);
+      float push_val = margins_[t.user];
+      for (size_t k = 0; k < kf; ++k) {
+        push_val += theta[k] * radii_[k] * (sq[k] - sp[k]);
+      }
+      const bool active = push_val > 0.0f;
+
+      // --- Euclidean gradients in the ambient space -----------------------
+      Fill(0.0f, gu.data(), kf * d);
+      Fill(0.0f, gvp.data(), kf * d);
+      Fill(0.0f, gvq.data(), kf * d);
+      for (size_t k = 0; k < kf; ++k) {
+        const float* uk = user_facets_[k].Row(t.user);
+        const float* vpk = item_facets_[k].Row(t.positive);
+        const float* vqk = item_facets_[k].Row(t.negative);
+        const float w_push = active ? theta[k] * radii_[k] : 0.0f;
+        const float w_pull = lambda_pull * theta[k] * radii_[k];
+        for (size_t i = 0; i < d; ++i) {
+          // push: θ(∂(−s_p + s_q)) ; pull: −λθ ∂s_p
+          gu[k * d + i] +=
+              w_push * (vqk[i] - vpk[i]) - w_pull * vpk[i];
+          gvp[k * d + i] += -(w_push + w_pull) * uk[i];
+          gvq[k * d + i] += w_push * uk[i];
+        }
+      }
+      // Spherical facet-separating loss over facet pairs (user + pos item).
+      if (lambda_facet > 0.0f && kf > 1) {
+        for (size_t i = 0; i < kf; ++i) {
+          for (size_t j = i + 1; j < kf; ++j) {
+            const float cu = Dot(user_facets_[i].Row(t.user),
+                                 user_facets_[j].Row(t.user), d);
+            const float cv = Dot(item_facets_[i].Row(t.positive),
+                                 item_facets_[j].Row(t.positive), d);
+            // L = (1/α) log(1+exp(sign·α·cos)) per entity;
+            // dL/dcos = sign·σ(sign·α·cos).
+            const float wu = lambda_facet * facet_sign *
+                             static_cast<float>(Sigmoid(facet_sign * alpha * cu));
+            const float wv = lambda_facet * facet_sign *
+                             static_cast<float>(Sigmoid(facet_sign * alpha * cv));
+            for (size_t x = 0; x < d; ++x) {
+              gu[i * d + x] += wu * user_facets_[j].Row(t.user)[x];
+              gu[j * d + x] += wu * user_facets_[i].Row(t.user)[x];
+              gvp[i * d + x] += wv * item_facets_[j].Row(t.positive)[x];
+              gvp[j * d + x] += wv * item_facets_[i].Row(t.positive)[x];
+            }
+          }
+        }
+      }
+
+      // --- Θ update --------------------------------------------------------
+      float mean_c = 0.0f;
+      for (size_t k = 0; k < kf; ++k) {
+        coeff[k] = radii_[k] * ((active ? (sq[k] - sp[k]) : 0.0f) -
+                                static_cast<float>(lambda_pull) * sp[k]);
+        mean_c += theta[k] * coeff[k];
+      }
+      float* logits = theta_logits_.Row(t.user);
+      for (size_t k = 0; k < kf; ++k) {
+        logits[k] -= theta_lr * theta[k] * (coeff[k] - mean_c);
+      }
+
+      // --- Facet-radius update (future-work extension) --------------------
+      if (mars_options_.learn_radius) {
+        constexpr float kMinRadius = 0.1f;
+        constexpr float kMaxRadius = 10.0f;
+        for (size_t k = 0; k < kf; ++k) {
+          const float grad_r =
+              theta[k] * ((active ? (sq[k] - sp[k]) : 0.0f) -
+                          static_cast<float>(lambda_pull) * sp[k]);
+          radii_[k] = std::clamp(radii_[k] - theta_lr * grad_r, kMinRadius,
+                                 kMaxRadius);
+        }
+      }
+
+      // --- Calibrated Riemannian updates (Eq. 21) --------------------------
+      for (size_t k = 0; k < kf; ++k) {
+        float* guk = &gu[k * d];
+        float* gvpk = &gvp[k * d];
+        float* gvqk = &gvq[k * d];
+        if (clip > 0.0f) {
+          ClipGradient(guk, d, clip);
+          ClipGradient(gvpk, d, clip);
+          ClipGradient(gvqk, d, clip);
+        }
+        if (SquaredNorm(guk, d) > 0.0f) {
+          RiemannianSgdStep(user_facets_[k].Row(t.user), guk, lr, d,
+                            scratch.data(), calibrated);
+        }
+        if (SquaredNorm(gvpk, d) > 0.0f) {
+          RiemannianSgdStep(item_facets_[k].Row(t.positive), gvpk, lr, d,
+                            scratch.data(), calibrated);
+        }
+        if (SquaredNorm(gvqk, d) > 0.0f) {
+          RiemannianSgdStep(item_facets_[k].Row(t.negative), gvqk, lr, d,
+                            scratch.data(), calibrated);
+        }
+      }
+    }
+  });
+}
+
+float Mars::Score(UserId u, ItemId v) const {
+  const size_t kf = config_.num_facets;
+  const size_t d = config_.dim;
+  std::vector<float> theta(kf);
+  Softmax(theta_logits_.Row(u), theta.data(), kf);
+  float score = 0.0f;
+  for (size_t k = 0; k < kf; ++k) {
+    score += theta[k] * radii_[k] *
+             Dot(user_facets_[k].Row(u), item_facets_[k].Row(v), d);
+  }
+  return score;
+}
+
+void Mars::ScoreItems(UserId u, std::span<const ItemId> items,
+                      float* out) const {
+  const size_t kf = config_.num_facets;
+  const size_t d = config_.dim;
+  std::vector<float> theta(kf);
+  Softmax(theta_logits_.Row(u), theta.data(), kf);
+  for (size_t k = 0; k < kf; ++k) theta[k] *= radii_[k];
+  for (size_t idx = 0; idx < items.size(); ++idx) {
+    float score = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      score += theta[k] * Dot(user_facets_[k].Row(u),
+                              item_facets_[k].Row(items[idx]), d);
+    }
+    out[idx] = score;
+  }
+}
+
+std::vector<float> Mars::UserFacetEmbedding(UserId u, size_t k) const {
+  MARS_CHECK(k < config_.num_facets);
+  std::vector<float> out(config_.dim);
+  Copy(user_facets_[k].Row(u), out.data(), config_.dim);
+  return out;
+}
+
+std::vector<float> Mars::ItemFacetEmbedding(ItemId v, size_t k) const {
+  MARS_CHECK(k < config_.num_facets);
+  std::vector<float> out(config_.dim);
+  Copy(item_facets_[k].Row(v), out.data(), config_.dim);
+  return out;
+}
+
+std::vector<float> Mars::FacetWeights(UserId u) const {
+  std::vector<float> theta(config_.num_facets);
+  Softmax(theta_logits_.Row(u), theta.data(), config_.num_facets);
+  return theta;
+}
+
+float Mars::MarginOf(UserId u) const {
+  MARS_CHECK(u < margins_.size());
+  return margins_[u];
+}
+
+}  // namespace mars

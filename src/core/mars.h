@@ -1,0 +1,94 @@
+// MARS — MAR with Spherical optimization (paper Sec. IV).
+//
+// All facet-specific user/item embeddings are constrained to lie exactly
+// on the unit sphere (Eq. 17/19) and similarity becomes cosine (Eq. 13-14):
+//
+//   g_s(u, v) = Σ_k θ_u^k cos(u^k, v^k)
+//
+// with the spherical push/pull losses (Eq. 15-16), the spherical
+// facet-separating loss (Eq. 12, sign corrected per DESIGN.md §2.1), and
+// the *calibrated Riemannian SGD* update of Eq. 21:
+//
+//   x ← R_x( -η (1 + xᵀ∇f/||∇f||) (I - xxᵀ) ∇f )
+//
+// Parameterization: per Eq. 19 the optimization variables Ω are the facet
+// embeddings themselves; they are free spherical parameters *initialized*
+// from the universal-embedding × projection factorization of Eq. 1-2 (see
+// DESIGN.md §2.2), with facet weights Θ seeded by K-factor NMF.
+#ifndef MARS_CORE_MARS_H_
+#define MARS_CORE_MARS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/facet_config.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+class Mars;
+
+/// Binary persistence (core/persistence.h); friends of Mars.
+bool SaveMars(const Mars& model, const std::string& path);
+std::unique_ptr<Mars> LoadMars(const std::string& path);
+
+/// MARS-specific options on top of the shared multi-facet config.
+struct MarsOptions {
+  /// Use the calibration multiplier of Eq. 21; false = plain Riemannian
+  /// SGD (Eq. 20 with retraction), the ablation baseline.
+  bool calibrated = true;
+  /// Sign convention of the spherical facet-separating loss.
+  FacetLossSign facet_sign = FacetLossSign::kSeparate;
+  /// Learn a per-facet sphere radius r_k (the paper's future-work item:
+  /// "dynamically learn the radiuses of different facet-specific spherical
+  /// embedding spaces"). Similarity becomes Σ_k θ_u^k · r_k · cos(u^k,v^k);
+  /// embeddings stay on unit spheres and r_k ≥ kMinRadius scales each
+  /// facet's contribution, letting the model modulate facet importance
+  /// globally (on top of the per-user Θ).
+  bool learn_radius = false;
+};
+
+/// MARS recommender.
+class Mars : public Recommender {
+ public:
+  explicit Mars(MultiFacetConfig config, MarsOptions mars_options = {});
+
+  void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
+  float Score(UserId u, ItemId v) const override;
+  void ScoreItems(UserId u, std::span<const ItemId> items,
+                  float* out) const override;
+  std::string name() const override { return "MARS"; }
+
+  const MultiFacetConfig& config() const { return config_; }
+  const MarsOptions& mars_options() const { return mars_options_; }
+
+  /// Facet-specific spherical embedding of user `u` in facet `k`.
+  std::vector<float> UserFacetEmbedding(UserId u, size_t k) const;
+  /// Facet-specific spherical embedding of item `v` in facet `k`.
+  std::vector<float> ItemFacetEmbedding(ItemId v, size_t k) const;
+  /// Softmax facet weights Θ_u.
+  std::vector<float> FacetWeights(UserId u) const;
+  /// Adaptive margin γ_u used during training.
+  float MarginOf(UserId u) const;
+  /// Learned facet-sphere radii (all 1 unless learn_radius is set).
+  const std::vector<float>& FacetRadii() const { return radii_; }
+
+ private:
+  friend bool SaveMars(const Mars& model, const std::string& path);
+  friend std::unique_ptr<Mars> LoadMars(const std::string& path);
+
+  MultiFacetConfig config_;
+  MarsOptions mars_options_;
+
+  std::vector<Matrix> user_facets_;  // K of N×D, unit rows
+  std::vector<Matrix> item_facets_;  // K of M×D, unit rows
+  Matrix theta_logits_;              // N×K
+  std::vector<float> radii_;         // K sphere radii (learn_radius)
+  std::vector<float> margins_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_CORE_MARS_H_

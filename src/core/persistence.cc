@@ -1,0 +1,143 @@
+#include "core/persistence.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mars {
+namespace {
+
+constexpr uint32_t kMagic = 0x4D415253;  // "MARS"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteFloats(std::ostream& out, const float* data, size_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadFloats(std::istream& in, float* data, size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveMars(const Mars& model, const std::string& path) {
+  if (model.user_facets_.empty()) {
+    MARS_LOG(ERROR) << "SaveMars: model has not been fit";
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+
+  const size_t kf = model.config_.num_facets;
+  const size_t d = model.config_.dim;
+  const size_t n_users = model.user_facets_[0].rows();
+  const size_t n_items = model.item_facets_[0].rows();
+
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU64(out, kf);
+  WriteU64(out, d);
+  WriteU64(out, n_users);
+  WriteU64(out, n_items);
+  WriteU32(out, model.mars_options_.learn_radius ? 1 : 0);
+  WriteU32(out, model.mars_options_.calibrated ? 1 : 0);
+
+  for (size_t k = 0; k < kf; ++k) {
+    WriteFloats(out, model.user_facets_[k].data(),
+                model.user_facets_[k].size());
+  }
+  for (size_t k = 0; k < kf; ++k) {
+    WriteFloats(out, model.item_facets_[k].data(),
+                model.item_facets_[k].size());
+  }
+  WriteFloats(out, model.theta_logits_.data(), model.theta_logits_.size());
+  WriteFloats(out, model.radii_.data(), model.radii_.size());
+  WriteU64(out, model.margins_.size());
+  WriteFloats(out, model.margins_.data(), model.margins_.size());
+  return out.good();
+}
+
+std::unique_ptr<Mars> LoadMars(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    MARS_LOG(ERROR) << "LoadMars: cannot open " << path;
+    return nullptr;
+  }
+  uint32_t magic = 0, version = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    MARS_LOG(ERROR) << "LoadMars: bad magic in " << path;
+    return nullptr;
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    MARS_LOG(ERROR) << "LoadMars: unsupported version";
+    return nullptr;
+  }
+  uint64_t kf = 0, d = 0, n_users = 0, n_items = 0;
+  uint32_t learn_radius = 0, calibrated = 1;
+  if (!ReadU64(in, &kf) || !ReadU64(in, &d) || !ReadU64(in, &n_users) ||
+      !ReadU64(in, &n_items) || !ReadU32(in, &learn_radius) ||
+      !ReadU32(in, &calibrated)) {
+    return nullptr;
+  }
+  if (kf == 0 || kf > 64 || d < 2 || d > 65536) {
+    MARS_LOG(ERROR) << "LoadMars: implausible header";
+    return nullptr;
+  }
+
+  MultiFacetConfig cfg;
+  cfg.num_facets = kf;
+  cfg.dim = d;
+  MarsOptions mopts;
+  mopts.learn_radius = learn_radius != 0;
+  mopts.calibrated = calibrated != 0;
+  auto model = std::make_unique<Mars>(cfg, mopts);
+
+  model->user_facets_.assign(kf, Matrix(n_users, d));
+  model->item_facets_.assign(kf, Matrix(n_items, d));
+  for (size_t k = 0; k < kf; ++k) {
+    if (!ReadFloats(in, model->user_facets_[k].data(), n_users * d)) {
+      return nullptr;
+    }
+  }
+  for (size_t k = 0; k < kf; ++k) {
+    if (!ReadFloats(in, model->item_facets_[k].data(), n_items * d)) {
+      return nullptr;
+    }
+  }
+  model->theta_logits_ = Matrix(n_users, kf);
+  if (!ReadFloats(in, model->theta_logits_.data(), n_users * kf)) {
+    return nullptr;
+  }
+  model->radii_.assign(kf, 1.0f);
+  if (!ReadFloats(in, model->radii_.data(), kf)) return nullptr;
+  uint64_t n_margins = 0;
+  if (!ReadU64(in, &n_margins) || n_margins != n_users) return nullptr;
+  model->margins_.assign(n_margins, 0.0f);
+  if (!ReadFloats(in, model->margins_.data(), n_margins)) return nullptr;
+  return model;
+}
+
+}  // namespace mars

@@ -1,0 +1,27 @@
+// Binary model persistence for the core recommenders.
+//
+// Format: a small header (magic, version, shape) followed by the flat
+// parameter tensors in little-endian float32. Lets a trained MARS model be
+// served without retraining — the missing piece for downstream adoption.
+#ifndef MARS_CORE_PERSISTENCE_H_
+#define MARS_CORE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/mars.h"
+
+namespace mars {
+
+/// Writes a trained MARS model to `path`. Returns false on I/O error.
+/// The model must have been Fit (facet tables populated).
+bool SaveMars(const Mars& model, const std::string& path);
+
+/// Reads a MARS model previously written by SaveMars. Returns nullptr on
+/// I/O error, bad magic, version mismatch, or truncated payload. The
+/// returned model scores immediately (no Fit required).
+std::unique_ptr<Mars> LoadMars(const std::string& path);
+
+}  // namespace mars
+
+#endif  // MARS_CORE_PERSISTENCE_H_

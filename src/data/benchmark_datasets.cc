@@ -1,0 +1,121 @@
+#include "data/benchmark_datasets.h"
+
+#include "common/check.h"
+
+namespace mars {
+
+const std::vector<BenchmarkId>& AllBenchmarks() {
+  static const std::vector<BenchmarkId>* const kAll =
+      new std::vector<BenchmarkId>{
+          BenchmarkId::kDelicious, BenchmarkId::kLastfm, BenchmarkId::kCiao,
+          BenchmarkId::kBookX,     BenchmarkId::kMl1m,   BenchmarkId::kMl20m,
+      };
+  return *kAll;
+}
+
+const std::vector<BenchmarkId>& AblationBenchmarks() {
+  static const std::vector<BenchmarkId>* const kFour =
+      new std::vector<BenchmarkId>{
+          BenchmarkId::kDelicious,
+          BenchmarkId::kLastfm,
+          BenchmarkId::kCiao,
+          BenchmarkId::kBookX,
+      };
+  return *kFour;
+}
+
+std::string BenchmarkName(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kDelicious:
+      return "Delicious";
+    case BenchmarkId::kLastfm:
+      return "Lastfm";
+    case BenchmarkId::kCiao:
+      return "Ciao";
+    case BenchmarkId::kBookX:
+      return "BookX";
+    case BenchmarkId::kMl1m:
+      return "ML-1M";
+    case BenchmarkId::kMl20m:
+      return "ML-20M";
+  }
+  MARS_CHECK_MSG(false, "unknown benchmark id");
+  return "";
+}
+
+// The scaled specs preserve two properties of the paper's Table I at once:
+//  * the density ordering
+//    (ML-1M 4.52% > ML-20M 1.02% > Delicious 0.61% > Lastfm 0.28%
+//     > Ciao 0.19% > BookX 0.08%), using density = avg_degree / num_items;
+//  * realistic interactions-per-user (the real corpora have 8-270
+//    interactions per user; per-user history is what makes per-facet
+//    learning feasible, so it must not be scaled away).
+SyntheticConfig BenchmarkConfig(BenchmarkId id, bool fast) {
+  SyntheticConfig cfg;
+  cfg.num_facets = 4;
+  cfg.num_categories = 12;
+  switch (id) {
+    case BenchmarkId::kDelicious:
+      // deg 8 / 1311 items = 0.61% density.
+      cfg.num_users = 900;
+      cfg.num_items = 1311;
+      cfg.target_interactions = 7200;
+      cfg.seed = 1001;
+      break;
+    case BenchmarkId::kLastfm:
+      // deg 16 / 5714 items = 0.28%; the item-heavy corpus.
+      cfg.num_users = 1000;
+      cfg.num_items = 5714;
+      cfg.target_interactions = 16000;
+      cfg.num_categories = 16;
+      cfg.seed = 1002;
+      break;
+    case BenchmarkId::kCiao:
+      // deg 14 / 7368 items = 0.19%; the paper's case-study dataset.
+      cfg.num_users = 900;
+      cfg.num_items = 7368;
+      cfg.target_interactions = 12600;
+      cfg.num_categories = 16;
+      cfg.seed = 1003;
+      break;
+    case BenchmarkId::kBookX:
+      // deg 12 / 9000 items = 0.13%; the sparsest corpus. The paper's
+      // 0.08% is unreachable at this scale without starving the item side
+      // (real BookX has ~15 interactions per item; 0.08% at 1800 users
+      // would leave items with < 1), so the density is relaxed while the
+      // ordering (BookX sparsest) is preserved.
+      cfg.num_users = 1800;
+      cfg.num_items = 9000;
+      cfg.target_interactions = 21600;
+      cfg.num_categories = 16;
+      cfg.seed = 1004;
+      break;
+    case BenchmarkId::kMl1m:
+      // deg 40 / 885 items = 4.52%; the densest corpus.
+      cfg.num_users = 700;
+      cfg.num_items = 885;
+      cfg.target_interactions = 28000;
+      cfg.seed = 1005;
+      break;
+    case BenchmarkId::kMl20m:
+      // deg 24 / 2353 items = 1.02%.
+      cfg.num_users = 1200;
+      cfg.num_items = 2353;
+      cfg.target_interactions = 28800;
+      cfg.seed = 1006;
+      break;
+  }
+  if (fast) {
+    cfg.num_users /= 4;
+    cfg.num_items /= 4;
+    cfg.target_interactions /= 4;
+  }
+  return cfg;
+}
+
+std::shared_ptr<ImplicitDataset> MakeBenchmarkDataset(BenchmarkId id,
+                                                      bool fast) {
+  return GenerateSyntheticDataset(BenchmarkConfig(id, fast));
+}
+
+}  // namespace mars

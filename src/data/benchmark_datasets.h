@@ -1,0 +1,66 @@
+// Scaled analogues of the paper's six benchmark datasets (Table I).
+//
+// The real datasets are unavailable offline; these specs configure the
+// synthetic generator so that
+//  * the density ordering of Table I is preserved
+//    (ML-1M > ML-20M > Delicious > Lastfm > Ciao > BookX),
+//  * interactions-per-user stay at realistic magnitudes (8-40) — the real
+//    corpora have 8-270 per user, and per-user history volume (not raw
+//    density) is what determines whether per-facet preferences are
+//    learnable, so it must not be scaled away,
+//  * sizes are scaled down so the entire Table II harness (10 models × 6
+//    datasets) runs in minutes on a 2-core machine.
+//
+// Paper Table I (original):            This repo (scaled):
+//   Delicious  1K  ×   1K,   8K, 0.61%    900 ×  1311,  7.2K, 0.61%
+//   Lastfm     2K  × 175K,  92K, 0.28%   1000 ×  5714, 16.0K, 0.28%
+//   Ciao       7K  ×  11K, 147K, 0.19%    900 ×  7368, 12.6K, 0.19%
+//   BookX     20K  ×  40K, 605K, 0.08%   1800 ×  9000, 21.6K, 0.13%*
+//   ML-1M      6K  ×   4K,   1M, 4.52%    700 ×   885, 28.0K, 4.52%
+//   ML-20M    62K  ×  27K,  17M, 1.02%   1200 ×  2353, 28.8K, 1.02%
+//
+// (*) BookX relaxes the absolute density (0.08% is unreachable at this
+//     scale without starving the item side) but stays the sparsest set.
+#ifndef MARS_DATA_BENCHMARK_DATASETS_H_
+#define MARS_DATA_BENCHMARK_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace mars {
+
+/// Identifiers of the six benchmark analogues.
+enum class BenchmarkId {
+  kDelicious,
+  kLastfm,
+  kCiao,
+  kBookX,
+  kMl1m,
+  kMl20m,
+};
+
+/// All six ids in the paper's presentation order.
+const std::vector<BenchmarkId>& AllBenchmarks();
+
+/// The four datasets used for the ablation / hyperparameter studies
+/// (Table IV, Fig. 5, Fig. 6): Delicious, Lastfm, Ciao, BookX.
+const std::vector<BenchmarkId>& AblationBenchmarks();
+
+/// Display name ("Delicious", "ML-1M", ...).
+std::string BenchmarkName(BenchmarkId id);
+
+/// Generator configuration for the scaled analogue. `fast` shrinks the
+/// dataset further (for smoke tests and MARS_BENCH_FAST=1 runs).
+SyntheticConfig BenchmarkConfig(BenchmarkId id, bool fast = false);
+
+/// Generates the scaled analogue dataset.
+std::shared_ptr<ImplicitDataset> MakeBenchmarkDataset(BenchmarkId id,
+                                                      bool fast = false);
+
+}  // namespace mars
+
+#endif  // MARS_DATA_BENCHMARK_DATASETS_H_

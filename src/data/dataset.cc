@@ -1,0 +1,137 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mars {
+
+ImplicitDataset::ImplicitDataset(size_t num_users, size_t num_items,
+                                 std::vector<Interaction> interactions)
+    : num_users_(num_users), num_items_(num_items) {
+  for (const Interaction& x : interactions) {
+    MARS_CHECK_MSG(x.user < num_users, "interaction user id out of range");
+    MARS_CHECK_MSG(x.item < num_items, "interaction item id out of range");
+  }
+
+  // Group by user, order by timestamp within each user, then dedupe
+  // (user, item) keeping the earliest event.
+  std::sort(interactions.begin(), interactions.end(),
+            [](const Interaction& a, const Interaction& b) {
+              if (a.user != b.user) return a.user < b.user;
+              if (a.item != b.item) return a.item < b.item;
+              return a.timestamp < b.timestamp;
+            });
+  interactions_.reserve(interactions.size());
+  for (const Interaction& x : interactions) {
+    if (!interactions_.empty() && interactions_.back().user == x.user &&
+        interactions_.back().item == x.item) {
+      continue;  // duplicate (u, v); keep first (earliest timestamp)
+    }
+    interactions_.push_back(x);
+  }
+  // Re-sort each user's block by timestamp (stable w.r.t. item for ties).
+  std::sort(interactions_.begin(), interactions_.end(),
+            [](const Interaction& a, const Interaction& b) {
+              if (a.user != b.user) return a.user < b.user;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.item < b.item;
+            });
+
+  // Build CSR in both directions.
+  user_offsets_.assign(num_users_ + 1, 0);
+  history_offsets_.assign(num_users_ + 1, 0);
+  item_offsets_.assign(num_items_ + 1, 0);
+  for (const Interaction& x : interactions_) {
+    ++user_offsets_[x.user + 1];
+    ++item_offsets_[x.item + 1];
+  }
+  for (size_t u = 0; u < num_users_; ++u)
+    user_offsets_[u + 1] += user_offsets_[u];
+  for (size_t v = 0; v < num_items_; ++v)
+    item_offsets_[v + 1] += item_offsets_[v];
+  history_offsets_ = user_offsets_;
+
+  user_items_.resize(interactions_.size());
+  item_users_.resize(interactions_.size());
+  {
+    std::vector<size_t> ucur(user_offsets_.begin(), user_offsets_.end() - 1);
+    std::vector<size_t> icur(item_offsets_.begin(), item_offsets_.end() - 1);
+    for (const Interaction& x : interactions_) {
+      user_items_[ucur[x.user]++] = x.item;
+      item_users_[icur[x.item]++] = x.user;
+    }
+  }
+  // Sort adjacency lists by id for binary-search membership.
+  for (size_t u = 0; u < num_users_; ++u) {
+    std::sort(user_items_.begin() + user_offsets_[u],
+              user_items_.begin() + user_offsets_[u + 1]);
+  }
+  for (size_t v = 0; v < num_items_; ++v) {
+    std::sort(item_users_.begin() + item_offsets_[v],
+              item_users_.begin() + item_offsets_[v + 1]);
+  }
+}
+
+double ImplicitDataset::Density() const {
+  if (num_users_ == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(interactions_.size()) /
+         (static_cast<double>(num_users_) * static_cast<double>(num_items_));
+}
+
+std::span<const ItemId> ImplicitDataset::ItemsOf(UserId u) const {
+  MARS_DCHECK(u < num_users_);
+  return {user_items_.data() + user_offsets_[u],
+          user_offsets_[u + 1] - user_offsets_[u]};
+}
+
+std::span<const UserId> ImplicitDataset::UsersOf(ItemId v) const {
+  MARS_DCHECK(v < num_items_);
+  return {item_users_.data() + item_offsets_[v],
+          item_offsets_[v + 1] - item_offsets_[v]};
+}
+
+bool ImplicitDataset::HasInteraction(UserId u, ItemId v) const {
+  const auto items = ItemsOf(u);
+  return std::binary_search(items.begin(), items.end(), v);
+}
+
+size_t ImplicitDataset::UserDegree(UserId u) const {
+  MARS_DCHECK(u < num_users_);
+  return user_offsets_[u + 1] - user_offsets_[u];
+}
+
+size_t ImplicitDataset::ItemDegree(ItemId v) const {
+  MARS_DCHECK(v < num_items_);
+  return item_offsets_[v + 1] - item_offsets_[v];
+}
+
+std::span<const Interaction> ImplicitDataset::HistoryOf(UserId u) const {
+  MARS_DCHECK(u < num_users_);
+  return {interactions_.data() + history_offsets_[u],
+          history_offsets_[u + 1] - history_offsets_[u]};
+}
+
+void ImplicitDataset::SetItemCategories(std::vector<int> categories,
+                                        std::vector<std::string> names) {
+  MARS_CHECK(categories.size() == num_items_);
+  for (int c : categories) {
+    MARS_CHECK_MSG(c >= 0 && c < static_cast<int>(names.size()),
+                   "item category id out of range");
+  }
+  item_categories_ = std::move(categories);
+  category_names_ = std::move(names);
+}
+
+int ImplicitDataset::ItemCategory(ItemId v) const {
+  MARS_CHECK(has_categories());
+  MARS_DCHECK(v < num_items_);
+  return item_categories_[v];
+}
+
+const std::string& ImplicitDataset::CategoryName(int c) const {
+  MARS_CHECK(c >= 0 && c < num_categories());
+  return category_names_[c];
+}
+
+}  // namespace mars

@@ -1,0 +1,101 @@
+// Implicit-feedback dataset with bidirectional adjacency.
+//
+// This is the substrate every model trains on: a bipartite user-item graph
+// stored in CSR form in both directions (user→items for positive sampling
+// and pulling, item→users for the paper's two-hop adaptive margin, Eq. 7,
+// and TransCF's neighborhood translations). Item-id lists are sorted so
+// membership queries (needed by negative sampling and evaluation) are
+// O(log deg).
+//
+// Items may carry category labels; the synthetic generator populates these
+// so the case-study experiments (Fig. 7, Tables V/VI) can measure how well
+// facet spaces separate ground-truth categories.
+#ifndef MARS_DATA_DATASET_H_
+#define MARS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/interaction.h"
+
+namespace mars {
+
+/// Immutable implicit-feedback matrix X with CSR adjacency.
+class ImplicitDataset {
+ public:
+  /// Builds the dataset from an interaction log. Duplicate (user,item)
+  /// pairs are collapsed (keeping the earliest timestamp).
+  ImplicitDataset(size_t num_users, size_t num_items,
+                  std::vector<Interaction> interactions);
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+  size_t num_interactions() const { return interactions_.size(); }
+
+  /// Density |X| / (N*M) in [0, 1].
+  double Density() const;
+
+  /// Items user `u` interacted with, sorted by item id (V_u in the paper).
+  std::span<const ItemId> ItemsOf(UserId u) const;
+
+  /// Users who interacted with item `v`, sorted by user id (U_v).
+  std::span<const UserId> UsersOf(ItemId v) const;
+
+  /// True when (u, v) is a positive pair. O(log deg(u)).
+  bool HasInteraction(UserId u, ItemId v) const;
+
+  /// Number of items user `u` interacted with (freq(u) in Eq. 10).
+  size_t UserDegree(UserId u) const;
+
+  /// Number of users who interacted with item `v`.
+  size_t ItemDegree(ItemId v) const;
+
+  /// The deduplicated interaction log (ordering: by user, then timestamp).
+  const std::vector<Interaction>& interactions() const {
+    return interactions_;
+  }
+
+  /// User `u`'s interactions ordered by timestamp (for sequence splits).
+  std::span<const Interaction> HistoryOf(UserId u) const;
+
+  // --- Optional item category metadata -------------------------------------
+
+  /// Attaches per-item category ids and their display names.
+  /// `categories` must have one entry per item in [0, names.size()).
+  void SetItemCategories(std::vector<int> categories,
+                         std::vector<std::string> names);
+
+  bool has_categories() const { return !category_names_.empty(); }
+  int num_categories() const {
+    return static_cast<int>(category_names_.size());
+  }
+  /// Category of item `v`; requires has_categories().
+  int ItemCategory(ItemId v) const;
+  /// Display name of category `c`.
+  const std::string& CategoryName(int c) const;
+
+ private:
+  size_t num_users_;
+  size_t num_items_;
+  std::vector<Interaction> interactions_;
+
+  // CSR user -> items (sorted by item id).
+  std::vector<size_t> user_offsets_;
+  std::vector<ItemId> user_items_;
+  // CSR user -> interactions (sorted by timestamp); indices into
+  // interactions_ are not needed because interactions_ itself is grouped by
+  // user and timestamp-sorted within each group.
+  std::vector<size_t> history_offsets_;
+  // CSR item -> users (sorted by user id).
+  std::vector<size_t> item_offsets_;
+  std::vector<UserId> item_users_;
+
+  std::vector<int> item_categories_;
+  std::vector<std::string> category_names_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_DATA_DATASET_H_

@@ -1,0 +1,28 @@
+// Core value types for implicit-feedback data.
+#ifndef MARS_DATA_INTERACTION_H_
+#define MARS_DATA_INTERACTION_H_
+
+#include <cstdint>
+
+namespace mars {
+
+using UserId = uint32_t;
+using ItemId = uint32_t;
+
+/// One observed implicit-feedback event (X_uv = 1 in the paper).
+/// `timestamp` orders a user's history for leave-one-out splitting; datasets
+/// without real timestamps use a per-user sequence counter.
+struct Interaction {
+  UserId user = 0;
+  ItemId item = 0;
+  int64_t timestamp = 0;
+
+  friend bool operator==(const Interaction& a, const Interaction& b) {
+    return a.user == b.user && a.item == b.item &&
+           a.timestamp == b.timestamp;
+  }
+};
+
+}  // namespace mars
+
+#endif  // MARS_DATA_INTERACTION_H_

@@ -1,0 +1,66 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mars {
+
+bool SaveInteractionsCsv(const ImplicitDataset& dataset,
+                         const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) return false;
+  f << "user,item,timestamp\n";
+  for (const Interaction& x : dataset.interactions()) {
+    f << x.user << "," << x.item << "," << x.timestamp << "\n";
+  }
+  return f.good();
+}
+
+std::shared_ptr<ImplicitDataset> LoadInteractionsCsv(
+    const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    MARS_LOG(ERROR) << "cannot open " << path;
+    return nullptr;
+  }
+  std::string line;
+  std::vector<Interaction> log;
+  UserId max_user = 0;
+  ItemId max_item = 0;
+  bool first = true;
+  while (std::getline(f, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (StartsWith(line, "user")) continue;  // header
+    }
+    const auto fields = Split(line, ',');
+    if (fields.size() < 2) {
+      MARS_LOG(ERROR) << "bad CSV row: " << line;
+      return nullptr;
+    }
+    Interaction x;
+    char* end = nullptr;
+    x.user = static_cast<UserId>(std::strtoul(fields[0].c_str(), &end, 10));
+    if (end == fields[0].c_str()) return nullptr;
+    x.item = static_cast<ItemId>(std::strtoul(fields[1].c_str(), &end, 10));
+    if (end == fields[1].c_str()) return nullptr;
+    x.timestamp =
+        fields.size() > 2 ? std::strtoll(fields[2].c_str(), nullptr, 10) : 0;
+    max_user = std::max(max_user, x.user);
+    max_item = std::max(max_item, x.item);
+    log.push_back(x);
+  }
+  if (log.empty()) {
+    MARS_LOG(ERROR) << "empty CSV: " << path;
+    return nullptr;
+  }
+  return std::make_shared<ImplicitDataset>(max_user + 1, max_item + 1,
+                                           std::move(log));
+}
+
+}  // namespace mars

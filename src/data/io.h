@@ -1,0 +1,27 @@
+// CSV import/export of interaction logs.
+//
+// Format: one "user,item,timestamp" row per interaction, with a header
+// line. Lets users bring their own implicit-feedback data into the library
+// and lets experiments persist generated datasets.
+#ifndef MARS_DATA_IO_H_
+#define MARS_DATA_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mars {
+
+/// Writes `dataset` interactions to `path` as CSV. Returns false on I/O
+/// error.
+bool SaveInteractionsCsv(const ImplicitDataset& dataset,
+                         const std::string& path);
+
+/// Loads a dataset from CSV. User/item spaces are sized to (max id + 1).
+/// Returns nullptr on I/O or parse error.
+std::shared_ptr<ImplicitDataset> LoadInteractionsCsv(const std::string& path);
+
+}  // namespace mars
+
+#endif  // MARS_DATA_IO_H_

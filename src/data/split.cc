@@ -1,0 +1,64 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mars {
+
+size_t LeaveOneOutSplit::NumEvalUsers() const {
+  size_t n = 0;
+  for (int64_t t : test_item) {
+    if (t != kNoItem) ++n;
+  }
+  return n;
+}
+
+LeaveOneOutSplit MakeLeaveOneOutSplit(const ImplicitDataset& full,
+                                      uint64_t seed, size_t min_history) {
+  MARS_CHECK(min_history >= 3);
+  Rng rng(seed);
+
+  const size_t num_users = full.num_users();
+  LeaveOneOutSplit split;
+  split.test_item.assign(num_users, LeaveOneOutSplit::kNoItem);
+  split.dev_item.assign(num_users, LeaveOneOutSplit::kNoItem);
+
+  std::vector<Interaction> train_log;
+  train_log.reserve(full.num_interactions());
+
+  for (UserId u = 0; u < num_users; ++u) {
+    const auto history = full.HistoryOf(u);  // timestamp-sorted
+    if (history.size() < min_history) {
+      train_log.insert(train_log.end(), history.begin(), history.end());
+      continue;
+    }
+    // Last interaction (by timestamp) becomes the test item.
+    const size_t test_idx = history.size() - 1;
+    // Dev item: uniform among the remaining history entries.
+    const size_t dev_idx = static_cast<size_t>(rng.UniformInt(test_idx));
+    split.test_item[u] = history[test_idx].item;
+    split.dev_item[u] = history[dev_idx].item;
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (i == test_idx || i == dev_idx) continue;
+      train_log.push_back(history[i]);
+    }
+  }
+
+  split.train = std::make_shared<ImplicitDataset>(
+      num_users, full.num_items(), std::move(train_log));
+  if (full.has_categories()) {
+    std::vector<int> cats(full.num_items());
+    std::vector<std::string> names;
+    names.reserve(full.num_categories());
+    for (int c = 0; c < full.num_categories(); ++c)
+      names.push_back(full.CategoryName(c));
+    for (ItemId v = 0; v < full.num_items(); ++v)
+      cats[v] = full.ItemCategory(v);
+    split.train->SetItemCategories(std::move(cats), std::move(names));
+  }
+  return split;
+}
+
+}  // namespace mars

@@ -1,0 +1,50 @@
+// Leave-one-out train/dev/test splitting (paper Sec. V-A2).
+//
+// The test set is the last item of each user (by timestamp); one more item
+// per user is held out as the development set for early stopping and
+// hyperparameter selection. Users with fewer than `min_history`
+// interactions contribute all their events to training and are skipped
+// during evaluation, matching the standard protocol of [33].
+#ifndef MARS_DATA_SPLIT_H_
+#define MARS_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mars {
+
+/// Holds the training dataset plus one held-out dev and test item per user.
+struct LeaveOneOutSplit {
+  /// Training interactions only.
+  std::shared_ptr<ImplicitDataset> train;
+  /// Per-user held-out test item, or kNoItem when the user is not evaluated.
+  std::vector<int64_t> test_item;
+  /// Per-user held-out dev item, or kNoItem.
+  std::vector<int64_t> dev_item;
+
+  static constexpr int64_t kNoItem = -1;
+
+  /// Number of users with a test item.
+  size_t NumEvalUsers() const;
+};
+
+/// Splits `full` into train/dev/test.
+///
+/// * test = chronologically last item of each user;
+/// * dev  = one item sampled uniformly from the remaining history
+///   (seeded by `seed`), mirroring the paper's "one item for each user is
+///   also sampled to form the development set";
+/// * users with fewer than `min_history` (default 3) interactions are left
+///   un-split.
+///
+/// Item categories are propagated to the training dataset.
+LeaveOneOutSplit MakeLeaveOneOutSplit(const ImplicitDataset& full,
+                                      uint64_t seed,
+                                      size_t min_history = 3);
+
+}  // namespace mars
+
+#endif  // MARS_DATA_SPLIT_H_

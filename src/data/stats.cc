@@ -1,0 +1,61 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mars {
+
+DatasetStats ComputeStats(const ImplicitDataset& dataset) {
+  DatasetStats s;
+  s.num_users = dataset.num_users();
+  s.num_items = dataset.num_items();
+  s.num_interactions = dataset.num_interactions();
+  s.density = dataset.Density();
+
+  std::vector<size_t> user_deg(s.num_users);
+  size_t total = 0;
+  s.min_user_degree = s.num_users > 0 ? SIZE_MAX : 0;
+  for (UserId u = 0; u < s.num_users; ++u) {
+    user_deg[u] = dataset.UserDegree(u);
+    total += user_deg[u];
+    s.max_user_degree = std::max(s.max_user_degree, user_deg[u]);
+    s.min_user_degree = std::min(s.min_user_degree, user_deg[u]);
+  }
+  if (s.num_users > 0)
+    s.avg_user_degree = static_cast<double>(total) / s.num_users;
+
+  size_t item_total = 0;
+  for (ItemId v = 0; v < s.num_items; ++v) {
+    const size_t deg = dataset.ItemDegree(v);
+    item_total += deg;
+    s.max_item_degree = std::max(s.max_item_degree, deg);
+  }
+  if (s.num_items > 0)
+    s.avg_item_degree = static_cast<double>(item_total) / s.num_items;
+
+  // Gini coefficient over user degrees.
+  if (s.num_users > 1 && total > 0) {
+    std::sort(user_deg.begin(), user_deg.end());
+    double weighted = 0.0;
+    for (size_t i = 0; i < user_deg.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * user_deg[i];
+    }
+    const double n = static_cast<double>(s.num_users);
+    s.user_activity_gini =
+        (2.0 * weighted) / (n * static_cast<double>(total)) - (n + 1.0) / n;
+  }
+  return s;
+}
+
+std::string StatsToString(const DatasetStats& stats) {
+  return std::to_string(stats.num_users) + " users, " +
+         std::to_string(stats.num_items) + " items, " +
+         std::to_string(stats.num_interactions) + " interactions, density " +
+         FormatFixed(stats.density * 100.0, 2) + "%, avg deg " +
+         FormatFixed(stats.avg_user_degree, 1) + ", gini " +
+         FormatFixed(stats.user_activity_gini, 2);
+}
+
+}  // namespace mars

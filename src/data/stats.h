@@ -1,0 +1,36 @@
+// Dataset summary statistics (Table I of the paper).
+#ifndef MARS_DATA_STATS_H_
+#define MARS_DATA_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mars {
+
+/// Summary of one implicit-feedback dataset.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_interactions = 0;
+  double density = 0.0;  // fraction in [0, 1]
+  double avg_user_degree = 0.0;
+  double avg_item_degree = 0.0;
+  size_t max_user_degree = 0;
+  size_t max_item_degree = 0;
+  size_t min_user_degree = 0;
+  /// Gini coefficient of user activity (0 = uniform, 1 = concentrated);
+  /// reported because Eq. 10's biased sampling targets skewed activity.
+  double user_activity_gini = 0.0;
+};
+
+/// Computes statistics for `dataset`.
+DatasetStats ComputeStats(const ImplicitDataset& dataset);
+
+/// Renders stats as a one-line summary ("1000 users, 1000 items, ...").
+std::string StatsToString(const DatasetStats& stats);
+
+}  // namespace mars
+
+#endif  // MARS_DATA_STATS_H_

@@ -1,0 +1,22 @@
+#include "eval/early_stopping.h"
+
+#include <limits>
+
+namespace mars {
+
+EarlyStopper::EarlyStopper(size_t patience, double min_delta)
+    : patience_(patience),
+      min_delta_(min_delta),
+      best_(-std::numeric_limits<double>::infinity()) {}
+
+bool EarlyStopper::ShouldStop(double metric) {
+  if (metric > best_ + min_delta_) {
+    best_ = metric;
+    bad_rounds_ = 0;
+    return false;
+  }
+  ++bad_rounds_;
+  return bad_rounds_ >= patience_;
+}
+
+}  // namespace mars

@@ -1,0 +1,36 @@
+// Development-set early stopping used by every training loop.
+//
+// Training stops once the monitored metric has failed to improve for
+// `patience` consecutive evaluations; the caller keeps the parameters from
+// the moment training stopped (no snapshot rollback), which matches common
+// practice for shallow embedding models where the dev curve is smooth.
+#ifndef MARS_EVAL_EARLY_STOPPING_H_
+#define MARS_EVAL_EARLY_STOPPING_H_
+
+#include <cstddef>
+
+namespace mars {
+
+/// Tracks a maximize-me metric and reports when to stop.
+class EarlyStopper {
+ public:
+  /// `patience` = number of consecutive non-improving observations
+  /// tolerated; `min_delta` = minimum improvement that resets patience.
+  explicit EarlyStopper(size_t patience = 3, double min_delta = 1e-5);
+
+  /// Records an observation; returns true when training should stop.
+  bool ShouldStop(double metric);
+
+  double best() const { return best_; }
+  size_t bad_rounds() const { return bad_rounds_; }
+
+ private:
+  size_t patience_;
+  double min_delta_;
+  double best_;
+  size_t bad_rounds_ = 0;
+};
+
+}  // namespace mars
+
+#endif  // MARS_EVAL_EARLY_STOPPING_H_

@@ -1,0 +1,27 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mars {
+
+double RankingMetrics::Get(const std::string& name) const {
+  if (name == "HR@10") return hr10;
+  if (name == "HR@20") return hr20;
+  if (name == "nDCG@10") return ndcg10;
+  if (name == "nDCG@20") return ndcg20;
+  MARS_CHECK_MSG(false, "unknown metric name");
+  return 0.0;
+}
+
+double HitAt(size_t rank, size_t cutoff) {
+  return rank < cutoff ? 1.0 : 0.0;
+}
+
+double NdcgAt(size_t rank, size_t cutoff) {
+  if (rank >= cutoff) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+}  // namespace mars

@@ -1,0 +1,36 @@
+// Ranking metrics: hit ratio and normalized discounted cumulative gain.
+//
+// The evaluation protocol has exactly one relevant item per user (the
+// leave-one-out test item), so HR@N is "is it in the top N" and nDCG@N is
+// 1/log2(rank+2) (0-based rank), with ideal DCG = 1.
+#ifndef MARS_EVAL_METRICS_H_
+#define MARS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace mars {
+
+/// Aggregated leave-one-out ranking quality.
+struct RankingMetrics {
+  double hr10 = 0.0;
+  double hr20 = 0.0;
+  double ndcg10 = 0.0;
+  double ndcg20 = 0.0;
+  size_t users_evaluated = 0;
+
+  /// Looks a metric up by name ("HR@10", "HR@20", "nDCG@10", "nDCG@20");
+  /// aborts on unknown names.
+  double Get(const std::string& name) const;
+};
+
+/// Hit indicator for a 0-based rank under cutoff N.
+double HitAt(size_t rank, size_t cutoff);
+
+/// nDCG contribution of a single relevant item at 0-based `rank` under
+/// cutoff N: 1/log2(rank+2) when rank < N, else 0.
+double NdcgAt(size_t rank, size_t cutoff);
+
+}  // namespace mars
+
+#endif  // MARS_EVAL_METRICS_H_

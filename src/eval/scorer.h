@@ -1,0 +1,38 @@
+// Minimal scoring interface the evaluator ranks against.
+//
+// Every recommender implements this; keeping it separate from the model
+// base class lets the evaluation substrate stay independent of the model
+// library (and lets tests plug in synthetic oracles).
+#ifndef MARS_EVAL_SCORER_H_
+#define MARS_EVAL_SCORER_H_
+
+#include <span>
+
+#include "data/interaction.h"
+
+namespace mars {
+
+/// Scores user-item pairs; higher means "more recommended".
+class ItemScorer {
+ public:
+  virtual ~ItemScorer() = default;
+
+  /// Preference score of user `u` for item `v`.
+  virtual float Score(UserId u, ItemId v) const = 0;
+
+  /// Batch scoring; the default loops over Score. Models override this when
+  /// per-user work (projections, attention) can be hoisted out of the loop.
+  virtual void ScoreItems(UserId u, std::span<const ItemId> items,
+                          float* out) const {
+    for (size_t i = 0; i < items.size(); ++i) out[i] = Score(u, items[i]);
+  }
+
+  /// Whether Score/ScoreItems may be called concurrently from multiple
+  /// threads. Models that reuse internal scratch buffers return false and
+  /// are evaluated serially.
+  virtual bool thread_safe() const { return true; }
+};
+
+}  // namespace mars
+
+#endif  // MARS_EVAL_SCORER_H_

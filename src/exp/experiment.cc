@@ -1,0 +1,69 @@
+#include "exp/experiment.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace mars {
+
+ExperimentData::ExperimentData(std::shared_ptr<ImplicitDataset> full,
+                               uint64_t seed)
+    : full_(std::move(full)) {
+  split_ = MakeLeaveOneOutSplit(*full_, seed);
+  EvalProtocol dev_protocol;
+  dev_protocol.seed = seed * 2 + 1;
+  EvalProtocol test_protocol;
+  test_protocol.seed = seed * 2 + 2;
+  // Dev candidates also exclude the test item and vice versa, so neither
+  // held-out item can appear as a "negative" of the other evaluator.
+  dev_eval_ = std::make_unique<Evaluator>(
+      *split_.train, split_.dev_item, dev_protocol,
+      std::vector<const std::vector<int64_t>*>{&split_.test_item});
+  test_eval_ = std::make_unique<Evaluator>(
+      *split_.train, split_.test_item, test_protocol,
+      std::vector<const std::vector<int64_t>*>{&split_.dev_item});
+}
+
+ExperimentResult RunExperiment(Recommender* model, ExperimentData* data,
+                               TrainOptions options,
+                               const std::string& dataset_name,
+                               ThreadPool* pool) {
+  options.dev_evaluator = &data->dev_evaluator();
+  options.eval_pool = pool;
+
+  Timer timer;
+  model->Fit(data->train(), options);
+  ExperimentResult result;
+  result.model = model->name();
+  result.dataset = dataset_name;
+  result.train_seconds = timer.ElapsedSeconds();
+  result.test = data->test_evaluator().Evaluate(*model, pool);
+  MARS_LOG(INFO) << result.model << " on " << dataset_name << ": HR@10="
+                 << FormatFixed(result.test.hr10, 4)
+                 << " nDCG@10=" << FormatFixed(result.test.ndcg10, 4)
+                 << " (" << FormatFixed(result.train_seconds, 1) << "s)";
+  return result;
+}
+
+ExperimentResult RunZooExperiment(ModelId id, ExperimentData* data,
+                                  const std::string& dataset_name,
+                                  const ZooOverrides& overrides, bool fast,
+                                  ThreadPool* pool) {
+  std::unique_ptr<Recommender> model = MakeModel(id, overrides);
+  return RunExperiment(model.get(), data, HarnessTrainOptions(id, fast),
+                       dataset_name, pool);
+}
+
+ExperimentResult RunTunedExperiment(ModelId id, BenchmarkId dataset,
+                                    ExperimentData* data, bool fast,
+                                    ThreadPool* pool) {
+  std::unique_ptr<Recommender> model =
+      MakeModel(id, TunedOverrides(id, dataset));
+  return RunExperiment(model.get(), data,
+                       TunedTrainOptions(id, dataset, fast),
+                       BenchmarkName(dataset), pool);
+}
+
+bool BenchFastMode() { return EnvFlagSet("MARS_BENCH_FAST"); }
+
+}  // namespace mars

@@ -1,0 +1,77 @@
+// Shared run-model-on-dataset harness used by every bench binary.
+//
+// Encapsulates the full protocol: leave-one-out split, dev/test evaluator
+// construction with shared candidate sets, training with early stopping,
+// test evaluation, and wall-clock accounting.
+#ifndef MARS_EXP_EXPERIMENT_H_
+#define MARS_EXP_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "data/benchmark_datasets.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "exp/model_zoo.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+/// A dataset prepared for experiments: split plus dev/test evaluators that
+/// share candidate sets across all models.
+class ExperimentData {
+ public:
+  /// Splits `full` and builds evaluators. `seed` controls the split and
+  /// candidate sampling.
+  ExperimentData(std::shared_ptr<ImplicitDataset> full, uint64_t seed = 13);
+
+  const ImplicitDataset& train() const { return *split_.train; }
+  std::shared_ptr<ImplicitDataset> train_ptr() const { return split_.train; }
+  const ImplicitDataset& full() const { return *full_; }
+  const LeaveOneOutSplit& split() const { return split_; }
+  const Evaluator& dev_evaluator() const { return *dev_eval_; }
+  const Evaluator& test_evaluator() const { return *test_eval_; }
+
+ private:
+  std::shared_ptr<ImplicitDataset> full_;
+  LeaveOneOutSplit split_;
+  std::unique_ptr<Evaluator> dev_eval_;
+  std::unique_ptr<Evaluator> test_eval_;
+};
+
+/// Outcome of one (model, dataset) run.
+struct ExperimentResult {
+  std::string model;
+  std::string dataset;
+  RankingMetrics test;
+  double train_seconds = 0.0;
+};
+
+/// Trains `model` on `data` (with dev early stopping) and evaluates on the
+/// test set. `pool` parallelizes evaluation when provided.
+ExperimentResult RunExperiment(Recommender* model, ExperimentData* data,
+                               TrainOptions options,
+                               const std::string& dataset_name,
+                               ThreadPool* pool = nullptr);
+
+/// Convenience: build the model from the zoo and run it.
+ExperimentResult RunZooExperiment(ModelId id, ExperimentData* data,
+                                  const std::string& dataset_name,
+                                  const ZooOverrides& overrides = {},
+                                  bool fast = false,
+                                  ThreadPool* pool = nullptr);
+
+/// Table II protocol: run `id` on `dataset` with the per-dataset tuned
+/// hyperparameters (TunedOverrides/TunedTrainOptions).
+ExperimentResult RunTunedExperiment(ModelId id, BenchmarkId dataset,
+                                    ExperimentData* data, bool fast = false,
+                                    ThreadPool* pool = nullptr);
+
+/// True when MARS_BENCH_FAST=1 (smoke-run mode for benches).
+bool BenchFastMode();
+
+}  // namespace mars
+
+#endif  // MARS_EXP_EXPERIMENT_H_

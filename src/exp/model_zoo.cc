@@ -1,0 +1,204 @@
+#include "exp/model_zoo.h"
+
+#include "common/check.h"
+#include "core/mar.h"
+#include "models/bpr.h"
+#include "models/cml.h"
+#include "models/lrml.h"
+#include "models/metricf.h"
+#include "models/neumf.h"
+#include "models/nmf.h"
+#include "models/sml.h"
+#include "models/transcf.h"
+
+namespace mars {
+
+const std::vector<ModelId>& AllModels() {
+  static const std::vector<ModelId>* const kAll = new std::vector<ModelId>{
+      ModelId::kBpr,     ModelId::kNmf,  ModelId::kNeuMf, ModelId::kCml,
+      ModelId::kMetricF, ModelId::kTransCf, ModelId::kLrml, ModelId::kSml,
+      ModelId::kMar,     ModelId::kMars,
+  };
+  return *kAll;
+}
+
+std::string ModelName(ModelId id) {
+  switch (id) {
+    case ModelId::kBpr:
+      return "BPR";
+    case ModelId::kNmf:
+      return "NMF";
+    case ModelId::kNeuMf:
+      return "NeuMF";
+    case ModelId::kCml:
+      return "CML";
+    case ModelId::kMetricF:
+      return "MetricF";
+    case ModelId::kTransCf:
+      return "TransCF";
+    case ModelId::kLrml:
+      return "LRML";
+    case ModelId::kSml:
+      return "SML";
+    case ModelId::kMar:
+      return "MAR";
+    case ModelId::kMars:
+      return "MARS";
+  }
+  MARS_CHECK_MSG(false, "unknown model id");
+  return "";
+}
+
+MultiFacetConfig HarnessFacetConfig() {
+  MultiFacetConfig cfg;
+  cfg.dim = 32;
+  cfg.num_facets = 4;
+  cfg.lambda_pull = 0.1;
+  cfg.lambda_facet = 0.01;
+  return cfg;
+}
+
+std::unique_ptr<Recommender> MakeModel(ModelId id,
+                                       const ZooOverrides& overrides) {
+  const size_t dim = overrides.dim > 0 ? overrides.dim : 32;
+  switch (id) {
+    case ModelId::kBpr: {
+      BprConfig cfg;
+      cfg.dim = dim;
+      return std::make_unique<Bpr>(cfg);
+    }
+    case ModelId::kNmf: {
+      NmfConfig cfg;
+      cfg.factors = dim;
+      return std::make_unique<Nmf>(cfg);
+    }
+    case ModelId::kNeuMf: {
+      NeuMfConfig cfg;
+      cfg.gmf_dim = dim / 2;
+      cfg.mlp_dim = dim / 2;
+      cfg.hidden = {dim, dim / 2};
+      return std::make_unique<NeuMf>(cfg);
+    }
+    case ModelId::kCml: {
+      CmlConfig cfg;
+      cfg.dim = dim;
+      return std::make_unique<Cml>(cfg);
+    }
+    case ModelId::kMetricF: {
+      MetricFConfig cfg;
+      cfg.dim = dim;
+      return std::make_unique<MetricF>(cfg);
+    }
+    case ModelId::kTransCf: {
+      TransCfConfig cfg;
+      cfg.dim = dim;
+      return std::make_unique<TransCf>(cfg);
+    }
+    case ModelId::kLrml: {
+      LrmlConfig cfg;
+      cfg.dim = dim;
+      return std::make_unique<Lrml>(cfg);
+    }
+    case ModelId::kSml: {
+      SmlConfig cfg;
+      cfg.dim = dim;
+      return std::make_unique<Sml>(cfg);
+    }
+    case ModelId::kMar: {
+      MultiFacetConfig cfg = HarnessFacetConfig();
+      cfg.dim = dim;
+      if (overrides.num_facets > 0) cfg.num_facets = overrides.num_facets;
+      if (overrides.lambda_pull >= 0.0) cfg.lambda_pull = overrides.lambda_pull;
+      if (overrides.lambda_facet >= 0.0)
+        cfg.lambda_facet = overrides.lambda_facet;
+      return std::make_unique<Mar>(cfg);
+    }
+    case ModelId::kMars: {
+      MultiFacetConfig cfg = HarnessFacetConfig();
+      cfg.dim = dim;
+      if (overrides.num_facets > 0) cfg.num_facets = overrides.num_facets;
+      if (overrides.lambda_pull >= 0.0) cfg.lambda_pull = overrides.lambda_pull;
+      if (overrides.lambda_facet >= 0.0)
+        cfg.lambda_facet = overrides.lambda_facet;
+      return std::make_unique<Mars>(cfg);
+    }
+  }
+  MARS_CHECK_MSG(false, "unknown model id");
+  return nullptr;
+}
+
+ZooOverrides TunedOverrides(ModelId id, BenchmarkId dataset) {
+  ZooOverrides ov;
+  if (id != ModelId::kMar && id != ModelId::kMars) return ov;
+  // Dev-split grid search over K ∈ [1,6] (Sec. V-A4): the sparser,
+  // item-heavy corpora prefer fewer facet spaces.
+  switch (dataset) {
+    case BenchmarkId::kCiao:
+      ov.num_facets = 2;
+      break;
+    case BenchmarkId::kDelicious:
+    case BenchmarkId::kLastfm:
+    case BenchmarkId::kBookX:
+    case BenchmarkId::kMl1m:
+    case BenchmarkId::kMl20m:
+      ov.num_facets = 4;
+      break;
+  }
+  return ov;
+}
+
+TrainOptions TunedTrainOptions(ModelId id, BenchmarkId dataset, bool fast) {
+  TrainOptions opts = HarnessTrainOptions(id, fast);
+  if (fast) return opts;
+  // The multi-facet models keep improving past the shared 30-epoch budget
+  // on the sparsest item-heavy corpora; early stopping trims the rest.
+  if (id == ModelId::kMars || id == ModelId::kMar) {
+    switch (dataset) {
+      case BenchmarkId::kCiao:
+      case BenchmarkId::kBookX:
+        opts.epochs = 50;
+        break;
+      default:
+        break;
+    }
+  }
+  return opts;
+}
+
+TrainOptions HarnessTrainOptions(ModelId id, bool fast) {
+  TrainOptions opts;
+  opts.epochs = fast ? 6 : 30;
+  opts.eval_every = fast ? 3 : 5;
+  opts.patience = 2;
+  opts.seed = 7;
+  switch (id) {
+    case ModelId::kBpr:
+      opts.learning_rate = 0.05;
+      break;
+    case ModelId::kNmf:
+      opts.epochs = fast ? 15 : 60;  // multiplicative sweeps
+      break;
+    case ModelId::kNeuMf:
+      opts.learning_rate = 0.01;
+      opts.epochs = fast ? 4 : 20;  // 1+4 pair updates per step
+      break;
+    case ModelId::kCml:
+    case ModelId::kMetricF:
+    case ModelId::kTransCf:
+    case ModelId::kLrml:
+    case ModelId::kSml:
+      opts.learning_rate = 0.05;
+      break;
+    case ModelId::kMar:
+      opts.learning_rate = 0.1;
+      if (fast) opts.epochs = 10;  // multi-facet needs a few more sweeps
+      break;
+    case ModelId::kMars:
+      opts.learning_rate = 0.2;  // Riemannian steps on unit vectors
+      if (fast) opts.epochs = 12;
+      break;
+  }
+  return opts;
+}
+
+}  // namespace mars

@@ -1,0 +1,77 @@
+// Factory over every model in the paper's Table II comparison.
+//
+// Centralizes the per-model hyperparameter defaults used by the benchmark
+// harness so that every table/figure binary trains identically-configured
+// models.
+#ifndef MARS_EXP_MODEL_ZOO_H_
+#define MARS_EXP_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/facet_config.h"
+#include "core/mars.h"
+#include "data/benchmark_datasets.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+/// Identifiers of the ten compared models, in Table II column order.
+enum class ModelId {
+  kBpr,
+  kNmf,
+  kNeuMf,
+  kCml,
+  kMetricF,
+  kTransCf,
+  kLrml,
+  kSml,
+  kMar,
+  kMars,
+};
+
+/// All ten in presentation order.
+const std::vector<ModelId>& AllModels();
+
+/// Display name ("BPR", ..., "MARS").
+std::string ModelName(ModelId id);
+
+/// Knobs the harness sweeps; everything else uses tuned defaults.
+struct ZooOverrides {
+  /// Per-space embedding dimension (0 = model default).
+  size_t dim = 0;
+  /// Facet count for MAR/MARS (0 = default 4). Ignored by single-space
+  /// models (their "K" is always 1).
+  size_t num_facets = 0;
+  /// λ_pull override for MAR/MARS (< 0 = default).
+  double lambda_pull = -1.0;
+  /// λ_facet override for MAR/MARS (< 0 = default).
+  double lambda_facet = -1.0;
+};
+
+/// Instantiates a model with harness defaults plus `overrides`.
+std::unique_ptr<Recommender> MakeModel(ModelId id,
+                                       const ZooOverrides& overrides = {});
+
+/// Baseline training options used across the harness (epochs, lr, early
+/// stopping cadence); `fast` shrinks epochs for smoke runs.
+TrainOptions HarnessTrainOptions(ModelId id, bool fast = false);
+
+/// Default multi-facet config shared by MAR/MARS harness runs.
+MultiFacetConfig HarnessFacetConfig();
+
+// --- Per-dataset tuning (Table II protocol) --------------------------------
+// The paper grid-searches K, learning rate and the λ weights per dataset on
+// the dev split (Sec. V-A4); these return the tuned settings used by the
+// Table II harness. Models without an entry fall back to the defaults.
+
+/// Tuned overrides of model hyperparameters for `id` on `dataset`.
+ZooOverrides TunedOverrides(ModelId id, BenchmarkId dataset);
+
+/// Tuned training options for `id` on `dataset`.
+TrainOptions TunedTrainOptions(ModelId id, BenchmarkId dataset, bool fast);
+
+}  // namespace mars
+
+#endif  // MARS_EXP_MODEL_ZOO_H_

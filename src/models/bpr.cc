@@ -1,0 +1,62 @@
+#include "models/bpr.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "models/embedding.h"
+#include "models/train_loop.h"
+#include "sampling/triplet_sampler.h"
+
+namespace mars {
+
+Bpr::Bpr(BprConfig config) : config_(config) {}
+
+void Bpr::Fit(const ImplicitDataset& train, const TrainOptions& options) {
+  const size_t d = config_.dim;
+  Rng rng(options.seed);
+  user_ = Matrix(train.num_users(), d);
+  item_ = Matrix(train.num_items(), d);
+  InitEmbedding(&user_, &rng);
+  InitEmbedding(&item_, &rng);
+  item_bias_.assign(train.num_items(), 0.0f);
+
+  const TripletSampler sampler(train, TripletUserMode::kUniformInteraction);
+  const size_t steps = ResolveStepsPerEpoch(options, train);
+  const float l2 = static_cast<float>(config_.l2_reg);
+
+  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
+    const float lr = static_cast<float>(lr_d);
+    Triplet t;
+    for (size_t s = 0; s < steps; ++s) {
+      if (!sampler.Sample(&rng, &t)) continue;
+      float* pu = user_.Row(t.user);
+      float* qp = item_.Row(t.positive);
+      float* qq = item_.Row(t.negative);
+      float x = Dot(pu, qp, d) - Dot(pu, qq, d);
+      if (config_.use_item_bias) {
+        x += item_bias_[t.positive] - item_bias_[t.negative];
+      }
+      const float g = static_cast<float>(Sigmoid(-x));  // dL/dx with sign
+      // Gradient ascent on log σ(x): p += lr (g (qp - qq) - λ p), etc.
+      for (size_t i = 0; i < d; ++i) {
+        const float pu_i = pu[i];
+        pu[i] += lr * (g * (qp[i] - qq[i]) - l2 * pu_i);
+        qp[i] += lr * (g * pu_i - l2 * qp[i]);
+        qq[i] += lr * (-g * pu_i - l2 * qq[i]);
+      }
+      if (config_.use_item_bias) {
+        item_bias_[t.positive] += lr * (g - l2 * item_bias_[t.positive]);
+        item_bias_[t.negative] += lr * (-g - l2 * item_bias_[t.negative]);
+      }
+    }
+  });
+}
+
+float Bpr::Score(UserId u, ItemId v) const {
+  float s = Dot(user_.Row(u), item_.Row(v), config_.dim);
+  if (config_.use_item_bias) s += item_bias_[v];
+  return s;
+}
+
+}  // namespace mars

@@ -1,0 +1,36 @@
+#include "models/embedding.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+
+void InitEmbedding(Matrix* table, Rng* rng) {
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(table->cols() > 0 ? table->cols() : 1));
+  table->FillNormal(rng, 0.0f, scale);
+}
+
+void InitEmbeddingInBall(Matrix* table, Rng* rng) {
+  InitEmbedding(table, rng);
+  ProjectAllRowsToBall(table);
+}
+
+void InitEmbeddingOnSphere(Matrix* table, Rng* rng) {
+  InitEmbedding(table, rng);
+  for (size_t r = 0; r < table->rows(); ++r) {
+    if (!NormalizeInPlace(table->Row(r), table->cols())) {
+      table->Row(r)[0] = 1.0f;
+    }
+  }
+}
+
+void ProjectAllRowsToBall(Matrix* table) {
+  for (size_t r = 0; r < table->rows(); ++r) {
+    ProjectToUnitBall(table->Row(r), table->cols());
+  }
+}
+
+}  // namespace mars

@@ -1,0 +1,100 @@
+#include "models/mlp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation,
+                       Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      w_(out_dim, in_dim),
+      b_(out_dim, 0.0f),
+      pre_(out_dim, 0.0f),
+      out_(out_dim, 0.0f),
+      delta_(out_dim, 0.0f) {
+  // Xavier/Glorot uniform.
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  w_.FillUniform(rng, -bound, bound);
+}
+
+const float* DenseLayer::Forward(const float* x) {
+  for (size_t o = 0; o < out_dim_; ++o) {
+    pre_[o] = Dot(w_.Row(o), x, in_dim_) + b_[o];
+    out_[o] = (activation_ == Activation::kRelu && pre_[o] < 0.0f)
+                  ? 0.0f
+                  : pre_[o];
+  }
+  return out_.data();
+}
+
+void DenseLayer::Backward(const float* x, const float* grad_out, float lr,
+                          float l2, float* grad_in) {
+  // delta = dL/d(pre) = grad_out ⊙ act'(pre)
+  for (size_t o = 0; o < out_dim_; ++o) {
+    const float mask =
+        (activation_ == Activation::kRelu && pre_[o] <= 0.0f) ? 0.0f : 1.0f;
+    delta_[o] = grad_out[o] * mask;
+  }
+  if (grad_in != nullptr) {
+    Fill(0.0f, grad_in, in_dim_);
+    for (size_t o = 0; o < out_dim_; ++o) {
+      if (delta_[o] == 0.0f) continue;
+      Axpy(delta_[o], w_.Row(o), grad_in, in_dim_);
+    }
+  }
+  // SGD update: W -= lr (delta xᵀ + l2 W); b -= lr delta.
+  for (size_t o = 0; o < out_dim_; ++o) {
+    float* wrow = w_.Row(o);
+    const float d = delta_[o];
+    if (d != 0.0f || l2 != 0.0f) {
+      for (size_t i = 0; i < in_dim_; ++i) {
+        wrow[i] -= lr * (d * x[i] + l2 * wrow[i]);
+      }
+      b_[o] -= lr * d;
+    }
+  }
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Activation final_activation,
+         Rng* rng) {
+  MARS_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1],
+                         last ? final_activation : Activation::kRelu, rng);
+  }
+  inputs_.resize(layers_.size());
+  grads_.resize(layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    inputs_[i].assign(layers_[i].in_dim(), 0.0f);
+    grads_[i].assign(layers_[i].in_dim(), 0.0f);
+  }
+}
+
+const float* Mlp::Forward(const float* x) {
+  const float* cur = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Copy(cur, inputs_[i].data(), layers_[i].in_dim());
+    cur = layers_[i].Forward(cur);
+  }
+  return cur;
+}
+
+void Mlp::Backward(const float* /*x*/, const float* grad_out, float lr,
+                   float l2, float* grad_in) {
+  const float* cur_grad = grad_out;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    float* sink = (i == 0) ? grad_in : grads_[i].data();
+    layers_[i].Backward(inputs_[i].data(), cur_grad, lr, l2, sink);
+    cur_grad = sink;
+    if (i == 0) break;
+  }
+}
+
+}  // namespace mars

@@ -1,0 +1,84 @@
+// Minimal dense layers with manual backprop (per-sample SGD).
+//
+// NeuMF's tower is the only deep component in the library; a hand-rolled
+// layer with exact gradients keeps the build dependency-free. Layers
+// process one sample at a time, which matches the SGD training loops used
+// throughout.
+#ifndef MARS_MODELS_MLP_H_
+#define MARS_MODELS_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace mars {
+
+class Rng;
+
+/// Supported activations.
+enum class Activation {
+  kIdentity,
+  kRelu,
+};
+
+/// Fully-connected layer y = act(W x + b) with cached forward state.
+class DenseLayer {
+ public:
+  /// Xavier-initialized layer (in → out).
+  DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng);
+
+  /// Computes the layer output for `x` (size in_dim), caching pre-
+  /// activations for the following Backward call. Returns the output
+  /// buffer (owned by the layer, size out_dim).
+  const float* Forward(const float* x);
+
+  /// Given dL/dy (size out_dim) and the `x` passed to the last Forward,
+  /// accumulates dL/dx into `grad_in` (size in_dim; may be null) and
+  /// applies an SGD update with learning rate `lr` and L2 `l2`.
+  void Backward(const float* x, const float* grad_out, float lr, float l2,
+                float* grad_in);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  const Matrix& weights() const { return w_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Activation activation_;
+  Matrix w_;                    // out×in
+  std::vector<float> b_;        // out
+  std::vector<float> pre_;      // cached pre-activations
+  std::vector<float> out_;      // cached activations
+  std::vector<float> delta_;    // scratch: dL/d(pre)
+};
+
+/// A stack of DenseLayers applied in sequence.
+class Mlp {
+ public:
+  /// Builds layers sized dims[0] → dims[1] → ... → dims.back(); all hidden
+  /// layers use ReLU and the final layer uses `final_activation`.
+  Mlp(const std::vector<size_t>& dims, Activation final_activation, Rng* rng);
+
+  /// Forward through all layers; returns pointer to the final output.
+  const float* Forward(const float* x);
+
+  /// Backprop from dL/d(output); accumulates dL/d(input) into `grad_in`
+  /// (may be null) and updates all layers.
+  void Backward(const float* x, const float* grad_out, float lr, float l2,
+                float* grad_in);
+
+  size_t out_dim() const { return layers_.back().out_dim(); }
+  size_t in_dim() const { return layers_.front().in_dim(); }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<DenseLayer> layers_;
+  std::vector<std::vector<float>> inputs_;  // cached per-layer inputs
+  std::vector<std::vector<float>> grads_;   // scratch per-layer grad buffers
+};
+
+}  // namespace mars
+
+#endif  // MARS_MODELS_MLP_H_

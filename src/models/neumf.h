@@ -1,0 +1,60 @@
+// Neural Matrix Factorization (NeuMF) [13].
+//
+// Dual-tower neural collaborative filtering:
+//   GMF tower:  g = p_u ⊙ q_v                       (element-wise product)
+//   MLP tower:  m = MLP([p'_u ; q'_v])              (separate embeddings)
+//   score:      ŷ = σ(h · [g ; m])
+// trained with binary cross-entropy and `negatives_per_positive` sampled
+// negatives per observed interaction, exactly as in the original paper.
+#ifndef MARS_MODELS_NEUMF_H_
+#define MARS_MODELS_NEUMF_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "models/mlp.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+/// Model-specific hyperparameters.
+struct NeuMfConfig {
+  size_t gmf_dim = 16;
+  size_t mlp_dim = 16;  // per-entity embedding feeding the MLP tower
+  /// Hidden layer widths of the MLP tower (input is 2*mlp_dim).
+  std::vector<size_t> hidden = {32, 16};
+  size_t negatives_per_positive = 4;
+  double l2_reg = 1e-5;
+};
+
+/// NeuMF recommender.
+class NeuMf : public Recommender {
+ public:
+  explicit NeuMf(NeuMfConfig config);
+
+  void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
+  float Score(UserId u, ItemId v) const override;
+  std::string name() const override { return "NeuMF"; }
+  /// Scoring reuses the tower's cached activations; evaluate serially.
+  bool thread_safe() const override { return false; }
+
+ private:
+  /// Forward pass; fills the scratch buffers and returns the logit.
+  float ForwardLogit(UserId u, ItemId v) const;
+
+  NeuMfConfig config_;
+  Matrix gmf_user_, gmf_item_;  // N×Dg, M×Dg
+  Matrix mlp_user_, mlp_item_;  // N×Dm, M×Dm
+  std::unique_ptr<Mlp> tower_;
+  std::vector<float> out_weight_;  // Dg + hidden.back()
+  float out_bias_ = 0.0f;
+
+  // Scratch (mutable so Score() can reuse the forward machinery).
+  mutable std::vector<float> concat_;   // 2*Dm
+  mutable std::vector<float> gmf_out_;  // Dg
+};
+
+}  // namespace mars
+
+#endif  // MARS_MODELS_NEUMF_H_

@@ -1,0 +1,96 @@
+#include "models/nmf.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+namespace {
+
+constexpr float kEps = 1e-9f;
+
+/// One round of multiplicative updates; `numer_*` are scratch matrices.
+void MultiplicativeRound(const ImplicitDataset& x, Matrix* w, Matrix* h,
+                         Matrix* xh, Matrix* xtw, Matrix* gram) {
+  const size_t f = w->cols();
+
+  // --- Update W: W ← W ⊙ (X H) / (W HᵀH + ε) ------------------------------
+  // X H: for each user, sum of H rows over interacted items.
+  xh->Fill(0.0f);
+  for (UserId u = 0; u < x.num_users(); ++u) {
+    float* row = xh->Row(u);
+    for (ItemId v : x.ItemsOf(u)) {
+      Axpy(1.0f, h->Row(v), row, f);
+    }
+  }
+  Gram(*h, gram);  // HᵀH, F×F
+  for (UserId u = 0; u < x.num_users(); ++u) {
+    float* wrow = w->Row(u);
+    const float* num = xh->Row(u);
+    for (size_t j = 0; j < f; ++j) {
+      // (W HᵀH)[u][j] = Σ_k W[u][k] gram[k][j]
+      float denom = kEps;
+      for (size_t k = 0; k < f; ++k) denom += wrow[k] * gram->At(k, j);
+      wrow[j] *= num[j] / denom;
+    }
+  }
+
+  // --- Update H: H ← H ⊙ (Xᵀ W) / (W ᵀW-gram step) -------------------------
+  xtw->Fill(0.0f);
+  for (ItemId v = 0; v < x.num_items(); ++v) {
+    float* row = xtw->Row(v);
+    for (UserId u : x.UsersOf(v)) {
+      Axpy(1.0f, w->Row(u), row, f);
+    }
+  }
+  Gram(*w, gram);  // WᵀW
+  for (ItemId v = 0; v < x.num_items(); ++v) {
+    float* hrow = h->Row(v);
+    const float* num = xtw->Row(v);
+    for (size_t j = 0; j < f; ++j) {
+      float denom = kEps;
+      for (size_t k = 0; k < f; ++k) denom += hrow[k] * gram->At(k, j);
+      hrow[j] *= num[j] / denom;
+    }
+  }
+}
+
+void RunNmf(const ImplicitDataset& train, size_t factors, size_t iterations,
+            uint64_t seed, Matrix* w, Matrix* h) {
+  Rng rng(seed);
+  *w = Matrix(train.num_users(), factors);
+  *h = Matrix(train.num_items(), factors);
+  w->FillUniform(&rng, 0.01f, 1.0f);
+  h->FillUniform(&rng, 0.01f, 1.0f);
+
+  Matrix xh(train.num_users(), factors);
+  Matrix xtw(train.num_items(), factors);
+  Matrix gram(factors, factors);
+  for (size_t it = 0; it < iterations; ++it) {
+    MultiplicativeRound(train, w, h, &xh, &xtw, &gram);
+  }
+}
+
+}  // namespace
+
+Nmf::Nmf(NmfConfig config) : config_(config) {}
+
+void Nmf::Fit(const ImplicitDataset& train, const TrainOptions& options) {
+  const size_t iterations =
+      options.epochs > 0 ? options.epochs : config_.iterations;
+  RunNmf(train, config_.factors, iterations, options.seed, &w_, &h_);
+}
+
+float Nmf::Score(UserId u, ItemId v) const {
+  return Dot(w_.Row(u), h_.Row(v), w_.cols());
+}
+
+Matrix NmfUserFactors(const ImplicitDataset& train, size_t factors,
+                      size_t iterations, uint64_t seed) {
+  Matrix w, h;
+  RunNmf(train, factors, iterations, seed, &w, &h);
+  return w;
+}
+
+}  // namespace mars

@@ -1,0 +1,55 @@
+// Non-negative matrix factorization [25] with Lee-Seung multiplicative
+// updates on the binary implicit matrix.
+//
+//   X ≈ W Hᵀ,  W ∈ R^{N×F}_{≥0},  H ∈ R^{M×F}_{≥0}
+//   H ← H ⊙ (XᵀW) / (H WᵀW + ε)
+//   W ← W ⊙ (X H) / (W HᵀH + ε)
+//
+// Besides serving as a Table II baseline, NMF with F = K factors
+// initializes the per-user facet weights Θ_u of MAR/MARS (the paper sets
+// NMF's latent factor count to the number of metric spaces for exactly
+// this purpose).
+#ifndef MARS_MODELS_NMF_H_
+#define MARS_MODELS_NMF_H_
+
+#include "common/matrix.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+/// Model-specific hyperparameters.
+struct NmfConfig {
+  size_t factors = 32;
+  /// Multiplicative update sweeps (TrainOptions.epochs overrides when set).
+  size_t iterations = 50;
+};
+
+/// NMF recommender.
+class Nmf : public Recommender {
+ public:
+  explicit Nmf(NmfConfig config);
+
+  void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
+  float Score(UserId u, ItemId v) const override;
+  std::string name() const override { return "NMF"; }
+
+  /// User factor matrix W (N×F); rows are non-negative. Used by MAR/MARS
+  /// to seed facet weights.
+  const Matrix& user_factors() const { return w_; }
+  const Matrix& item_factors() const { return h_; }
+
+ private:
+  NmfConfig config_;
+  Matrix w_;  // N×F
+  Matrix h_;  // M×F
+};
+
+/// Runs standalone NMF on `train` and returns the user factor matrix W
+/// (N×factors), for facet-weight initialization without constructing a
+/// full recommender.
+Matrix NmfUserFactors(const ImplicitDataset& train, size_t factors,
+                      size_t iterations, uint64_t seed);
+
+}  // namespace mars
+
+#endif  // MARS_MODELS_NMF_H_

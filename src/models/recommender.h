@@ -1,0 +1,65 @@
+// Base interface shared by every recommendation model in the library.
+//
+// A Recommender is fit once on a training ImplicitDataset and afterwards
+// scores arbitrary (user, item) pairs; the evaluator ranks those scores.
+// Training options (epochs, learning rate, early stopping) are uniform
+// across models so experiment harnesses can sweep them generically; each
+// model additionally has its own config struct (dimensions, margins,
+// regularizer weights) passed to its constructor.
+#ifndef MARS_MODELS_RECOMMENDER_H_
+#define MARS_MODELS_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "eval/scorer.h"
+#include "opt/schedule.h"
+
+namespace mars {
+
+class ThreadPool;
+
+/// Uniform training knobs.
+struct TrainOptions {
+  /// Maximum number of epochs.
+  size_t epochs = 30;
+  /// SGD steps per epoch; 0 means one step per training interaction.
+  size_t steps_per_epoch = 0;
+  /// Base learning rate.
+  double learning_rate = 0.05;
+  /// Learning-rate decay shape.
+  LrDecay decay = LrDecay::kLinear;
+  /// Seed for initialization and sampling.
+  uint64_t seed = 7;
+
+  /// Optional dev-set evaluator; when set, training early-stops on HR@10.
+  const Evaluator* dev_evaluator = nullptr;
+  /// Thread pool for dev evaluation (may be null).
+  ThreadPool* eval_pool = nullptr;
+  /// Evaluate the dev set every this many epochs.
+  size_t eval_every = 5;
+  /// Early-stopping patience (consecutive non-improving dev evals).
+  size_t patience = 2;
+
+  /// Log per-epoch progress.
+  bool verbose = false;
+};
+
+/// Abstract recommender.
+class Recommender : public ItemScorer {
+ public:
+  ~Recommender() override = default;
+
+  /// Trains the model on `train`. May be called once per instance.
+  virtual void Fit(const ImplicitDataset& train,
+                   const TrainOptions& options) = 0;
+
+  /// Human-readable model name ("CML", "MARS", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mars
+
+#endif  // MARS_MODELS_RECOMMENDER_H_

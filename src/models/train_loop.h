@@ -1,0 +1,31 @@
+// Shared epoch driver: runs epochs, schedules the learning rate, evaluates
+// the dev set, and early-stops. Every model's Fit() delegates here so the
+// training protocol is identical across the comparison.
+#ifndef MARS_MODELS_TRAIN_LOOP_H_
+#define MARS_MODELS_TRAIN_LOOP_H_
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+/// Callback invoked once per epoch with (epoch index, learning rate).
+using EpochFn = std::function<void(size_t epoch, double lr)>;
+
+/// Runs up to `options.epochs` epochs of `run_epoch`, early-stopping on the
+/// dev evaluator's HR@10 when one is configured. `scorer` is the model
+/// being trained (used for dev evaluation). Returns the number of epochs
+/// actually run.
+size_t RunTrainingLoop(const TrainOptions& options, const ItemScorer& scorer,
+                       const std::string& model_name, const EpochFn& run_epoch);
+
+/// Resolves steps-per-epoch: `options.steps_per_epoch` or, when zero, the
+/// number of training interactions.
+size_t ResolveStepsPerEpoch(const TrainOptions& options,
+                            const ImplicitDataset& train);
+
+}  // namespace mars
+
+#endif  // MARS_MODELS_TRAIN_LOOP_H_

@@ -1,0 +1,113 @@
+#include "models/transcf.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "models/embedding.h"
+#include "models/train_loop.h"
+#include "sampling/triplet_sampler.h"
+
+namespace mars {
+
+TransCf::TransCf(TransCfConfig config) : config_(config) {}
+
+void TransCf::RefreshNeighborhoodMeans(const ImplicitDataset& train) {
+  const size_t d = config_.dim;
+  user_nbr_.Fill(0.0f);
+  for (UserId u = 0; u < train.num_users(); ++u) {
+    const auto items = train.ItemsOf(u);
+    if (items.empty()) continue;
+    float* row = user_nbr_.Row(u);
+    for (ItemId v : items) Axpy(1.0f, item_.Row(v), row, d);
+    Scale(1.0f / static_cast<float>(items.size()), row, d);
+  }
+  item_nbr_.Fill(0.0f);
+  for (ItemId v = 0; v < train.num_items(); ++v) {
+    const auto users = train.UsersOf(v);
+    if (users.empty()) continue;
+    float* row = item_nbr_.Row(v);
+    for (UserId u : users) Axpy(1.0f, user_.Row(u), row, d);
+    Scale(1.0f / static_cast<float>(users.size()), row, d);
+  }
+}
+
+void TransCf::Fit(const ImplicitDataset& train, const TrainOptions& options) {
+  const size_t d = config_.dim;
+  Rng rng(options.seed);
+  user_ = Matrix(train.num_users(), d);
+  item_ = Matrix(train.num_items(), d);
+  InitEmbeddingInBall(&user_, &rng);
+  InitEmbeddingInBall(&item_, &rng);
+  user_nbr_ = Matrix(train.num_users(), d);
+  item_nbr_ = Matrix(train.num_items(), d);
+
+  const TripletSampler sampler(train, TripletUserMode::kUniformInteraction);
+  const size_t steps = ResolveStepsPerEpoch(options, train);
+  const float margin = static_cast<float>(config_.margin);
+  const float l_dist = static_cast<float>(config_.lambda_dist);
+  const float l_nbr = static_cast<float>(config_.lambda_nbr);
+
+  std::vector<float> rp(d), rq(d), ep(d), eq(d);
+
+  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
+    RefreshNeighborhoodMeans(train);
+    const float lr = static_cast<float>(lr_d);
+    Triplet t;
+    for (size_t s = 0; s < steps; ++s) {
+      if (!sampler.Sample(&rng, &t)) continue;
+      float* u = user_.Row(t.user);
+      float* vp = item_.Row(t.positive);
+      float* vq = item_.Row(t.negative);
+      const float* au = user_nbr_.Row(t.user);
+
+      // Relation vectors r_uv = α_u ⊙ β_v and residuals e = u + r - v.
+      Hadamard(au, item_nbr_.Row(t.positive), rp.data(), d);
+      Hadamard(au, item_nbr_.Row(t.negative), rq.data(), d);
+      for (size_t i = 0; i < d; ++i) {
+        ep[i] = u[i] + rp[i] - vp[i];
+        eq[i] = u[i] + rq[i] - vq[i];
+      }
+      const float dp = SquaredNorm(ep.data(), d);
+      const float dq = SquaredNorm(eq.data(), d);
+
+      const bool hinge_active = (margin + dp - dq > 0.0f);
+      // Hinge gradient + distance regularizer (both act through ep/eq).
+      const float wp = (hinge_active ? 1.0f : 0.0f) + l_dist;
+      const float wq = hinge_active ? -1.0f : 0.0f;
+      for (size_t i = 0; i < d; ++i) {
+        const float gp = 2.0f * wp * ep[i];
+        const float gq = 2.0f * wq * eq[i];
+        u[i] -= lr * (gp + gq);
+        vp[i] -= lr * (-gp);
+        vq[i] -= lr * (-gq);
+      }
+      // Neighborhood regularizer: pull entities toward their means.
+      for (size_t i = 0; i < d; ++i) {
+        u[i] -= lr * l_nbr * 2.0f * (u[i] - au[i]);
+        vp[i] -= lr * l_nbr * 2.0f * (vp[i] - item_nbr_.Row(t.positive)[i]);
+      }
+      ProjectToUnitBall(u, d);
+      ProjectToUnitBall(vp, d);
+      ProjectToUnitBall(vq, d);
+    }
+  });
+  // Means must reflect the final embeddings for scoring.
+  RefreshNeighborhoodMeans(train);
+}
+
+float TransCf::Score(UserId u, ItemId v) const {
+  const size_t d = config_.dim;
+  const float* au = user_nbr_.Row(u);
+  const float* bv = item_nbr_.Row(v);
+  const float* eu = user_.Row(u);
+  const float* ev = item_.Row(v);
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float e = eu[i] + au[i] * bv[i] - ev[i];
+    acc += e * e;
+  }
+  return -acc;
+}
+
+}  // namespace mars

@@ -1,0 +1,38 @@
+#include "opt/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mars {
+
+LrSchedule::LrSchedule(double base_lr, LrDecay decay, size_t total_epochs,
+                       double gamma, double min_factor)
+    : base_lr_(base_lr),
+      decay_(decay),
+      total_epochs_(std::max<size_t>(1, total_epochs)),
+      gamma_(gamma),
+      min_factor_(min_factor) {
+  MARS_CHECK(base_lr > 0.0);
+  MARS_CHECK(gamma > 0.0 && gamma <= 1.0);
+  MARS_CHECK(min_factor >= 0.0 && min_factor <= 1.0);
+}
+
+double LrSchedule::At(size_t epoch) const {
+  switch (decay_) {
+    case LrDecay::kConstant:
+      return base_lr_;
+    case LrDecay::kLinear: {
+      const double t = static_cast<double>(epoch) /
+                       static_cast<double>(total_epochs_);
+      return base_lr_ * std::max(min_factor_, 1.0 - t);
+    }
+    case LrDecay::kExponential:
+      return std::max(base_lr_ * min_factor_,
+                      base_lr_ * std::pow(gamma_, static_cast<double>(epoch)));
+  }
+  return base_lr_;
+}
+
+}  // namespace mars

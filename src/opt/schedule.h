@@ -1,0 +1,39 @@
+// Learning-rate schedules for the training loops.
+#ifndef MARS_OPT_SCHEDULE_H_
+#define MARS_OPT_SCHEDULE_H_
+
+#include <cstddef>
+
+namespace mars {
+
+/// Supported decay shapes.
+enum class LrDecay {
+  kConstant,
+  kLinear,       // lr0 * (1 - t/T), floored at lr0 * min_factor
+  kExponential,  // lr0 * gamma^epoch
+};
+
+/// Stateless learning-rate schedule.
+class LrSchedule {
+ public:
+  /// `total_epochs` is only used by the linear decay; `gamma` only by the
+  /// exponential decay.
+  LrSchedule(double base_lr, LrDecay decay, size_t total_epochs,
+             double gamma = 0.95, double min_factor = 0.1);
+
+  /// Learning rate to use during `epoch` (0-based).
+  double At(size_t epoch) const;
+
+  double base_lr() const { return base_lr_; }
+
+ private:
+  double base_lr_;
+  LrDecay decay_;
+  size_t total_epochs_;
+  double gamma_;
+  double min_factor_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_OPT_SCHEDULE_H_

@@ -1,0 +1,30 @@
+#include "opt/sgd.h"
+
+#include "common/vec.h"
+
+namespace mars {
+
+void SgdStep(float* x, const float* grad, float lr, size_t n) {
+  Axpy(-lr, grad, x, n);
+}
+
+void SgdStepL2(float* x, const float* grad, float lr, float l2, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    x[i] -= lr * (grad[i] + l2 * x[i]);
+  }
+}
+
+void SgdStepBallProjected(float* x, const float* grad, float lr, size_t n) {
+  Axpy(-lr, grad, x, n);
+  ProjectToUnitBall(x, n);
+}
+
+float ClipGradient(float* grad, size_t n, float max_norm) {
+  const float norm = Norm(grad, n);
+  if (norm > max_norm && norm > 0.0f) {
+    Scale(max_norm / norm, grad, n);
+  }
+  return norm;
+}
+
+}  // namespace mars

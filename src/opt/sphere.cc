@@ -1,0 +1,40 @@
+#include "opt/sphere.h"
+
+#include <cmath>
+
+#include "common/vec.h"
+
+namespace mars {
+
+void TangentProject(const float* x, float* grad, size_t n) {
+  const float radial = Dot(x, grad, n);
+  Axpy(-radial, x, grad, n);
+}
+
+bool Retract(float* x, const float* z, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] += z[i];
+  if (!NormalizeInPlace(x, n)) {
+    // Degenerate: x + z vanished; undo the additive part.
+    for (size_t i = 0; i < n; ++i) x[i] -= z[i];
+    return false;
+  }
+  return true;
+}
+
+float CalibrationFactor(const float* x, const float* grad, size_t n) {
+  const float gnorm = Norm(grad, n);
+  if (gnorm < 1e-12f) return 1.0f;
+  return 1.0f + Dot(x, grad, n) / gnorm;
+}
+
+void RiemannianSgdStep(float* x, const float* grad, float lr, size_t n,
+                       float* scratch, bool calibrated) {
+  const float factor = calibrated ? CalibrationFactor(x, grad, n) : 1.0f;
+  // scratch = (I - xxᵀ) grad
+  Copy(grad, scratch, n);
+  TangentProject(x, scratch, n);
+  Scale(-lr * factor, scratch, n);
+  Retract(x, scratch, n);
+}
+
+}  // namespace mars

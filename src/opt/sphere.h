@@ -1,0 +1,44 @@
+// Unit-sphere geometry and the paper's calibrated Riemannian SGD (Sec. IV-B).
+//
+// The unit hypersphere S^{D-1} = {x : ||x|| = 1} is a Riemannian manifold;
+// gradient steps must stay on it. Building blocks:
+//
+//  * tangent projection:  P_x(g) = (I - x xᵀ) g          (Eq. 20 context)
+//  * retraction:          R_x(z) = (x + z) / ||x + z||   ([37])
+//  * calibration factor:  1 + xᵀ∇f / ||∇f||              (Eq. 21, from [30])
+//
+// The calibrated step (Eq. 21) is
+//    x ← R_x( -η · (1 + xᵀ∇f/||∇f||) · (I - xxᵀ) ∇f ),
+// which scales the update by the angular disagreement between the parameter
+// and its Euclidean gradient: parameters pointing away from their target
+// direction move further.
+#ifndef MARS_OPT_SPHERE_H_
+#define MARS_OPT_SPHERE_H_
+
+#include <cstddef>
+
+namespace mars {
+
+/// Projects `grad` onto the tangent space of the sphere at `x` in place:
+/// grad ← grad - (x·grad) x. `x` must be (approximately) unit norm.
+void TangentProject(const float* x, float* grad, size_t n);
+
+/// Retraction: x ← (x + z)/||x + z||. If ||x + z|| ~ 0 the point is left
+/// unchanged (returns false).
+bool Retract(float* x, const float* z, size_t n);
+
+/// The calibration multiplier 1 + x·g/||g|| of Eq. 21; returns 1 when
+/// ||g|| ~ 0. Result lies in [0, 2] for unit-norm x.
+float CalibrationFactor(const float* x, const float* grad, size_t n);
+
+/// One calibrated Riemannian SGD step (Eq. 21) on unit vector `x` with
+/// Euclidean gradient `grad` and learning rate `lr`. `scratch` must hold
+/// `n` floats. When `calibrated` is false this reduces to plain Riemannian
+/// SGD (Eq. 20 with retraction instead of the exponential map), which is
+/// the ablation baseline.
+void RiemannianSgdStep(float* x, const float* grad, float lr, size_t n,
+                       float* scratch, bool calibrated = true);
+
+}  // namespace mars
+
+#endif  // MARS_OPT_SPHERE_H_

@@ -1,0 +1,64 @@
+#include "sampling/alias_table.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mars {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  MARS_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    MARS_CHECK_MSG(w >= 0.0, "alias weights must be non-negative");
+    total += w;
+  }
+  MARS_CHECK_MSG(total > 0.0, "alias weights must have positive sum");
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; buckets with scaled < 1 are "small".
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(i);
+    } else {
+      large.push_back(i);
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers: both queues drain to probability 1 buckets.
+  for (size_t s : small) prob_[s] = 1.0;
+  for (size_t l : large) prob_[l] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  const size_t bucket = static_cast<size_t>(rng->UniformInt(prob_.size()));
+  return rng->Uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::Probability(size_t i) const {
+  MARS_CHECK(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace mars

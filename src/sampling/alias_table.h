@@ -1,0 +1,39 @@
+// Walker alias method for O(1) sampling from a fixed discrete distribution.
+//
+// The paper's explorative sampling (Eq. 10) draws users with probability
+// proportional to freq(u)^β every SGD step; the alias table makes that draw
+// constant-time after O(n) preprocessing.
+#ifndef MARS_SAMPLING_ALIAS_TABLE_H_
+#define MARS_SAMPLING_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mars {
+
+class Rng;
+
+/// Immutable alias table built from unnormalized non-negative weights.
+class AliasTable {
+ public:
+  /// Builds the table. `weights` must be non-empty with a positive sum;
+  /// individual entries may be zero (they are never sampled).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability weights[i] / sum(weights).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index `i` (for testing / introspection).
+  double Probability(size_t i) const;
+
+ private:
+  std::vector<double> prob_;    // threshold within each bucket
+  std::vector<size_t> alias_;   // fallback index per bucket
+  std::vector<double> normalized_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_SAMPLING_ALIAS_TABLE_H_

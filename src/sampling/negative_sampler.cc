@@ -1,0 +1,47 @@
+#include "sampling/negative_sampler.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mars {
+
+NegativeSampler::NegativeSampler(const ImplicitDataset& dataset)
+    : dataset_(dataset) {
+  MARS_CHECK(dataset.num_items() > 0);
+}
+
+bool NegativeSampler::Sample(UserId u, Rng* rng, ItemId* out) const {
+  const size_t n_items = dataset_.num_items();
+  const size_t degree = dataset_.UserDegree(u);
+  if (degree >= n_items) return false;
+
+  // Rejection sampling: expected retries = n / (n - deg).
+  constexpr int kMaxRejects = 64;
+  for (int attempt = 0; attempt < kMaxRejects; ++attempt) {
+    const ItemId v = static_cast<ItemId>(rng->UniformInt(n_items));
+    if (!dataset_.HasInteraction(u, v)) {
+      *out = v;
+      return true;
+    }
+  }
+  // Dense user: pick a uniform rank among the non-interacted items and walk
+  // the sorted positive list to locate it exactly.
+  const auto items = dataset_.ItemsOf(u);
+  size_t rank = static_cast<size_t>(rng->UniformInt(n_items - degree));
+  ItemId candidate = 0;
+  size_t pos = 0;
+  while (true) {
+    // Skip over positives equal to the current candidate.
+    while (pos < items.size() && items[pos] == candidate) {
+      ++candidate;
+      ++pos;
+    }
+    if (rank == 0) break;
+    --rank;
+    ++candidate;
+  }
+  *out = candidate;
+  return true;
+}
+
+}  // namespace mars

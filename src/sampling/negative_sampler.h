@@ -1,0 +1,32 @@
+// Uniform negative item sampling with rejection against the positive set.
+//
+// Draws items the user has *not* interacted with (the (u, v_q) ∉ I pairs of
+// Eq. 5/8). Membership is checked with the dataset's sorted adjacency, so a
+// draw costs O(log deg(u)) expected. A bounded retry count guards against
+// pathological users who interacted with nearly the whole catalogue.
+#ifndef MARS_SAMPLING_NEGATIVE_SAMPLER_H_
+#define MARS_SAMPLING_NEGATIVE_SAMPLER_H_
+
+#include "data/dataset.h"
+
+namespace mars {
+
+class Rng;
+
+/// Samples uniform negatives for a given user.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(const ImplicitDataset& dataset);
+
+  /// Draws one item v with (u, v) ∉ I. Falls back to a linear scan if
+  /// rejection fails repeatedly; returns false only when the user has
+  /// interacted with every item.
+  bool Sample(UserId u, Rng* rng, ItemId* out) const;
+
+ private:
+  const ImplicitDataset& dataset_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_SAMPLING_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,39 @@
+#include "sampling/triplet_sampler.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mars {
+
+TripletSampler::TripletSampler(const ImplicitDataset& dataset,
+                               TripletUserMode mode, double beta)
+    : dataset_(dataset), mode_(mode), negative_sampler_(dataset) {
+  MARS_CHECK(dataset.num_interactions() > 0);
+  if (mode_ == TripletUserMode::kFrequencyBiased) {
+    user_sampler_ = std::make_unique<UserSampler>(dataset, beta);
+  }
+}
+
+bool TripletSampler::Sample(Rng* rng, Triplet* out) const {
+  UserId u = 0;
+  ItemId vp = 0;
+  if (mode_ == TripletUserMode::kFrequencyBiased) {
+    u = user_sampler_->Sample(rng);
+    const auto items = dataset_.ItemsOf(u);
+    MARS_DCHECK(!items.empty());
+    vp = items[rng->UniformInt(items.size())];
+  } else {
+    const auto& log = dataset_.interactions();
+    const Interaction& x = log[rng->UniformInt(log.size())];
+    u = x.user;
+    vp = x.item;
+  }
+  ItemId vq = 0;
+  if (!negative_sampler_.Sample(u, rng, &vq)) return false;
+  out->user = u;
+  out->positive = vp;
+  out->negative = vq;
+  return true;
+}
+
+}  // namespace mars

@@ -1,0 +1,57 @@
+// (user, positive item, negative item) triplet stream.
+//
+// All pairwise-loss models (BPR, CML, TransCF, LRML, SML, MAR, MARS) train
+// from this stream. Two user-selection modes are supported:
+//  * kUniformInteraction — classic: pick a training interaction uniformly,
+//    which implicitly weights users by activity (used by the baselines);
+//  * kFrequencyBiased — the paper's explorative sampling (Eq. 10): pick the
+//    user ∝ freq^β, then a uniform positive from their history.
+#ifndef MARS_SAMPLING_TRIPLET_SAMPLER_H_
+#define MARS_SAMPLING_TRIPLET_SAMPLER_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "sampling/negative_sampler.h"
+#include "sampling/user_sampler.h"
+
+namespace mars {
+
+class Rng;
+
+/// One training triplet (u, v_p, v_q): X[u][v_p]=1, X[u][v_q]=0.
+struct Triplet {
+  UserId user = 0;
+  ItemId positive = 0;
+  ItemId negative = 0;
+};
+
+/// How the user (and thus the positive) of a triplet is chosen.
+enum class TripletUserMode {
+  kUniformInteraction,
+  kFrequencyBiased,
+};
+
+/// Draws training triplets from a dataset.
+class TripletSampler {
+ public:
+  /// `beta` only matters in kFrequencyBiased mode.
+  TripletSampler(const ImplicitDataset& dataset, TripletUserMode mode,
+                 double beta = 0.8);
+
+  /// Draws one triplet. Returns false when no valid triplet exists for the
+  /// drawn user (degenerate datasets only).
+  bool Sample(Rng* rng, Triplet* out) const;
+
+  TripletUserMode mode() const { return mode_; }
+
+ private:
+  const ImplicitDataset& dataset_;
+  TripletUserMode mode_;
+  std::unique_ptr<UserSampler> user_sampler_;  // only in biased mode
+  NegativeSampler negative_sampler_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_SAMPLING_TRIPLET_SAMPLER_H_

@@ -1,0 +1,33 @@
+#include "sampling/user_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mars {
+
+UserSampler::UserSampler(const ImplicitDataset& dataset, double beta)
+    : beta_(beta) {
+  MARS_CHECK(beta >= 0.0);
+  std::vector<double> weights(dataset.num_users(), 0.0);
+  bool any = false;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const size_t freq = dataset.UserDegree(u);
+    if (freq == 0) continue;
+    weights[u] = std::pow(static_cast<double>(freq), beta);
+    any = true;
+  }
+  MARS_CHECK_MSG(any, "dataset has no training interactions");
+  table_ = std::make_unique<AliasTable>(weights);
+}
+
+UserId UserSampler::Sample(Rng* rng) const {
+  return static_cast<UserId>(table_->Sample(rng));
+}
+
+double UserSampler::Probability(UserId u) const {
+  return table_->Probability(u);
+}
+
+}  // namespace mars

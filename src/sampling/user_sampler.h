@@ -1,0 +1,42 @@
+// Frequency-biased user sampling (paper Eq. 10).
+//
+//   Pr(u) = freq(u)^β / Σ_u' freq(u')^β
+//
+// β = 0.8 by default per the paper; β = 0 degenerates to uniform sampling
+// over users that have at least one training interaction (used by the
+// sampling ablation).
+#ifndef MARS_SAMPLING_USER_SAMPLER_H_
+#define MARS_SAMPLING_USER_SAMPLER_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "sampling/alias_table.h"
+
+namespace mars {
+
+class Rng;
+
+/// Samples users according to Eq. 10 of the paper.
+class UserSampler {
+ public:
+  /// Builds the sampler over `dataset`'s user activity. Users with zero
+  /// training interactions are never sampled.
+  UserSampler(const ImplicitDataset& dataset, double beta);
+
+  /// Draws a user id.
+  UserId Sample(Rng* rng) const;
+
+  /// Normalized sampling probability of `u` (testing/introspection).
+  double Probability(UserId u) const;
+
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+  std::unique_ptr<AliasTable> table_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_SAMPLING_USER_SAMPLER_H_

@@ -1,0 +1,139 @@
+#include "analysis/facet_analysis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace mars {
+namespace {
+
+TEST(FacetAnalysisTest, SeparationDetectsClusteredCategories) {
+  // Two tight, well-separated clusters.
+  Rng rng(1);
+  Matrix emb(200, 4);
+  std::vector<int> cats(200);
+  for (size_t i = 0; i < 200; ++i) {
+    const int c = i % 2;
+    cats[i] = c;
+    for (size_t j = 0; j < 4; ++j) {
+      const float center = c == 0 ? -5.0f : 5.0f;
+      emb.At(i, j) = center + static_cast<float>(rng.Normal(0.0, 0.1));
+    }
+  }
+  const SeparationStats stats = ComputeSeparation(emb, cats);
+  EXPECT_GT(stats.separation_ratio, 5.0);
+  EXPECT_GT(stats.centroid_purity, 0.99);
+  EXPECT_GT(stats.mean_inter, stats.mean_intra);
+}
+
+TEST(FacetAnalysisTest, SeparationNearOneForRandomEmbeddings) {
+  Rng rng(2);
+  Matrix emb(300, 8);
+  emb.FillNormal(&rng, 0.0f, 1.0f);
+  std::vector<int> cats(300);
+  for (size_t i = 0; i < 300; ++i) cats[i] = static_cast<int>(i % 3);
+  const SeparationStats stats = ComputeSeparation(emb, cats);
+  EXPECT_NEAR(stats.separation_ratio, 1.0, 0.05);
+  EXPECT_LT(stats.centroid_purity, 0.6);
+}
+
+class AnalysisFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.num_users = 100;
+    cfg.num_items = 90;
+    cfg.target_interactions = 1500;
+    cfg.num_facets = 3;
+    cfg.num_categories = 6;
+    cfg.seed = 43;
+    full_ = GenerateSyntheticDataset(cfg);
+    split_ = MakeLeaveOneOutSplit(*full_, 5);
+
+    MultiFacetConfig mcfg;
+    mcfg.dim = 12;
+    mcfg.num_facets = 3;
+    mcfg.theta_nmf_iterations = 5;
+    model_ = std::make_unique<Mars>(mcfg);
+    TrainOptions opts;
+    opts.epochs = 5;
+    opts.learning_rate = 0.1;
+    model_->Fit(*split_.train, opts);
+  }
+
+  std::shared_ptr<ImplicitDataset> full_;
+  LeaveOneOutSplit split_;
+  std::unique_ptr<Mars> model_;
+};
+
+TEST_F(AnalysisFixture, FacetViewAdapters) {
+  const FacetView view = MakeFacetView(*model_);
+  EXPECT_EQ(view.num_facets, 3u);
+  EXPECT_EQ(view.dim, 12u);
+  const auto e = view.item_embedding(0, 1);
+  EXPECT_EQ(e.size(), 12u);
+  const auto theta = view.facet_weights(0);
+  EXPECT_EQ(theta.size(), 3u);
+}
+
+TEST_F(AnalysisFixture, StackItemFacetEmbeddingsShape) {
+  const FacetView view = MakeFacetView(*model_);
+  const Matrix m = StackItemFacetEmbeddings(view, full_->num_items(), 2);
+  EXPECT_EQ(m.rows(), full_->num_items());
+  EXPECT_EQ(m.cols(), 12u);
+  // MARS facet embeddings are unit rows.
+  for (size_t r = 0; r < m.rows(); r += 7) {
+    EXPECT_NEAR(Norm(m.Row(r), m.cols()), 1.0f, 1e-3f);
+  }
+}
+
+TEST_F(AnalysisFixture, CategorySharesAreDistributions) {
+  const FacetView view = MakeFacetView(*model_);
+  const auto shares = FacetCategoryShares(view, *split_.train);
+  ASSERT_EQ(shares.size(), 3u);
+  for (const auto& facet_shares : shares) {
+    double total = 0.0;
+    for (const auto& cs : facet_shares) {
+      EXPECT_GE(cs.share, 0.0);
+      total += cs.share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Sorted descending.
+    for (size_t i = 1; i < facet_shares.size(); ++i) {
+      EXPECT_GE(facet_shares[i - 1].share, facet_shares[i].share);
+    }
+  }
+}
+
+TEST_F(AnalysisFixture, ProfileCountsMatchUserDegree) {
+  const FacetView view = MakeFacetView(*model_);
+  const UserId u = 3;
+  const UserFacetProfile profile = ProfileUser(view, *split_.train, u);
+  size_t total = 0;
+  for (const auto& per_facet : profile.facet_categories) {
+    for (const auto& [name, count] : per_facet) total += count;
+  }
+  EXPECT_EQ(total, split_.train->UserDegree(u));
+  EXPECT_EQ(profile.theta.size(), 3u);
+}
+
+TEST_F(AnalysisFixture, SingleSpaceViewWorks) {
+  Rng rng(9);
+  Matrix users(10, 6), items(20, 6);
+  users.FillNormal(&rng, 0.0f, 1.0f);
+  items.FillNormal(&rng, 0.0f, 1.0f);
+  const FacetView view = MakeSingleSpaceView(users, items);
+  EXPECT_EQ(view.num_facets, 1u);
+  EXPECT_EQ(view.dim, 6u);
+  const auto e = view.user_embedding(4, 0);
+  EXPECT_FLOAT_EQ(e[0], users.At(4, 0));
+  EXPECT_EQ(view.facet_weights(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,108 @@
+#include "analysis/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+namespace {
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data stretched along (1, 1)/√2 with small orthogonal noise.
+  Rng rng(1);
+  Matrix data(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    const float t = static_cast<float>(rng.Normal(0.0, 3.0));
+    const float n = static_cast<float>(rng.Normal(0.0, 0.1));
+    data.At(i, 0) = t + n;
+    data.At(i, 1) = t - n;
+  }
+  const PcaResult pca = ComputePca(data, 1);
+  const float* pc = pca.components.Row(0);
+  // First PC ≈ ±(1,1)/√2.
+  EXPECT_NEAR(std::abs(pc[0]), std::sqrt(0.5f), 0.02f);
+  EXPECT_NEAR(std::abs(pc[1]), std::sqrt(0.5f), 0.02f);
+  EXPECT_GT(pc[0] * pc[1], 0.0f);  // same sign
+}
+
+TEST(PcaTest, EigenvaluesDescending) {
+  Rng rng(2);
+  Matrix data(300, 5);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      // Variance shrinks with column index.
+      data.At(i, j) =
+          static_cast<float>(rng.Normal(0.0, 5.0 / (j + 1.0)));
+    }
+  }
+  const PcaResult pca = ComputePca(data, 3);
+  EXPECT_GE(pca.eigenvalues[0], pca.eigenvalues[1]);
+  EXPECT_GE(pca.eigenvalues[1], pca.eigenvalues[2]);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(3);
+  Matrix data(200, 6);
+  data.FillNormal(&rng, 0.0f, 1.0f);
+  const PcaResult pca = ComputePca(data, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(Norm(pca.components.Row(i), 6), 1.0f, 1e-3f);
+    for (size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(Dot(pca.components.Row(i), pca.components.Row(j), 6), 0.0f,
+                  1e-2f);
+    }
+  }
+}
+
+TEST(PcaTest, ProjectionShape) {
+  Rng rng(4);
+  Matrix data(50, 8);
+  data.FillNormal(&rng, 0.0f, 1.0f);
+  const PcaResult pca = ComputePca(data, 2);
+  EXPECT_EQ(pca.projected.rows(), 50u);
+  EXPECT_EQ(pca.projected.cols(), 2u);
+}
+
+TEST(PcaTest, ProjectedVarianceMatchesEigenvalue) {
+  Rng rng(5);
+  Matrix data(1000, 4);
+  for (size_t i = 0; i < 1000; ++i) {
+    data.At(i, 0) = static_cast<float>(rng.Normal(0.0, 4.0));
+    for (size_t j = 1; j < 4; ++j) {
+      data.At(i, j) = static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+  }
+  const PcaResult pca = ComputePca(data, 1);
+  double var = 0.0, mean = 0.0;
+  for (size_t i = 0; i < 1000; ++i) mean += pca.projected.At(i, 0);
+  mean /= 1000.0;
+  for (size_t i = 0; i < 1000; ++i) {
+    const double d = pca.projected.At(i, 0) - mean;
+    var += d * d;
+  }
+  var /= 999.0;
+  EXPECT_NEAR(var, pca.eigenvalues[0], pca.eigenvalues[0] * 0.05);
+}
+
+TEST(PcaTest, CenteringIsInternal) {
+  // Shifting all data must not change components or eigenvalues.
+  Rng rng(6);
+  Matrix a(200, 3), b(200, 3);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      const float x = static_cast<float>(rng.Normal(0.0, 1.0 + j));
+      a.At(i, j) = x;
+      b.At(i, j) = x + 100.0f;
+    }
+  }
+  const PcaResult pa = ComputePca(a, 2);
+  const PcaResult pb = ComputePca(b, 2);
+  EXPECT_NEAR(pa.eigenvalues[0], pb.eigenvalues[0],
+              pa.eigenvalues[0] * 0.01);
+}
+
+}  // namespace
+}  // namespace mars

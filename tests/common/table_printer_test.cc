@@ -1,0 +1,91 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("Demo");
+  table.SetHeader({"Model", "HR@10"});
+  table.AddRow({"CML", "0.2470"});
+  table.AddRow({"MARS", "0.3393"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("MARS"), std::string::npos);
+  EXPECT_NE(out.find("0.3393"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table;
+  table.SetHeader({"A", "B"});
+  table.AddRow({"verylongcell", "x"});
+  table.AddRow({"s", "y"});
+  const std::string out = table.ToString();
+  std::istringstream stream(out);
+  std::string line1, line2, line3, line4;
+  std::getline(stream, line1);  // header
+  std::getline(stream, line2);  // rule
+  std::getline(stream, line3);
+  std::getline(stream, line4);
+  // The second column separator must be at the same offset in both rows.
+  EXPECT_EQ(line3.find('|'), line4.find('|'));
+}
+
+TEST(TablePrinterTest, SeparatorRendersRule) {
+  TablePrinter table;
+  table.SetHeader({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // Two rules: one under the header, one mid-table.
+  size_t rules = 0;
+  std::istringstream stream(out);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos)
+      ++rules;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table;
+  table.SetHeader({"A", "B", "C"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW({ const auto s = table.ToString(); });
+}
+
+TEST(TablePrinterTest, WriteCsv) {
+  TablePrinter table("ignored title");
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddSeparator();
+  table.AddRow({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,4");  // separator skipped in CSV
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, WriteCsvFailsOnBadPath) {
+  TablePrinter table;
+  table.SetHeader({"a"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent_dir_xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,81 @@
+#include "core/adaptive_margin.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mars {
+namespace {
+
+TEST(AdaptiveMarginTest, HandComputedExample) {
+  // 4 users. User 0 interacts with item 0; item 0 is shared with user 1.
+  // Two-hop neighbors of user 0 = {0, 1} → γ = 1 - 2/4 = 0.5.
+  std::vector<Interaction> log = {
+      {0, 0, 0},
+      {1, 0, 0},
+      {1, 1, 1},
+      {2, 1, 0},
+      {2, 2, 1},
+  };
+  ImplicitDataset ds(4, 3, log);
+  const auto gamma = ComputeAdaptiveMargins(ds);
+  EXPECT_FLOAT_EQ(gamma[0], 1.0f - 2.0f / 4.0f);
+  // User 1: items {0,1} → users {0,1,2} → γ = 1 - 3/4.
+  EXPECT_FLOAT_EQ(gamma[1], 0.25f);
+  // User 2: items {1,2} → users {1,2} → γ = 0.5.
+  EXPECT_FLOAT_EQ(gamma[2], 0.5f);
+  // User 3: no interactions → γ = 1.
+  EXPECT_FLOAT_EQ(gamma[3], 1.0f);
+}
+
+TEST(AdaptiveMarginTest, AlwaysInUnitInterval) {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 80;
+  cfg.target_interactions = 1500;
+  cfg.seed = 17;
+  const auto ds = GenerateSyntheticDataset(cfg);
+  const auto gamma = ComputeAdaptiveMargins(*ds);
+  for (float g : gamma) {
+    EXPECT_GE(g, 0.0f);
+    EXPECT_LE(g, 1.0f);
+  }
+}
+
+TEST(AdaptiveMarginTest, MoreTwoHopNeighborsMeansSmallerMargin) {
+  // User 0 shares one popular item with everyone; user 1 shares a niche
+  // item with nobody else.
+  std::vector<Interaction> log;
+  log.push_back({0, 0, 0});
+  log.push_back({1, 1, 0});
+  for (UserId u = 2; u < 10; ++u) log.push_back({u, 0, 0});
+  ImplicitDataset ds(10, 2, log);
+  const auto gamma = ComputeAdaptiveMargins(ds);
+  EXPECT_LT(gamma[0], gamma[1]);
+}
+
+TEST(AdaptiveMarginTest, SingleUserVariantMatchesBatch) {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 40;
+  cfg.target_interactions = 600;
+  cfg.seed = 23;
+  const auto ds = GenerateSyntheticDataset(cfg);
+  const auto batch = ComputeAdaptiveMargins(*ds);
+  for (UserId u = 0; u < 50; u += 7) {
+    EXPECT_FLOAT_EQ(ComputeAdaptiveMargin(*ds, u), batch[u]);
+  }
+}
+
+TEST(AdaptiveMarginTest, SelfIsCountedAsTwoHopNeighbor) {
+  // A user whose items are shared with nobody still reaches themselves.
+  std::vector<Interaction> log = {{0, 0, 0}};
+  ImplicitDataset ds(2, 1, log);
+  const auto gamma = ComputeAdaptiveMargins(ds);
+  EXPECT_FLOAT_EQ(gamma[0], 0.5f);  // {self} of 2 users
+}
+
+}  // namespace
+}  // namespace mars

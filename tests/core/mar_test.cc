@@ -1,0 +1,193 @@
+#include "core/mar.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/vec.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace mars {
+namespace {
+
+constexpr double kChanceHr10 = 10.0 / 101.0;
+
+class MarFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.num_users = 150;
+    cfg.num_items = 120;
+    cfg.target_interactions = 2500;
+    cfg.num_facets = 3;
+    cfg.num_categories = 9;
+    cfg.affinity_sharpness = 10.0;
+    cfg.seed = 71;
+    full_ = GenerateSyntheticDataset(cfg);
+    split_ = MakeLeaveOneOutSplit(*full_, 5);
+    evaluator_ = std::make_unique<Evaluator>(*split_.train, split_.test_item,
+                                             EvalProtocol{});
+  }
+
+  MultiFacetConfig SmallConfig() const {
+    MultiFacetConfig cfg;
+    cfg.dim = 16;
+    cfg.num_facets = 3;
+    cfg.theta_nmf_iterations = 8;
+    return cfg;
+  }
+
+  TrainOptions FastOptions() const {
+    TrainOptions opts;
+    opts.epochs = 10;
+    opts.learning_rate = 0.05;
+    opts.seed = 3;
+    return opts;
+  }
+
+  std::shared_ptr<ImplicitDataset> full_;
+  LeaveOneOutSplit split_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(MarFixture, BeatsChanceProjected) {
+  Mar model(SmallConfig(), FacetParam::kProjected);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.5);
+}
+
+TEST_F(MarFixture, BeatsChanceFreeMode) {
+  Mar model(SmallConfig(), FacetParam::kFree);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.5);
+}
+
+TEST_F(MarFixture, FacetWeightsAreDistribution) {
+  Mar model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < 20; ++u) {
+    const auto theta = model.FacetWeights(u);
+    ASSERT_EQ(theta.size(), 3u);
+    float sum = 0.0f;
+    for (float t : theta) {
+      EXPECT_GE(t, 0.0f);
+      sum += t;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST_F(MarFixture, FacetEmbeddingsRespectBallConstraint) {
+  Mar model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < 30; u += 3) {
+    for (size_t k = 0; k < 3; ++k) {
+      const auto e = model.UserFacetEmbedding(u, k);
+      EXPECT_LE(Norm(e.data(), e.size()), 1.0f + 1e-4f);
+    }
+  }
+  for (ItemId v = 0; v < 30; v += 3) {
+    for (size_t k = 0; k < 3; ++k) {
+      const auto e = model.ItemFacetEmbedding(v, k);
+      EXPECT_LE(Norm(e.data(), e.size()), 1.0f + 1e-4f);
+    }
+  }
+}
+
+TEST_F(MarFixture, AdaptiveMarginsInRange) {
+  Mar model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < full_->num_users(); ++u) {
+    EXPECT_GE(model.MarginOf(u), 0.0f);
+    EXPECT_LE(model.MarginOf(u), 1.0f);
+  }
+}
+
+TEST_F(MarFixture, FixedMarginModeUsesConfiguredValue) {
+  MultiFacetConfig cfg = SmallConfig();
+  cfg.adaptive_margin = false;
+  cfg.fixed_margin = 0.37;
+  Mar model(cfg);
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_FLOAT_EQ(model.MarginOf(u), 0.37f);
+  }
+}
+
+TEST_F(MarFixture, ScoreItemsMatchesScore) {
+  Mar model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  std::vector<ItemId> items = {0, 5, 17, 42, 99};
+  std::vector<float> batch(items.size());
+  model.ScoreItems(3, items, batch.data());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_NEAR(batch[i], model.Score(3, items[i]), 1e-5f);
+  }
+}
+
+TEST_F(MarFixture, ScoresAreNegatedWeightedDistances) {
+  Mar model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  const UserId u = 7;
+  const ItemId v = 13;
+  const auto theta = model.FacetWeights(u);
+  float expected = 0.0f;
+  for (size_t k = 0; k < 3; ++k) {
+    const auto ue = model.UserFacetEmbedding(u, k);
+    const auto ve = model.ItemFacetEmbedding(v, k);
+    expected -= theta[k] * SquaredDistance(ue, ve);
+  }
+  EXPECT_NEAR(model.Score(u, v), expected, 1e-4f);
+}
+
+TEST_F(MarFixture, SingleFacetDegeneratesToMetricLearning) {
+  MultiFacetConfig cfg = SmallConfig();
+  cfg.num_facets = 1;
+  cfg.lambda_facet = 0.0;
+  Mar model(cfg);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.3);
+}
+
+TEST_F(MarFixture, MultiFacetBeatsSingleFacet) {
+  // The core claim of the paper (Table IV): K > 1 helps on multi-facet
+  // data. Compare K=3 vs K=1 on identical training budgets.
+  MultiFacetConfig single = SmallConfig();
+  single.num_facets = 1;
+  Mar mar1(single);
+  mar1.Fit(*split_.train, FastOptions());
+  const double hr1 = evaluator_->Evaluate(mar1).hr10;
+
+  Mar mar3(SmallConfig());
+  mar3.Fit(*split_.train, FastOptions());
+  const double hr3 = evaluator_->Evaluate(mar3).hr10;
+  EXPECT_GT(hr3, hr1 * 0.95);  // must not be worse beyond noise
+}
+
+TEST_F(MarFixture, UniformThetaInitAlsoWorks) {
+  MultiFacetConfig cfg = SmallConfig();
+  cfg.theta_init_nmf = false;
+  Mar model(cfg);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.3);
+}
+
+TEST_F(MarFixture, DeterministicTraining) {
+  Mar a(SmallConfig());
+  Mar b(SmallConfig());
+  TrainOptions opts = FastOptions();
+  opts.epochs = 3;
+  a.Fit(*split_.train, opts);
+  b.Fit(*split_.train, opts);
+  for (UserId u = 0; u < 5; ++u) {
+    for (ItemId v = 0; v < 5; ++v) {
+      EXPECT_FLOAT_EQ(a.Score(u, v), b.Score(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,242 @@
+#include "core/mars.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/vec.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace mars {
+namespace {
+
+constexpr double kChanceHr10 = 10.0 / 101.0;
+
+class MarsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.num_users = 150;
+    cfg.num_items = 120;
+    cfg.target_interactions = 2500;
+    cfg.num_facets = 3;
+    cfg.num_categories = 9;
+    cfg.affinity_sharpness = 10.0;
+    cfg.seed = 71;
+    full_ = GenerateSyntheticDataset(cfg);
+    split_ = MakeLeaveOneOutSplit(*full_, 5);
+    evaluator_ = std::make_unique<Evaluator>(*split_.train, split_.test_item,
+                                             EvalProtocol{});
+  }
+
+  MultiFacetConfig SmallConfig() const {
+    MultiFacetConfig cfg;
+    cfg.dim = 16;
+    cfg.num_facets = 3;
+    cfg.theta_nmf_iterations = 8;
+    return cfg;
+  }
+
+  TrainOptions FastOptions() const {
+    TrainOptions opts;
+    opts.epochs = 10;
+    opts.learning_rate = 0.1;
+    opts.seed = 3;
+    return opts;
+  }
+
+  std::shared_ptr<ImplicitDataset> full_;
+  LeaveOneOutSplit split_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(MarsFixture, BeatsChance) {
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.5);
+}
+
+TEST_F(MarsFixture, AllFacetEmbeddingsAreUnitNorm) {
+  // The strict spherical constraint of Eq. 17/19: ||u^k|| = 1 exactly
+  // (up to float rounding) after training — the paper's core claim about
+  // avoiding "lazy" norm behaviors.
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < full_->num_users(); u += 13) {
+    for (size_t k = 0; k < 3; ++k) {
+      const auto e = model.UserFacetEmbedding(u, k);
+      EXPECT_NEAR(Norm(e.data(), e.size()), 1.0f, 1e-3f);
+    }
+  }
+  for (ItemId v = 0; v < full_->num_items(); v += 13) {
+    for (size_t k = 0; k < 3; ++k) {
+      const auto e = model.ItemFacetEmbedding(v, k);
+      EXPECT_NEAR(Norm(e.data(), e.size()), 1.0f, 1e-3f);
+    }
+  }
+}
+
+TEST_F(MarsFixture, ScoresAreBoundedByOne) {
+  // Weighted cosine similarities: |g| ≤ Σθ = 1.
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < 20; ++u) {
+    for (ItemId v = 0; v < 20; ++v) {
+      const float s = model.Score(u, v);
+      EXPECT_GE(s, -1.0f - 1e-4f);
+      EXPECT_LE(s, 1.0f + 1e-4f);
+    }
+  }
+}
+
+TEST_F(MarsFixture, UncalibratedVariantTrains) {
+  MarsOptions mopts;
+  mopts.calibrated = false;
+  Mars model(SmallConfig(), mopts);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.5);
+}
+
+TEST_F(MarsFixture, AsPrintedFacetSignTrains) {
+  MarsOptions mopts;
+  mopts.facet_sign = FacetLossSign::kAsPrinted;
+  Mars model(SmallConfig(), mopts);
+  model.Fit(*split_.train, FastOptions());
+  // Still learns (the facet term is small), just with inverted separation.
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10);
+}
+
+TEST_F(MarsFixture, CorrectedFacetSignSeparatesFacetsMore) {
+  // Measure mean |cos| between facet embeddings of the same item: the
+  // corrected sign should yield less facet collinearity than as-printed.
+  auto mean_facet_cos = [&](FacetLossSign sign) {
+    MarsOptions mopts;
+    mopts.facet_sign = sign;
+    MultiFacetConfig cfg = SmallConfig();
+    cfg.lambda_facet = 0.1;  // emphasize the term for the test
+    Mars model(cfg, mopts);
+    model.Fit(*split_.train, FastOptions());
+    double total = 0.0;
+    size_t n = 0;
+    for (ItemId v = 0; v < full_->num_items(); v += 5) {
+      for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = i + 1; j < 3; ++j) {
+          const auto a = model.ItemFacetEmbedding(v, i);
+          const auto b = model.ItemFacetEmbedding(v, j);
+          total += Dot(a.data(), b.data(), a.size());
+          ++n;
+        }
+      }
+    }
+    return total / static_cast<double>(n);
+  };
+  const double separated = mean_facet_cos(FacetLossSign::kSeparate);
+  const double printed = mean_facet_cos(FacetLossSign::kAsPrinted);
+  EXPECT_LT(separated, printed);
+}
+
+TEST_F(MarsFixture, FacetWeightsAreDistribution) {
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < 20; ++u) {
+    const auto theta = model.FacetWeights(u);
+    float sum = 0.0f;
+    for (float t : theta) {
+      EXPECT_GE(t, 0.0f);
+      sum += t;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST_F(MarsFixture, ScoreItemsMatchesScore) {
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  std::vector<ItemId> items = {1, 2, 30, 77};
+  std::vector<float> batch(items.size());
+  model.ScoreItems(5, items, batch.data());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_NEAR(batch[i], model.Score(5, items[i]), 1e-5f);
+  }
+}
+
+TEST_F(MarsFixture, MarginsInUnitInterval) {
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (UserId u = 0; u < full_->num_users(); ++u) {
+    EXPECT_GE(model.MarginOf(u), 0.0f);
+    EXPECT_LE(model.MarginOf(u), 1.0f);
+  }
+}
+
+TEST_F(MarsFixture, DeterministicTraining) {
+  Mars a(SmallConfig());
+  Mars b(SmallConfig());
+  TrainOptions opts = FastOptions();
+  opts.epochs = 3;
+  a.Fit(*split_.train, opts);
+  b.Fit(*split_.train, opts);
+  for (UserId u = 0; u < 5; ++u) {
+    for (ItemId v = 0; v < 5; ++v) {
+      EXPECT_FLOAT_EQ(a.Score(u, v), b.Score(u, v));
+    }
+  }
+}
+
+TEST_F(MarsFixture, UniformSamplingAblationTrains) {
+  MultiFacetConfig cfg = SmallConfig();
+  cfg.biased_sampling = false;
+  Mars model(cfg);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.3);
+}
+
+TEST_F(MarsFixture, SingleFacetSphericalTrains) {
+  MultiFacetConfig cfg = SmallConfig();
+  cfg.num_facets = 1;
+  cfg.lambda_facet = 0.0;
+  Mars model(cfg);
+  model.Fit(*split_.train, FastOptions());
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.3);
+}
+
+TEST_F(MarsFixture, LearnableRadiiStayPositiveAndFinite) {
+  MarsOptions mopts;
+  mopts.learn_radius = true;
+  Mars model(SmallConfig(), mopts);
+  model.Fit(*split_.train, FastOptions());
+  const auto& radii = model.FacetRadii();
+  ASSERT_EQ(radii.size(), 3u);
+  for (float r : radii) {
+    EXPECT_GE(r, 0.1f);
+    EXPECT_LE(r, 10.0f);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10 * 1.3);
+}
+
+TEST_F(MarsFixture, RadiiDefaultToOneWhenDisabled) {
+  Mars model(SmallConfig());
+  model.Fit(*split_.train, FastOptions());
+  for (float r : model.FacetRadii()) {
+    EXPECT_FLOAT_EQ(r, 1.0f);
+  }
+}
+
+TEST_F(MarsFixture, LearnedRadiiChangeFromInit) {
+  MarsOptions mopts;
+  mopts.learn_radius = true;
+  Mars model(SmallConfig(), mopts);
+  model.Fit(*split_.train, FastOptions());
+  bool any_moved = false;
+  for (float r : model.FacetRadii()) {
+    if (std::abs(r - 1.0f) > 1e-4f) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,127 @@
+#include "core/persistence.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace mars {
+namespace {
+
+struct PersistenceFixture : public ::testing::Test {
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.num_users = 80;
+    cfg.num_items = 120;
+    cfg.target_interactions = 1200;
+    cfg.seed = 91;
+    full_ = GenerateSyntheticDataset(cfg);
+    split_ = MakeLeaveOneOutSplit(*full_, 3);
+
+    MultiFacetConfig mcfg;
+    mcfg.dim = 12;
+    mcfg.num_facets = 3;
+    mcfg.theta_nmf_iterations = 5;
+    model_ = std::make_unique<Mars>(mcfg);
+    TrainOptions opts;
+    opts.epochs = 4;
+    opts.learning_rate = 0.2;
+    model_->Fit(*split_.train, opts);
+    path_ = ::testing::TempDir() + "/mars_model.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::shared_ptr<ImplicitDataset> full_;
+  LeaveOneOutSplit split_;
+  std::unique_ptr<Mars> model_;
+  std::string path_;
+};
+
+TEST_F(PersistenceFixture, RoundTripPreservesScores) {
+  ASSERT_TRUE(SaveMars(*model_, path_));
+  const auto loaded = LoadMars(path_);
+  ASSERT_NE(loaded, nullptr);
+  for (UserId u = 0; u < 20; ++u) {
+    for (ItemId v = 0; v < 20; ++v) {
+      EXPECT_FLOAT_EQ(loaded->Score(u, v), model_->Score(u, v));
+    }
+  }
+}
+
+TEST_F(PersistenceFixture, RoundTripPreservesMetadata) {
+  ASSERT_TRUE(SaveMars(*model_, path_));
+  const auto loaded = LoadMars(path_);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->config().num_facets, 3u);
+  EXPECT_EQ(loaded->config().dim, 12u);
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_FLOAT_EQ(loaded->MarginOf(u), model_->MarginOf(u));
+    const auto a = loaded->FacetWeights(u);
+    const auto b = model_->FacetWeights(u);
+    for (size_t k = 0; k < a.size(); ++k) EXPECT_FLOAT_EQ(a[k], b[k]);
+  }
+  const auto ea = loaded->UserFacetEmbedding(3, 1);
+  const auto eb = model_->UserFacetEmbedding(3, 1);
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_FLOAT_EQ(ea[i], eb[i]);
+}
+
+TEST_F(PersistenceFixture, UnfitModelRefusesToSave) {
+  MultiFacetConfig cfg;
+  cfg.dim = 8;
+  Mars unfit(cfg);
+  EXPECT_FALSE(SaveMars(unfit, path_));
+}
+
+TEST_F(PersistenceFixture, LoadRejectsMissingFile) {
+  EXPECT_EQ(LoadMars("/no/such/model.bin"), nullptr);
+}
+
+TEST_F(PersistenceFixture, LoadRejectsGarbage) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "this is not a MARS model";
+  }
+  EXPECT_EQ(LoadMars(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, LoadRejectsTruncatedPayload) {
+  ASSERT_TRUE(SaveMars(*model_, path_));
+  // Truncate to half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(LoadMars(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, RadiiSurviveRoundTrip) {
+  MultiFacetConfig cfg;
+  cfg.dim = 12;
+  cfg.num_facets = 2;
+  cfg.theta_nmf_iterations = 3;
+  MarsOptions mopts;
+  mopts.learn_radius = true;
+  Mars radius_model(cfg, mopts);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.learning_rate = 0.2;
+  radius_model.Fit(*split_.train, opts);
+  ASSERT_TRUE(SaveMars(radius_model, path_));
+  const auto loaded = LoadMars(path_);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->FacetRadii().size(), 2u);
+  EXPECT_FLOAT_EQ(loaded->FacetRadii()[0], radius_model.FacetRadii()[0]);
+  EXPECT_FLOAT_EQ(loaded->FacetRadii()[1], radius_model.FacetRadii()[1]);
+  EXPECT_TRUE(loaded->mars_options().learn_radius);
+}
+
+}  // namespace
+}  // namespace mars

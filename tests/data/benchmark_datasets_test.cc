@@ -1,0 +1,79 @@
+#include "data/benchmark_datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+
+namespace mars {
+namespace {
+
+TEST(BenchmarkDatasetsTest, SixBenchmarks) {
+  EXPECT_EQ(AllBenchmarks().size(), 6u);
+  EXPECT_EQ(AblationBenchmarks().size(), 4u);
+}
+
+TEST(BenchmarkDatasetsTest, NamesMatchPaper) {
+  EXPECT_EQ(BenchmarkName(BenchmarkId::kDelicious), "Delicious");
+  EXPECT_EQ(BenchmarkName(BenchmarkId::kLastfm), "Lastfm");
+  EXPECT_EQ(BenchmarkName(BenchmarkId::kCiao), "Ciao");
+  EXPECT_EQ(BenchmarkName(BenchmarkId::kBookX), "BookX");
+  EXPECT_EQ(BenchmarkName(BenchmarkId::kMl1m), "ML-1M");
+  EXPECT_EQ(BenchmarkName(BenchmarkId::kMl20m), "ML-20M");
+}
+
+TEST(BenchmarkDatasetsTest, FastModeShrinks) {
+  const auto full = BenchmarkConfig(BenchmarkId::kDelicious, false);
+  const auto fast = BenchmarkConfig(BenchmarkId::kDelicious, true);
+  EXPECT_LT(fast.num_users, full.num_users);
+  EXPECT_LT(fast.target_interactions, full.target_interactions);
+}
+
+TEST(BenchmarkDatasetsTest, DensityOrderingMatchesTableI) {
+  // Paper Table I ordering:
+  //   ML-1M > ML-20M > Delicious > Lastfm > Ciao > BookX.
+  // Configured densities are target/(users*items); realized densities may
+  // fall slightly short but must preserve the ordering.
+  auto density = [](BenchmarkId id) {
+    const auto cfg = BenchmarkConfig(id, /*fast=*/true);
+    const auto ds = GenerateSyntheticDataset(cfg);
+    return ds->Density();
+  };
+  const double ml1m = density(BenchmarkId::kMl1m);
+  const double ml20m = density(BenchmarkId::kMl20m);
+  const double delicious = density(BenchmarkId::kDelicious);
+  const double lastfm = density(BenchmarkId::kLastfm);
+  const double ciao = density(BenchmarkId::kCiao);
+  const double bookx = density(BenchmarkId::kBookX);
+  EXPECT_GT(ml1m, ml20m);
+  EXPECT_GT(ml20m, delicious);
+  EXPECT_GT(delicious, lastfm);
+  EXPECT_GT(lastfm, ciao);
+  EXPECT_GT(ciao, bookx);
+}
+
+class BenchmarkSweep : public ::testing::TestWithParam<BenchmarkId> {};
+
+TEST_P(BenchmarkSweep, GeneratesUsableDataset) {
+  const auto ds = MakeBenchmarkDataset(GetParam(), /*fast=*/true);
+  const DatasetStats stats = ComputeStats(*ds);
+  EXPECT_GT(stats.num_users, 0u);
+  EXPECT_GT(stats.num_items, 0u);
+  EXPECT_GT(stats.num_interactions, 0u);
+  // Leave-one-out needs ≥ 3 interactions per user; the generator floors
+  // at min_user_interactions = 5.
+  EXPECT_GE(stats.min_user_degree, 5u);
+  EXPECT_TRUE(ds->has_categories());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BenchmarkSweep, ::testing::ValuesIn(AllBenchmarks()),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      std::string name = BenchmarkName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,133 @@
+#include "data/dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+std::vector<Interaction> ToyLog() {
+  // user 0: items 2 (t=0), 1 (t=1); user 1: item 2 (t=5); user 2: none.
+  return {
+      {0, 2, 0},
+      {0, 1, 1},
+      {1, 2, 5},
+  };
+}
+
+TEST(DatasetTest, BasicCounts) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  EXPECT_EQ(ds.num_users(), 3u);
+  EXPECT_EQ(ds.num_items(), 4u);
+  EXPECT_EQ(ds.num_interactions(), 3u);
+}
+
+TEST(DatasetTest, DensityMatchesDefinition) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  EXPECT_DOUBLE_EQ(ds.Density(), 3.0 / 12.0);
+}
+
+TEST(DatasetTest, ItemsOfSortedById) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  const auto items = ds.ItemsOf(0);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 1u);
+  EXPECT_EQ(items[1], 2u);
+}
+
+TEST(DatasetTest, UsersOfSortedById) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  const auto users = ds.UsersOf(2);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0], 0u);
+  EXPECT_EQ(users[1], 1u);
+}
+
+TEST(DatasetTest, EmptyAdjacency) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  EXPECT_TRUE(ds.ItemsOf(2).empty());
+  EXPECT_TRUE(ds.UsersOf(0).empty());
+  EXPECT_TRUE(ds.UsersOf(3).empty());
+}
+
+TEST(DatasetTest, HasInteraction) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  EXPECT_TRUE(ds.HasInteraction(0, 1));
+  EXPECT_TRUE(ds.HasInteraction(0, 2));
+  EXPECT_TRUE(ds.HasInteraction(1, 2));
+  EXPECT_FALSE(ds.HasInteraction(0, 0));
+  EXPECT_FALSE(ds.HasInteraction(1, 1));
+  EXPECT_FALSE(ds.HasInteraction(2, 2));
+}
+
+TEST(DatasetTest, Degrees) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  EXPECT_EQ(ds.UserDegree(0), 2u);
+  EXPECT_EQ(ds.UserDegree(1), 1u);
+  EXPECT_EQ(ds.UserDegree(2), 0u);
+  EXPECT_EQ(ds.ItemDegree(2), 2u);
+  EXPECT_EQ(ds.ItemDegree(0), 0u);
+}
+
+TEST(DatasetTest, HistoryOrderedByTimestamp) {
+  // Deliberately out-of-order input.
+  std::vector<Interaction> log = {
+      {0, 3, 10},
+      {0, 1, 5},
+      {0, 2, 7},
+  };
+  ImplicitDataset ds(1, 4, log);
+  const auto history = ds.HistoryOf(0);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].item, 1u);
+  EXPECT_EQ(history[1].item, 2u);
+  EXPECT_EQ(history[2].item, 3u);
+}
+
+TEST(DatasetTest, DuplicatesCollapseKeepingEarliest) {
+  std::vector<Interaction> log = {
+      {0, 1, 9},
+      {0, 1, 3},
+      {0, 1, 5},
+  };
+  ImplicitDataset ds(1, 2, log);
+  EXPECT_EQ(ds.num_interactions(), 1u);
+  EXPECT_EQ(ds.HistoryOf(0)[0].timestamp, 3);
+}
+
+TEST(DatasetTest, CategoriesRoundTrip) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  EXPECT_FALSE(ds.has_categories());
+  ds.SetItemCategories({0, 1, 0, 1}, {"Movies", "Books"});
+  ASSERT_TRUE(ds.has_categories());
+  EXPECT_EQ(ds.num_categories(), 2);
+  EXPECT_EQ(ds.ItemCategory(0), 0);
+  EXPECT_EQ(ds.ItemCategory(1), 1);
+  EXPECT_EQ(ds.CategoryName(0), "Movies");
+  EXPECT_EQ(ds.CategoryName(1), "Books");
+}
+
+TEST(DatasetTest, EmptyDatasetIsWellFormed) {
+  ImplicitDataset ds(2, 2, {});
+  EXPECT_EQ(ds.num_interactions(), 0u);
+  EXPECT_DOUBLE_EQ(ds.Density(), 0.0);
+  EXPECT_TRUE(ds.ItemsOf(0).empty());
+  EXPECT_FALSE(ds.HasInteraction(0, 0));
+}
+
+TEST(DatasetTest, InteractionsGroupedByUser) {
+  ImplicitDataset ds(3, 4, ToyLog());
+  const auto& log = ds.interactions();
+  // Grouped by user ascending; timestamps ascending within user.
+  for (size_t i = 1; i < log.size(); ++i) {
+    if (log[i].user == log[i - 1].user) {
+      EXPECT_LE(log[i - 1].timestamp, log[i].timestamp);
+    } else {
+      EXPECT_LT(log[i - 1].user, log[i].user);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,81 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  std::vector<Interaction> log = {
+      {0, 2, 100}, {0, 1, 50}, {3, 0, 7},
+  };
+  ImplicitDataset original(4, 3, log);
+  const std::string path = ::testing::TempDir() + "/io_roundtrip.csv";
+  ASSERT_TRUE(SaveInteractionsCsv(original, path));
+
+  const auto loaded = LoadInteractionsCsv(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_users(), 4u);
+  EXPECT_EQ(loaded->num_items(), 3u);
+  EXPECT_EQ(loaded->num_interactions(), 3u);
+  EXPECT_TRUE(loaded->HasInteraction(0, 1));
+  EXPECT_TRUE(loaded->HasInteraction(0, 2));
+  EXPECT_TRUE(loaded->HasInteraction(3, 0));
+  // Timestamps preserved.
+  EXPECT_EQ(loaded->HistoryOf(0)[0].timestamp, 50);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileReturnsNull) {
+  EXPECT_EQ(LoadInteractionsCsv("/no/such/file.csv"), nullptr);
+}
+
+TEST(IoTest, LoadHandlesHeaderAndBlankLines) {
+  const std::string path = ::testing::TempDir() + "/io_header.csv";
+  {
+    std::ofstream f(path);
+    f << "user,item,timestamp\n\n1,2,3\n\n0,0,1\n";
+  }
+  const auto loaded = LoadInteractionsCsv(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_interactions(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadWithoutTimestampsDefaultsToZero) {
+  const std::string path = ::testing::TempDir() + "/io_nots.csv";
+  {
+    std::ofstream f(path);
+    f << "0,1\n0,2\n";
+  }
+  const auto loaded = LoadInteractionsCsv(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_interactions(), 2u);
+  EXPECT_EQ(loaded->HistoryOf(0)[0].timestamp, 0);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/io_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "not-a-number,alsobad\n";
+  }
+  EXPECT_EQ(LoadInteractionsCsv(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadEmptyFileReturnsNull) {
+  const std::string path = ::testing::TempDir() + "/io_empty.csv";
+  {
+    std::ofstream f(path);
+  }
+  EXPECT_EQ(LoadInteractionsCsv(path), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mars

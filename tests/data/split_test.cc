@@ -1,0 +1,98 @@
+#include "data/split.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+ImplicitDataset MakeFull() {
+  std::vector<Interaction> log;
+  // User 0: 5 interactions, items 0..4 with increasing timestamps.
+  for (int i = 0; i < 5; ++i)
+    log.push_back({0, static_cast<ItemId>(i), i});
+  // User 1: 3 interactions.
+  for (int i = 0; i < 3; ++i)
+    log.push_back({1, static_cast<ItemId>(i + 2), 10 + i});
+  // User 2: only 2 interactions (below min history → unsplit).
+  log.push_back({2, 0, 0});
+  log.push_back({2, 1, 1});
+  return ImplicitDataset(3, 6, log);
+}
+
+TEST(SplitTest, TestItemIsChronologicallyLast) {
+  const ImplicitDataset full = MakeFull();
+  const auto split = MakeLeaveOneOutSplit(full, 1);
+  EXPECT_EQ(split.test_item[0], 4);  // last item of user 0
+  EXPECT_EQ(split.test_item[1], 4);  // item 2+2 with ts 12
+}
+
+TEST(SplitTest, SmallUsersAreNotEvaluated) {
+  const auto split = MakeLeaveOneOutSplit(MakeFull(), 1);
+  EXPECT_EQ(split.test_item[2], LeaveOneOutSplit::kNoItem);
+  EXPECT_EQ(split.dev_item[2], LeaveOneOutSplit::kNoItem);
+  // But their interactions stay in training.
+  EXPECT_EQ(split.train->UserDegree(2), 2u);
+}
+
+TEST(SplitTest, DevItemComesFromHistoryAndIsNotTest) {
+  const ImplicitDataset full = MakeFull();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto split = MakeLeaveOneOutSplit(full, seed);
+    for (UserId u = 0; u < 2; ++u) {
+      ASSERT_NE(split.dev_item[u], LeaveOneOutSplit::kNoItem);
+      EXPECT_NE(split.dev_item[u], split.test_item[u]);
+      EXPECT_TRUE(
+          full.HasInteraction(u, static_cast<ItemId>(split.dev_item[u])));
+    }
+  }
+}
+
+TEST(SplitTest, TrainExcludesHeldOutPairs) {
+  const auto split = MakeLeaveOneOutSplit(MakeFull(), 3);
+  for (UserId u = 0; u < 3; ++u) {
+    if (split.test_item[u] == LeaveOneOutSplit::kNoItem) continue;
+    EXPECT_FALSE(split.train->HasInteraction(
+        u, static_cast<ItemId>(split.test_item[u])));
+    EXPECT_FALSE(split.train->HasInteraction(
+        u, static_cast<ItemId>(split.dev_item[u])));
+  }
+}
+
+TEST(SplitTest, InteractionCountsAddUp) {
+  const ImplicitDataset full = MakeFull();
+  const auto split = MakeLeaveOneOutSplit(full, 7);
+  // Two evaluated users each lose 2 interactions (dev + test).
+  EXPECT_EQ(split.train->num_interactions(), full.num_interactions() - 4);
+  EXPECT_EQ(split.NumEvalUsers(), 2u);
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  const ImplicitDataset full = MakeFull();
+  const auto a = MakeLeaveOneOutSplit(full, 42);
+  const auto b = MakeLeaveOneOutSplit(full, 42);
+  EXPECT_EQ(a.dev_item, b.dev_item);
+  EXPECT_EQ(a.test_item, b.test_item);
+}
+
+TEST(SplitTest, CategoriesPropagate) {
+  ImplicitDataset full = MakeFull();
+  full.SetItemCategories({0, 1, 0, 1, 0, 1}, {"A", "B"});
+  const auto split = MakeLeaveOneOutSplit(full, 1);
+  ASSERT_TRUE(split.train->has_categories());
+  EXPECT_EQ(split.train->ItemCategory(1), 1);
+  EXPECT_EQ(split.train->CategoryName(0), "A");
+}
+
+TEST(SplitTest, MinHistoryIsRespected) {
+  const ImplicitDataset full = MakeFull();
+  // With min_history = 4, only user 0 (5 interactions) is evaluated.
+  const auto split = MakeLeaveOneOutSplit(full, 1, 4);
+  EXPECT_NE(split.test_item[0], LeaveOneOutSplit::kNoItem);
+  EXPECT_EQ(split.test_item[1], LeaveOneOutSplit::kNoItem);
+  EXPECT_EQ(split.NumEvalUsers(), 1u);
+}
+
+}  // namespace
+}  // namespace mars

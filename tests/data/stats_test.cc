@@ -1,0 +1,61 @@
+#include "data/stats.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+TEST(StatsTest, HandComputedValues) {
+  std::vector<Interaction> log = {
+      {0, 0, 0}, {0, 1, 1}, {0, 2, 2}, {1, 0, 0},
+  };
+  ImplicitDataset ds(2, 3, log);
+  const DatasetStats s = ComputeStats(ds);
+  EXPECT_EQ(s.num_users, 2u);
+  EXPECT_EQ(s.num_items, 3u);
+  EXPECT_EQ(s.num_interactions, 4u);
+  EXPECT_DOUBLE_EQ(s.density, 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.avg_user_degree, 2.0);
+  EXPECT_EQ(s.max_user_degree, 3u);
+  EXPECT_EQ(s.min_user_degree, 1u);
+  EXPECT_EQ(s.max_item_degree, 2u);
+}
+
+TEST(StatsTest, GiniZeroForUniformActivity) {
+  std::vector<Interaction> log;
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId v = 0; v < 3; ++v) log.push_back({u, v, 0});
+  }
+  ImplicitDataset ds(10, 3, log);
+  EXPECT_NEAR(ComputeStats(ds).user_activity_gini, 0.0, 1e-9);
+}
+
+TEST(StatsTest, GiniHighForConcentratedActivity) {
+  std::vector<Interaction> log;
+  for (ItemId v = 0; v < 50; ++v) log.push_back({0, v, 0});
+  log.push_back({1, 0, 0});
+  ImplicitDataset ds(10, 50, log);
+  EXPECT_GT(ComputeStats(ds).user_activity_gini, 0.7);
+}
+
+TEST(StatsTest, StringRendering) {
+  std::vector<Interaction> log = {{0, 0, 0}, {0, 1, 1}, {0, 2, 2}};
+  ImplicitDataset ds(1, 3, log);
+  const std::string s = StatsToString(ComputeStats(ds));
+  EXPECT_NE(s.find("1 users"), std::string::npos);
+  EXPECT_NE(s.find("3 items"), std::string::npos);
+  EXPECT_NE(s.find("3 interactions"), std::string::npos);
+}
+
+TEST(StatsTest, EmptyDataset) {
+  ImplicitDataset ds(0, 0, {});
+  const DatasetStats s = ComputeStats(ds);
+  EXPECT_EQ(s.num_interactions, 0u);
+  EXPECT_DOUBLE_EQ(s.density, 0.0);
+  EXPECT_DOUBLE_EQ(s.user_activity_gini, 0.0);
+}
+
+}  // namespace
+}  // namespace mars

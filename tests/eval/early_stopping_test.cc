@@ -1,0 +1,56 @@
+#include "eval/early_stopping.h"
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+TEST(EarlyStoppingTest, ImprovementResetsPatience) {
+  EarlyStopper stopper(2);
+  EXPECT_FALSE(stopper.ShouldStop(0.1));
+  EXPECT_FALSE(stopper.ShouldStop(0.2));
+  EXPECT_FALSE(stopper.ShouldStop(0.15));  // bad round 1
+  EXPECT_FALSE(stopper.ShouldStop(0.3));   // improvement resets
+  EXPECT_FALSE(stopper.ShouldStop(0.25));  // bad round 1
+  EXPECT_TRUE(stopper.ShouldStop(0.2));    // bad round 2 → stop
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatienceExhausted) {
+  EarlyStopper stopper(3);
+  EXPECT_FALSE(stopper.ShouldStop(0.5));
+  EXPECT_FALSE(stopper.ShouldStop(0.4));
+  EXPECT_FALSE(stopper.ShouldStop(0.4));
+  EXPECT_TRUE(stopper.ShouldStop(0.4));
+}
+
+TEST(EarlyStoppingTest, TracksBest) {
+  EarlyStopper stopper(5);
+  stopper.ShouldStop(0.1);
+  stopper.ShouldStop(0.7);
+  stopper.ShouldStop(0.3);
+  EXPECT_DOUBLE_EQ(stopper.best(), 0.7);
+}
+
+TEST(EarlyStoppingTest, MinDeltaFiltersNoise) {
+  EarlyStopper stopper(1, 0.05);
+  EXPECT_FALSE(stopper.ShouldStop(0.5));
+  // +0.01 is below min_delta → counts as non-improving.
+  EXPECT_TRUE(stopper.ShouldStop(0.51));
+}
+
+TEST(EarlyStoppingTest, PatienceOneStopsImmediately) {
+  EarlyStopper stopper(1);
+  EXPECT_FALSE(stopper.ShouldStop(1.0));
+  EXPECT_TRUE(stopper.ShouldStop(0.9));
+}
+
+TEST(EarlyStoppingTest, BadRoundCounter) {
+  EarlyStopper stopper(10);
+  stopper.ShouldStop(0.5);
+  stopper.ShouldStop(0.4);
+  stopper.ShouldStop(0.3);
+  EXPECT_EQ(stopper.bad_rounds(), 2u);
+}
+
+}  // namespace
+}  // namespace mars

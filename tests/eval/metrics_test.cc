@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+TEST(MetricsTest, HitAtCutoff) {
+  EXPECT_DOUBLE_EQ(HitAt(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitAt(9, 10), 1.0);
+  EXPECT_DOUBLE_EQ(HitAt(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(HitAt(100, 10), 0.0);
+}
+
+TEST(MetricsTest, NdcgTopRankIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgAt(0, 10), 1.0);
+}
+
+TEST(MetricsTest, NdcgDecaysWithRank) {
+  for (size_t r = 1; r < 10; ++r) {
+    EXPECT_LT(NdcgAt(r, 10), NdcgAt(r - 1, 10));
+  }
+}
+
+TEST(MetricsTest, NdcgMatchesFormula) {
+  EXPECT_NEAR(NdcgAt(1, 10), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_NEAR(NdcgAt(4, 10), 1.0 / std::log2(6.0), 1e-12);
+}
+
+TEST(MetricsTest, NdcgZeroOutsideCutoff) {
+  EXPECT_DOUBLE_EQ(NdcgAt(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAt(19, 10), 0.0);
+  EXPECT_GT(NdcgAt(19, 20), 0.0);
+}
+
+TEST(MetricsTest, GetByName) {
+  RankingMetrics m;
+  m.hr10 = 0.1;
+  m.hr20 = 0.2;
+  m.ndcg10 = 0.3;
+  m.ndcg20 = 0.4;
+  EXPECT_DOUBLE_EQ(m.Get("HR@10"), 0.1);
+  EXPECT_DOUBLE_EQ(m.Get("HR@20"), 0.2);
+  EXPECT_DOUBLE_EQ(m.Get("nDCG@10"), 0.3);
+  EXPECT_DOUBLE_EQ(m.Get("nDCG@20"), 0.4);
+}
+
+TEST(MetricsTest, HrDominatesNdcg) {
+  // For a single relevant item nDCG@N ≤ HR@N at every rank.
+  for (size_t r = 0; r < 25; ++r) {
+    EXPECT_LE(NdcgAt(r, 10), HitAt(r, 10));
+    EXPECT_LE(NdcgAt(r, 20), HitAt(r, 20));
+  }
+}
+
+}  // namespace
+}  // namespace mars

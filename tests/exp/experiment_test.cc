@@ -1,0 +1,89 @@
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mars {
+namespace {
+
+std::shared_ptr<ImplicitDataset> TinyDataset() {
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  // Must exceed the evaluator's 100 sampled negatives per user.
+  cfg.num_items = 160;
+  cfg.target_interactions = 1500;
+  cfg.num_facets = 2;
+  cfg.num_categories = 6;
+  cfg.seed = 99;
+  return GenerateSyntheticDataset(cfg);
+}
+
+TEST(ModelZooTest, TenModelsInOrder) {
+  const auto& models = AllModels();
+  ASSERT_EQ(models.size(), 10u);
+  EXPECT_EQ(ModelName(models.front()), "BPR");
+  EXPECT_EQ(ModelName(models.back()), "MARS");
+}
+
+TEST(ModelZooTest, MakeModelProducesDistinctNames) {
+  for (ModelId id : AllModels()) {
+    const auto model = MakeModel(id);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), ModelName(id));
+  }
+}
+
+TEST(ModelZooTest, OverridesAreApplied) {
+  ZooOverrides ov;
+  ov.dim = 8;
+  ov.num_facets = 2;
+  ov.lambda_pull = 0.5;
+  ov.lambda_facet = 0.0;
+  const auto model = MakeModel(ModelId::kMars, ov);
+  auto* mars_model = dynamic_cast<Mars*>(model.get());
+  ASSERT_NE(mars_model, nullptr);
+  EXPECT_EQ(mars_model->config().dim, 8u);
+  EXPECT_EQ(mars_model->config().num_facets, 2u);
+  EXPECT_DOUBLE_EQ(mars_model->config().lambda_pull, 0.5);
+  EXPECT_DOUBLE_EQ(mars_model->config().lambda_facet, 0.0);
+}
+
+TEST(ModelZooTest, FastOptionsShrinkEpochs) {
+  for (ModelId id : AllModels()) {
+    EXPECT_LT(HarnessTrainOptions(id, true).epochs,
+              HarnessTrainOptions(id, false).epochs);
+  }
+}
+
+TEST(ExperimentTest, DataPreparationIsConsistent) {
+  ExperimentData data(TinyDataset(), 7);
+  EXPECT_GT(data.train().num_interactions(), 0u);
+  EXPECT_EQ(data.dev_evaluator().NumEvalUsers(),
+            data.test_evaluator().NumEvalUsers());
+  EXPECT_LT(data.train().num_interactions(), data.full().num_interactions());
+}
+
+TEST(ExperimentTest, RunZooExperimentEndToEnd) {
+  ExperimentData data(TinyDataset(), 7);
+  const ExperimentResult result =
+      RunZooExperiment(ModelId::kCml, &data, "Tiny", {}, /*fast=*/true);
+  EXPECT_EQ(result.model, "CML");
+  EXPECT_EQ(result.dataset, "Tiny");
+  EXPECT_GT(result.test.users_evaluated, 0u);
+  EXPECT_GT(result.test.hr10, 10.0 / 101.0);  // beats chance
+  EXPECT_GT(result.train_seconds, 0.0);
+}
+
+TEST(ExperimentTest, MarsRunsThroughHarness) {
+  ExperimentData data(TinyDataset(), 7);
+  ZooOverrides ov;
+  ov.dim = 16;
+  ov.num_facets = 2;
+  const ExperimentResult result =
+      RunZooExperiment(ModelId::kMars, &data, "Tiny", ov, /*fast=*/true);
+  EXPECT_GT(result.test.hr10, 10.0 / 101.0);
+}
+
+}  // namespace
+}  // namespace mars

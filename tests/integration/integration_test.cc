@@ -1,0 +1,118 @@
+// Cross-module integration tests: the full pipeline from synthetic data
+// generation through splitting, training, evaluation, and case-study
+// analysis, exercising the library the way the bench harness and examples
+// do.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "analysis/facet_analysis.h"
+#include "analysis/pca.h"
+#include "common/thread_pool.h"
+#include "data/benchmark_datasets.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "exp/experiment.h"
+#include "models/cml.h"
+
+namespace mars {
+namespace {
+
+constexpr double kChanceHr10 = 10.0 / 101.0;
+
+TEST(IntegrationTest, FastBenchmarkPipelineCmlVsMars) {
+  ExperimentData data(MakeBenchmarkDataset(BenchmarkId::kDelicious, true), 3);
+  ThreadPool pool(2);
+
+  const auto cml = RunZooExperiment(ModelId::kCml, &data, "Delicious", {},
+                                    /*fast=*/true, &pool);
+  const auto mars = RunZooExperiment(ModelId::kMars, &data, "Delicious", {},
+                                     /*fast=*/true, &pool);
+  EXPECT_GT(cml.test.hr10, kChanceHr10);
+  EXPECT_GT(mars.test.hr10, kChanceHr10);
+  // MARS should be competitive with CML on multi-facet data even in a
+  // fast-mode run (allow noise but catch gross regressions).
+  EXPECT_GT(mars.test.hr10, cml.test.hr10 * 0.8);
+}
+
+TEST(IntegrationTest, CaseStudyPipelineProducesAnalyzableModel) {
+  const auto full = MakeBenchmarkDataset(BenchmarkId::kCiao, true);
+  const auto split = MakeLeaveOneOutSplit(*full, 5);
+
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 4;
+  cfg.theta_nmf_iterations = 5;
+  Mars model(cfg);
+  TrainOptions opts;
+  opts.epochs = 5;
+  opts.learning_rate = 0.1;
+  model.Fit(*split.train, opts);
+
+  const FacetView view = MakeFacetView(model);
+
+  // Table V analogue: shares exist for every facet.
+  const auto shares = FacetCategoryShares(view, *split.train);
+  ASSERT_EQ(shares.size(), 4u);
+  EXPECT_FALSE(shares[0].empty());
+
+  // Fig. 7 analogue: stack + PCA + separation.
+  const Matrix emb = StackItemFacetEmbeddings(view, full->num_items(), 0);
+  const PcaResult pca = ComputePca(emb, 2);
+  EXPECT_EQ(pca.projected.cols(), 2u);
+  std::vector<int> cats(full->num_items());
+  for (ItemId v = 0; v < full->num_items(); ++v)
+    cats[v] = full->ItemCategory(v);
+  const SeparationStats stats = ComputeSeparation(emb, cats);
+  EXPECT_GT(stats.mean_inter, 0.0);
+
+  // Table VI analogue: profile a user.
+  const UserFacetProfile profile = ProfileUser(view, *split.train, 0);
+  EXPECT_EQ(profile.theta.size(), 4u);
+}
+
+TEST(IntegrationTest, MarsBeatsCmlOnStronglyMultiFacetData) {
+  // Plant very strong facet structure; the multi-space model must win.
+  SyntheticConfig cfg;
+  cfg.num_users = 250;
+  cfg.num_items = 200;
+  cfg.target_interactions = 5000;
+  cfg.num_facets = 4;
+  cfg.num_categories = 12;
+  cfg.affinity_sharpness = 12.0;
+  cfg.facet_dirichlet = 0.3;
+  cfg.seed = 1234;
+  ExperimentData data(GenerateSyntheticDataset(cfg), 11);
+  ThreadPool pool(2);
+
+  Cml cml(CmlConfig{.dim = 16});
+  TrainOptions cml_opts;
+  cml_opts.epochs = 15;
+  cml_opts.learning_rate = 0.05;
+  const auto cml_res = RunExperiment(&cml, &data, cml_opts, "planted", &pool);
+
+  MultiFacetConfig mcfg;
+  mcfg.dim = 16;
+  mcfg.num_facets = 4;
+  Mars mars_model(mcfg);
+  TrainOptions mars_opts;
+  mars_opts.epochs = 15;
+  mars_opts.learning_rate = 0.1;
+  const auto mars_res =
+      RunExperiment(&mars_model, &data, mars_opts, "planted", &pool);
+
+  EXPECT_GT(mars_res.test.hr10, cml_res.test.hr10);
+}
+
+TEST(IntegrationTest, AllBenchmarksSurviveFastCmlRun) {
+  ThreadPool pool(2);
+  for (BenchmarkId id : AllBenchmarks()) {
+    ExperimentData data(MakeBenchmarkDataset(id, true), 3);
+    const auto result = RunZooExperiment(ModelId::kCml, &data,
+                                         BenchmarkName(id), {}, true, &pool);
+    EXPECT_GT(result.test.hr10, 0.0) << BenchmarkName(id);
+  }
+}
+
+}  // namespace
+}  // namespace mars

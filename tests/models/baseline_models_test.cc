@@ -1,0 +1,190 @@
+// End-to-end training tests for all baseline recommenders: each model must
+// beat the ~0.099 chance HR@10 of the 100-negative protocol on a small
+// dense synthetic dataset, and must respect its structural constraints
+// (ball norms, learnable margin ranges).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/vec.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/bpr.h"
+#include "models/cml.h"
+#include "models/lrml.h"
+#include "models/metricf.h"
+#include "models/neumf.h"
+#include "models/nmf.h"
+#include "models/sml.h"
+#include "models/transcf.h"
+
+namespace mars {
+namespace {
+
+constexpr double kChanceHr10 = 10.0 / 101.0;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.num_users = 150;
+    cfg.num_items = 120;
+    cfg.target_interactions = 2500;
+    cfg.num_facets = 3;
+    cfg.num_categories = 9;
+    cfg.affinity_sharpness = 10.0;
+    cfg.seed = 71;
+    full_ = GenerateSyntheticDataset(cfg);
+    split_ = MakeLeaveOneOutSplit(*full_, 5);
+    evaluator_ = std::make_unique<Evaluator>(*split_.train, split_.test_item,
+                                             EvalProtocol{});
+  }
+
+  TrainOptions FastOptions(double lr = 0.05) const {
+    TrainOptions opts;
+    opts.epochs = 10;
+    opts.learning_rate = lr;
+    opts.seed = 3;
+    return opts;
+  }
+
+  double TrainAndScore(Recommender* model, const TrainOptions& opts) {
+    model->Fit(*split_.train, opts);
+    return evaluator_->Evaluate(*model).hr10;
+  }
+
+  std::shared_ptr<ImplicitDataset> full_;
+  LeaveOneOutSplit split_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(BaselineFixture, BprBeatsChance) {
+  Bpr model(BprConfig{.dim = 16});
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, BprWithoutBiasAlsoTrains) {
+  BprConfig cfg;
+  cfg.dim = 16;
+  cfg.use_item_bias = false;
+  Bpr model(cfg);
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.3);
+}
+
+TEST_F(BaselineFixture, NmfBeatsChance) {
+  Nmf model(NmfConfig{.factors = 16});
+  TrainOptions opts;
+  opts.epochs = 30;
+  EXPECT_GT(TrainAndScore(&model, opts), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, NeuMfBeatsChance) {
+  NeuMfConfig cfg;
+  cfg.gmf_dim = 8;
+  cfg.mlp_dim = 8;
+  cfg.hidden = {16, 8};
+  NeuMf model(cfg);
+  TrainOptions opts = FastOptions(0.02);
+  opts.epochs = 8;
+  EXPECT_GT(TrainAndScore(&model, opts), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, CmlBeatsChance) {
+  Cml model(CmlConfig{.dim = 16});
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, CmlEmbeddingsStayInBall) {
+  Cml model(CmlConfig{.dim = 16});
+  model.Fit(*split_.train, FastOptions());
+  const Matrix& users = model.user_embeddings();
+  const Matrix& items = model.item_embeddings();
+  for (size_t r = 0; r < users.rows(); ++r) {
+    EXPECT_LE(Norm(users.Row(r), users.cols()), 1.0f + 1e-5f);
+  }
+  for (size_t r = 0; r < items.rows(); ++r) {
+    EXPECT_LE(Norm(items.Row(r), items.cols()), 1.0f + 1e-5f);
+  }
+}
+
+TEST_F(BaselineFixture, MetricFBeatsChance) {
+  MetricF model(MetricFConfig{.dim = 16});
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, TransCfBeatsChance) {
+  TransCf model(TransCfConfig{.dim = 16});
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, LrmlBeatsChance) {
+  LrmlConfig cfg;
+  cfg.dim = 16;
+  cfg.memory_slots = 8;
+  Lrml model(cfg);
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, SmlBeatsChance) {
+  Sml model(SmlConfig{.dim = 16});
+  EXPECT_GT(TrainAndScore(&model, FastOptions()), kChanceHr10 * 1.5);
+}
+
+TEST_F(BaselineFixture, SmlMarginsStayInRange) {
+  SmlConfig cfg;
+  cfg.dim = 16;
+  cfg.margin_cap = 1.0;
+  Sml model(cfg);
+  model.Fit(*split_.train, FastOptions());
+  for (float m : model.user_margins()) {
+    EXPECT_GE(m, 0.0f);
+    EXPECT_LE(m, 1.0f);
+  }
+  for (float m : model.item_margins()) {
+    EXPECT_GE(m, 0.0f);
+    EXPECT_LE(m, 1.0f);
+  }
+}
+
+TEST_F(BaselineFixture, MetricLearningBeatsMfOnMultiFacetData) {
+  // The paper's central observation: metric models top MF models. On this
+  // small dataset we check CML ≥ BPR within noise (no strict dominance
+  // asserted — just that CML is not drastically worse).
+  Bpr bpr(BprConfig{.dim = 16});
+  const double bpr_hr = TrainAndScore(&bpr, FastOptions());
+  Cml cml(CmlConfig{.dim = 16});
+  const double cml_hr = TrainAndScore(&cml, FastOptions());
+  EXPECT_GT(cml_hr, bpr_hr * 0.7);
+}
+
+TEST_F(BaselineFixture, DeterministicTraining) {
+  Cml a(CmlConfig{.dim = 8});
+  Cml b(CmlConfig{.dim = 8});
+  TrainOptions opts = FastOptions();
+  opts.epochs = 3;
+  a.Fit(*split_.train, opts);
+  b.Fit(*split_.train, opts);
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId v = 0; v < 10; ++v) {
+      EXPECT_FLOAT_EQ(a.Score(u, v), b.Score(u, v));
+    }
+  }
+}
+
+TEST_F(BaselineFixture, EarlyStoppingRuns) {
+  Cml model(CmlConfig{.dim = 16});
+  TrainOptions opts = FastOptions();
+  opts.epochs = 20;
+  opts.eval_every = 2;
+  opts.patience = 1;
+  EvalProtocol dev_protocol;
+  Evaluator dev(*split_.train, split_.dev_item, dev_protocol);
+  opts.dev_evaluator = &dev;
+  model.Fit(*split_.train, opts);
+  // Must complete without issue and still beat chance on the test split.
+  EXPECT_GT(evaluator_->Evaluate(model).hr10, kChanceHr10);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,177 @@
+#include "opt/sphere.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+namespace {
+
+std::vector<float> RandomUnit(Rng* rng, size_t n) {
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng->Normal());
+  NormalizeInPlace(x.data(), n);
+  return x;
+}
+
+TEST(SphereTest, TangentProjectionIsOrthogonal) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto x = RandomUnit(&rng, 8);
+    std::vector<float> g(8);
+    for (auto& v : g) v = static_cast<float>(rng.Normal());
+    TangentProject(x.data(), g.data(), 8);
+    EXPECT_NEAR(Dot(x.data(), g.data(), 8), 0.0f, 1e-5f);
+  }
+}
+
+TEST(SphereTest, TangentProjectionIsIdempotent) {
+  Rng rng(2);
+  auto x = RandomUnit(&rng, 16);
+  std::vector<float> g(16);
+  for (auto& v : g) v = static_cast<float>(rng.Normal());
+  TangentProject(x.data(), g.data(), 16);
+  std::vector<float> g2 = g;
+  TangentProject(x.data(), g2.data(), 16);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(g[i], g2[i], 1e-5f);
+  }
+}
+
+TEST(SphereTest, RetractionKeepsUnitNorm) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto x = RandomUnit(&rng, 8);
+    std::vector<float> z(8);
+    for (auto& v : z) v = static_cast<float>(rng.Normal(0.0, 0.3));
+    ASSERT_TRUE(Retract(x.data(), z.data(), 8));
+    EXPECT_NEAR(Norm(x.data(), 8), 1.0f, 1e-5f);
+  }
+}
+
+TEST(SphereTest, RetractionWithZeroStepIsIdentity) {
+  Rng rng(4);
+  auto x = RandomUnit(&rng, 8);
+  const auto before = x;
+  std::vector<float> z(8, 0.0f);
+  ASSERT_TRUE(Retract(x.data(), z.data(), 8));
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], before[i], 1e-6f);
+}
+
+TEST(SphereTest, DegenerateRetractionRejected) {
+  std::vector<float> x = {1.0f, 0.0f};
+  std::vector<float> z = {-1.0f, 0.0f};  // x + z = 0
+  EXPECT_FALSE(Retract(x.data(), z.data(), 2));
+  // x restored.
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+}
+
+TEST(SphereTest, CalibrationFactorRange) {
+  // For unit x, factor = 1 + cos(angle(x, g)) ∈ [0, 2].
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto x = RandomUnit(&rng, 8);
+    std::vector<float> g(8);
+    for (auto& v : g) v = static_cast<float>(rng.Normal());
+    const float f = CalibrationFactor(x.data(), g.data(), 8);
+    EXPECT_GE(f, -1e-5f);
+    EXPECT_LE(f, 2.0f + 1e-5f);
+  }
+}
+
+TEST(SphereTest, CalibrationFactorExtremes) {
+  std::vector<float> x = {1.0f, 0.0f};
+  std::vector<float> aligned = {2.0f, 0.0f};
+  std::vector<float> opposed = {-3.0f, 0.0f};
+  std::vector<float> orthogonal = {0.0f, 5.0f};
+  EXPECT_NEAR(CalibrationFactor(x.data(), aligned.data(), 2), 2.0f, 1e-6f);
+  EXPECT_NEAR(CalibrationFactor(x.data(), opposed.data(), 2), 0.0f, 1e-6f);
+  EXPECT_NEAR(CalibrationFactor(x.data(), orthogonal.data(), 2), 1.0f, 1e-6f);
+}
+
+TEST(SphereTest, CalibrationFactorZeroGradient) {
+  std::vector<float> x = {1.0f, 0.0f};
+  std::vector<float> zero = {0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(CalibrationFactor(x.data(), zero.data(), 2), 1.0f);
+}
+
+TEST(SphereTest, RsgdStepStaysOnSphere) {
+  Rng rng(6);
+  auto x = RandomUnit(&rng, 16);
+  std::vector<float> scratch(16);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<float> g(16);
+    for (auto& v : g) v = static_cast<float>(rng.Normal());
+    RiemannianSgdStep(x.data(), g.data(), 0.1f, 16, scratch.data(), true);
+    ASSERT_NEAR(Norm(x.data(), 16), 1.0f, 1e-4f) << "step " << step;
+  }
+}
+
+// Maximizing <x, target> on the sphere: gradient of the loss -<x,t> is -t.
+class RsgdConvergence : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RsgdConvergence, ConvergesToTargetDirection) {
+  // Note the calibrated variant anneals: the factor 1 + x·∇f/||∇f||
+  // approaches 0 as x aligns with the target, so its tail convergence is
+  // polynomial rather than exponential — hence the longer budget and the
+  // slightly looser threshold.
+  const bool calibrated = GetParam();
+  Rng rng(7);
+  auto x = RandomUnit(&rng, 8);
+  auto target = RandomUnit(&rng, 8);
+  std::vector<float> g(8), scratch(8);
+  const int steps = calibrated ? 4000 : 500;
+  for (int step = 0; step < steps; ++step) {
+    for (size_t i = 0; i < 8; ++i) g[i] = -target[i];  // ∇(-<x,t>)
+    RiemannianSgdStep(x.data(), g.data(), 0.05f, 8, scratch.data(),
+                      calibrated);
+  }
+  EXPECT_GT(Dot(x.data(), target.data(), 8), calibrated ? 0.95f : 0.99f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, RsgdConvergence, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Calibrated" : "Plain";
+                         });
+
+TEST(SphereTest, CalibratedConvergesFasterFromAntipode) {
+  // Start nearly opposite to the target: the calibration factor is small
+  // near the antipode but grows as the iterate turns toward the target,
+  // matching the paper's Fig. 4 intuition. Both must converge; we check
+  // the calibrated path is not slower in the tail.
+  std::vector<float> target = {1.0f, 0.0f, 0.0f, 0.0f};
+  auto run = [&](bool calibrated) {
+    std::vector<float> x = {-0.95f, 0.3122f, 0.0f, 0.0f};
+    NormalizeInPlace(x.data(), 4);
+    std::vector<float> g(4), scratch(4);
+    int steps = 0;
+    while (Dot(x.data(), target.data(), 4) < 0.99f && steps < 10000) {
+      for (size_t i = 0; i < 4; ++i) g[i] = -target[i];
+      RiemannianSgdStep(x.data(), g.data(), 0.05f, 4, scratch.data(),
+                        calibrated);
+      ++steps;
+    }
+    return steps;
+  };
+  const int plain = run(false);
+  const int calib = run(true);
+  EXPECT_LT(plain, 10000);
+  EXPECT_LT(calib, 10000);
+}
+
+TEST(SphereTest, ZeroGradientIsNoop) {
+  Rng rng(8);
+  auto x = RandomUnit(&rng, 8);
+  const auto before = x;
+  std::vector<float> g(8, 0.0f), scratch(8);
+  RiemannianSgdStep(x.data(), g.data(), 0.5f, 8, scratch.data(), true);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], before[i], 1e-6f);
+}
+
+}  // namespace
+}  // namespace mars

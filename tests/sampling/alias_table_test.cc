@@ -1,0 +1,107 @@
+#include "sampling/alias_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mars {
+namespace {
+
+TEST(AliasTableTest, SingleElement) {
+  AliasTable table({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(table.Sample(&rng), 0u);
+  }
+  EXPECT_DOUBLE_EQ(table.Probability(0), 1.0);
+}
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  AliasTable table({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(table.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.Probability(1), 0.75);
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(42);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), expected, 0.01)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({1.0, 0.0, 1.0});
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_NE(table.Sample(&rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table(std::vector<double>(10, 1.0));
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.1, 0.01);
+  }
+}
+
+TEST(AliasTableTest, ExtremeSkew) {
+  // One heavy element among many tiny ones.
+  std::vector<double> weights(100, 1e-6);
+  weights[37] = 1.0;
+  AliasTable table(weights);
+  Rng rng(13);
+  int heavy = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (table.Sample(&rng) == 37u) ++heavy;
+  }
+  EXPECT_GT(heavy, n * 0.99);
+}
+
+TEST(AliasTableTest, LargeTableChiSquare) {
+  // Chi-square goodness of fit over a big random table.
+  Rng wgen(17);
+  std::vector<double> weights(500);
+  for (double& w : weights) w = wgen.Uniform(0.1, 2.0);
+  double total = 0.0;
+  for (double w : weights) total += w;
+
+  AliasTable table(weights);
+  Rng rng(19);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+
+  double chi2 = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = n * weights[i] / total;
+    const double diff = counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 499 dof: mean 499, stddev ~31.6; 5 sigma ≈ 657.
+  EXPECT_LT(chi2, 660.0);
+}
+
+TEST(AliasTableTest, ProbabilitiesSumToOne) {
+  AliasTable table({0.5, 1.5, 2.0, 0.0, 4.0});
+  double sum = 0.0;
+  for (size_t i = 0; i < table.size(); ++i) sum += table.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mars

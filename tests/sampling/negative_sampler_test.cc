@@ -1,0 +1,121 @@
+#include "sampling/negative_sampler.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mars {
+namespace {
+
+TEST(NegativeSamplerTest, NeverReturnsPositive) {
+  std::vector<Interaction> log = {
+      {0, 1, 0}, {0, 3, 1}, {0, 5, 2},
+  };
+  ImplicitDataset ds(1, 10, log);
+  NegativeSampler sampler(ds);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    ItemId v;
+    ASSERT_TRUE(sampler.Sample(0, &rng, &v));
+    EXPECT_FALSE(ds.HasInteraction(0, v));
+  }
+}
+
+TEST(NegativeSamplerTest, CoversAllNegatives) {
+  std::vector<Interaction> log = {{0, 0, 0}, {0, 2, 1}};
+  ImplicitDataset ds(1, 6, log);
+  NegativeSampler sampler(ds);
+  Rng rng(2);
+  std::set<ItemId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    ItemId v;
+    ASSERT_TRUE(sampler.Sample(0, &rng, &v));
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen, (std::set<ItemId>{1, 3, 4, 5}));
+}
+
+TEST(NegativeSamplerTest, DenseUserFallbackIsExact) {
+  // User interacted with every item except item 7 — rejection will fail,
+  // forcing the rank-walk fallback.
+  std::vector<Interaction> log;
+  for (ItemId v = 0; v < 100; ++v) {
+    if (v == 7) continue;
+    log.push_back({0, v, static_cast<int64_t>(v)});
+  }
+  ImplicitDataset ds(1, 100, log);
+  NegativeSampler sampler(ds);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    ItemId v;
+    ASSERT_TRUE(sampler.Sample(0, &rng, &v));
+    EXPECT_EQ(v, 7u);
+  }
+}
+
+TEST(NegativeSamplerTest, FullyDenseUserFails) {
+  std::vector<Interaction> log;
+  for (ItemId v = 0; v < 5; ++v) log.push_back({0, v, 0});
+  ImplicitDataset ds(1, 5, log);
+  NegativeSampler sampler(ds);
+  Rng rng(4);
+  ItemId v;
+  EXPECT_FALSE(sampler.Sample(0, &rng, &v));
+}
+
+TEST(NegativeSamplerTest, UserWithNoHistorySamplesAnyItem) {
+  ImplicitDataset ds(2, 8, {{0, 1, 0}});
+  NegativeSampler sampler(ds);
+  Rng rng(5);
+  std::set<ItemId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    ItemId v;
+    ASSERT_TRUE(sampler.Sample(1, &rng, &v));
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(NegativeSamplerTest, ApproximatelyUniformOverNegatives) {
+  std::vector<Interaction> log = {{0, 0, 0}};
+  ImplicitDataset ds(1, 5, log);
+  NegativeSampler sampler(ds);
+  Rng rng(6);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ItemId v;
+    ASSERT_TRUE(sampler.Sample(0, &rng, &v));
+    ++counts[v];
+  }
+  EXPECT_EQ(counts[0], 0);
+  for (ItemId v = 1; v < 5; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(n), 0.25, 0.01);
+  }
+}
+
+class DenseFallbackSweep : public ::testing::TestWithParam<ItemId> {};
+
+TEST_P(DenseFallbackSweep, FindsTheOnlyHole) {
+  const ItemId hole = GetParam();
+  std::vector<Interaction> log;
+  for (ItemId v = 0; v < 20; ++v) {
+    if (v == hole) continue;
+    log.push_back({0, v, static_cast<int64_t>(v)});
+  }
+  ImplicitDataset ds(1, 20, log);
+  NegativeSampler sampler(ds);
+  Rng rng(7);
+  ItemId v;
+  ASSERT_TRUE(sampler.Sample(0, &rng, &v));
+  EXPECT_EQ(v, hole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Holes, DenseFallbackSweep,
+                         ::testing::Values(0u, 1u, 9u, 18u, 19u));
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,97 @@
+#include "sampling/triplet_sampler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace mars {
+namespace {
+
+std::shared_ptr<ImplicitDataset> SmallDataset() {
+  SyntheticConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_items = 40;
+  cfg.target_interactions = 500;
+  cfg.num_facets = 2;
+  cfg.num_categories = 4;
+  cfg.seed = 9;
+  return GenerateSyntheticDataset(cfg);
+}
+
+TEST(TripletSamplerTest, TripletsAreValidUniformMode) {
+  const auto ds = SmallDataset();
+  TripletSampler sampler(*ds, TripletUserMode::kUniformInteraction);
+  Rng rng(1);
+  Triplet t;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(sampler.Sample(&rng, &t));
+    EXPECT_TRUE(ds->HasInteraction(t.user, t.positive));
+    EXPECT_FALSE(ds->HasInteraction(t.user, t.negative));
+  }
+}
+
+TEST(TripletSamplerTest, TripletsAreValidBiasedMode) {
+  const auto ds = SmallDataset();
+  TripletSampler sampler(*ds, TripletUserMode::kFrequencyBiased, 0.8);
+  Rng rng(2);
+  Triplet t;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(sampler.Sample(&rng, &t));
+    EXPECT_TRUE(ds->HasInteraction(t.user, t.positive));
+    EXPECT_FALSE(ds->HasInteraction(t.user, t.negative));
+  }
+}
+
+TEST(TripletSamplerTest, UniformModeWeightsUsersByActivity) {
+  // In uniform-interaction mode, a user with twice the interactions should
+  // appear about twice as often.
+  std::vector<Interaction> log;
+  for (int i = 0; i < 10; ++i) log.push_back({0, static_cast<ItemId>(i), i});
+  for (int i = 0; i < 20; ++i) log.push_back({1, static_cast<ItemId>(i), i});
+  ImplicitDataset ds(2, 40, log);
+  TripletSampler sampler(ds, TripletUserMode::kUniformInteraction);
+  Rng rng(3);
+  int user1 = 0;
+  const int n = 50000;
+  Triplet t;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(sampler.Sample(&rng, &t));
+    if (t.user == 1) ++user1;
+  }
+  EXPECT_NEAR(user1 / static_cast<double>(n), 2.0 / 3.0, 0.02);
+}
+
+TEST(TripletSamplerTest, BiasedModeCompressesActivitySkew) {
+  std::vector<Interaction> log;
+  for (int i = 0; i < 2; ++i) log.push_back({0, static_cast<ItemId>(i), i});
+  for (int i = 0; i < 32; ++i) log.push_back({1, static_cast<ItemId>(i), i});
+  ImplicitDataset ds(2, 64, log);
+  // Raw share of user 1 = 32/34 ≈ 0.94; with β=0.5 it should be around
+  // sqrt(32)/(sqrt(2)+sqrt(32)) ≈ 0.8.
+  TripletSampler sampler(ds, TripletUserMode::kFrequencyBiased, 0.5);
+  Rng rng(4);
+  int user1 = 0;
+  const int n = 50000;
+  Triplet t;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(sampler.Sample(&rng, &t));
+    if (t.user == 1) ++user1;
+  }
+  const double share = user1 / static_cast<double>(n);
+  EXPECT_LT(share, 0.85);
+  EXPECT_GT(share, 0.75);
+}
+
+TEST(TripletSamplerTest, ModeAccessor) {
+  const auto ds = SmallDataset();
+  TripletSampler a(*ds, TripletUserMode::kUniformInteraction);
+  TripletSampler b(*ds, TripletUserMode::kFrequencyBiased);
+  EXPECT_EQ(a.mode(), TripletUserMode::kUniformInteraction);
+  EXPECT_EQ(b.mode(), TripletUserMode::kFrequencyBiased);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,82 @@
+#include "sampling/user_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mars {
+namespace {
+
+ImplicitDataset SkewedDataset() {
+  // user 0: 1 item, user 1: 4 items, user 2: 16 items, user 3: none.
+  std::vector<Interaction> log;
+  log.push_back({0, 0, 0});
+  for (int i = 0; i < 4; ++i) log.push_back({1, static_cast<ItemId>(i), i});
+  for (int i = 0; i < 16; ++i) log.push_back({2, static_cast<ItemId>(i), i});
+  return ImplicitDataset(4, 20, log);
+}
+
+TEST(UserSamplerTest, ZeroDegreeUsersNeverSampled) {
+  const ImplicitDataset ds = SkewedDataset();
+  UserSampler sampler(ds, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(sampler.Sample(&rng), 3u);
+  }
+  EXPECT_DOUBLE_EQ(sampler.Probability(3), 0.0);
+}
+
+TEST(UserSamplerTest, BetaZeroIsUniformOverActiveUsers) {
+  const ImplicitDataset ds = SkewedDataset();
+  UserSampler sampler(ds, 0.0);
+  EXPECT_NEAR(sampler.Probability(0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sampler.Probability(1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sampler.Probability(2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(UserSamplerTest, BetaOneIsProportionalToFrequency) {
+  const ImplicitDataset ds = SkewedDataset();
+  UserSampler sampler(ds, 1.0);
+  EXPECT_NEAR(sampler.Probability(0), 1.0 / 21.0, 1e-12);
+  EXPECT_NEAR(sampler.Probability(1), 4.0 / 21.0, 1e-12);
+  EXPECT_NEAR(sampler.Probability(2), 16.0 / 21.0, 1e-12);
+}
+
+TEST(UserSamplerTest, PaperBetaCompressesTheSkew) {
+  const ImplicitDataset ds = SkewedDataset();
+  UserSampler sampler(ds, 0.8);
+  // freq^0.8: 1, 4^0.8≈3.03, 16^0.8≈9.19; compare to raw frequencies.
+  const double p2_biased = sampler.Probability(2);
+  const double p2_raw = 16.0 / 21.0;
+  EXPECT_LT(p2_biased, p2_raw);  // smoothing reduces the heavy user's share
+  EXPECT_GT(p2_biased, 1.0 / 3.0);  // but it still exceeds uniform
+}
+
+TEST(UserSamplerTest, EmpiricalMatchesProbability) {
+  const ImplicitDataset ds = SkewedDataset();
+  UserSampler sampler(ds, 0.8);
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (UserId u = 0; u < 4; ++u) {
+    EXPECT_NEAR(counts[u] / static_cast<double>(n), sampler.Probability(u),
+                0.01);
+  }
+}
+
+TEST(UserSamplerTest, ProbabilitiesSumToOne) {
+  const ImplicitDataset ds = SkewedDataset();
+  for (double beta : {0.0, 0.5, 0.8, 1.0, 2.0}) {
+    UserSampler sampler(ds, beta);
+    double sum = 0.0;
+    for (UserId u = 0; u < ds.num_users(); ++u) sum += sampler.Probability(u);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "beta=" << beta;
+  }
+}
+
+}  // namespace
+}  // namespace mars
