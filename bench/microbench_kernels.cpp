@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/facet_store.h"
+#include "common/kernels.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/vec.h"
@@ -85,6 +87,138 @@ void BM_CalibratedRsgdStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CalibratedRsgdStep)->Arg(32)->Arg(128);
+
+void BM_FusedRsgdStep(benchmark::State& state) {
+  // Same update as BM_CalibratedRsgdStep via the fused single-pass kernel
+  // (no scratch buffer, no intermediate stores) — compare the two.
+  const size_t d = static_cast<size_t>(state.range(0));
+  auto x = RandomVec(d, 8);
+  NormalizeInPlace(x.data(), d);
+  const auto g = RandomVec(d, 9);
+  for (auto _ : state) {
+    FusedRiemannianSgdStep(x.data(), g.data(), 0.01f, d, true);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FusedRsgdStep)->Arg(32)->Arg(128);
+
+// --- Scalar-vs-batched scoring kernels -------------------------------------
+// One user row against a block of `rows` candidate rows at dim `d`,
+// per-row calls vs the batched kernels of common/kernels.h.
+
+constexpr size_t kBatchRows = 1024;
+
+std::vector<float> RandomBlock(size_t rows, size_t d, uint64_t seed) {
+  return RandomVec(rows * d, seed);
+}
+
+void BM_DotPerRow(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 20);
+  const auto block = RandomBlock(kBatchRows, d, 21);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      out[r] = Dot(u.data(), block.data() + r * d, d);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_DotPerRow)->Arg(32)->Arg(128);
+
+void BM_DotBatch(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 20);
+  const auto block = RandomBlock(kBatchRows, d, 21);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    DotBatch(u.data(), block.data(), kBatchRows, d, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_DotBatch)->Arg(32)->Arg(128);
+
+void BM_CosinePerRow(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 22);
+  const auto block = RandomBlock(kBatchRows, d, 23);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      out[r] = Cosine(u.data(), block.data() + r * d, d);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_CosinePerRow)->Arg(32)->Arg(128);
+
+void BM_CosineBatch(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 22);
+  const auto block = RandomBlock(kBatchRows, d, 23);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    CosineBatch(u.data(), block.data(), kBatchRows, d, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_CosineBatch)->Arg(32)->Arg(128);
+
+// --- Scattered-vs-contiguous multi-facet scoring ---------------------------
+// The MARS score Σ_k θ_k <u_k, v_k> over K=4 facets at D=32: K separate
+// Matrix tables (seed layout) vs one FacetStore entity block (this PR).
+
+void BM_FacetScoreScattered(benchmark::State& state) {
+  constexpr size_t kf = 4, d = 32, n = 4096;
+  Rng rng(24);
+  std::vector<Matrix> user(kf, Matrix(n, d)), item(kf, Matrix(n, d));
+  for (size_t k = 0; k < kf; ++k) {
+    user[k].FillNormal(&rng, 0.0f, 0.2f);
+    item[k].FillNormal(&rng, 0.0f, 0.2f);
+  }
+  const std::vector<float> w = {0.1f, 0.4f, 0.2f, 0.3f};
+  size_t v = 0;
+  for (auto _ : state) {
+    float score = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      score += w[k] * Dot(user[k].Row(0), item[k].Row(v), d);
+    }
+    benchmark::DoNotOptimize(score);
+    v = (v + 997) % n;
+  }
+  state.SetItemsProcessed(state.iterations() * kf * d);
+}
+BENCHMARK(BM_FacetScoreScattered);
+
+void BM_FacetScoreContiguous(benchmark::State& state) {
+  constexpr size_t kf = 4, d = 32, n = 4096;
+  Rng rng(24);
+  FacetStore user(n, kf, d), item(n, kf, d);
+  for (size_t e = 0; e < n; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        user.Row(e, k)[i] = static_cast<float>(rng.Normal(0.0, 0.2));
+        item.Row(e, k)[i] = static_cast<float>(rng.Normal(0.0, 0.2));
+      }
+    }
+  }
+  const std::vector<float> w = {0.1f, 0.4f, 0.2f, 0.3f};
+  size_t v = 0;
+  for (auto _ : state) {
+    const float score =
+        WeightedFacetDot(user.EntityBlock(0), user.row_stride(),
+                         item.EntityBlock(v), item.row_stride(), w.data(),
+                         kf, d);
+    benchmark::DoNotOptimize(score);
+    v = (v + 997) % n;
+  }
+  state.SetItemsProcessed(state.iterations() * kf * d);
+}
+BENCHMARK(BM_FacetScoreContiguous);
 
 void BM_PlainRsgdStep(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));

@@ -9,6 +9,7 @@
 //   5. rank unseen items for one user.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/mars.h"
@@ -16,14 +17,20 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mars;
+
+  // Optional overrides (used by scripts/ci.sh for a tiny smoke run):
+  //   quickstart [num_users] [num_items] [epochs]
+  const size_t arg_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
+  const size_t arg_items = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 500;
+  const size_t arg_epochs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 30;
 
   // 1. Data: 600 users × 500 items of multi-facet implicit feedback.
   SyntheticConfig data_cfg;
-  data_cfg.num_users = 600;
-  data_cfg.num_items = 500;
-  data_cfg.target_interactions = 12000;
+  data_cfg.num_users = arg_users;
+  data_cfg.num_items = arg_items;
+  data_cfg.target_interactions = arg_users * 20;
   data_cfg.num_facets = 4;
   data_cfg.seed = 7;
   const auto dataset = GenerateSyntheticDataset(data_cfg);
@@ -41,7 +48,7 @@ int main() {
   Mars model(model_cfg);
 
   TrainOptions train;
-  train.epochs = 30;
+  train.epochs = arg_epochs;
   train.learning_rate = 0.3;
   train.seed = 42;
   // Early stopping against the dev split.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command gate for this repo: tier-1 verify (configure, build, ctest)
+# plus a smoke run of examples/quickstart on a tiny synthetic dataset.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== quickstart smoke (tiny synthetic dataset) =="
+# Items must exceed the eval protocol's 100 sampled negatives.
+"$BUILD_DIR"/quickstart 120 200 3
+
+echo "CI OK"

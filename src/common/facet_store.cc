@@ -1,0 +1,31 @@
+#include "common/facet_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mars {
+
+FacetStore::FacetStore(size_t num_entities, size_t num_facets, size_t dim)
+    : num_entities_(num_entities), num_facets_(num_facets), dim_(dim) {
+  MARS_CHECK(num_facets >= 1);
+  MARS_CHECK(dim >= 1);
+  constexpr size_t kAlignFloats = kRowAlignBytes / sizeof(float);
+  row_stride_ = (dim + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  data_.assign(num_entities * num_facets * row_stride_, 0.0f);
+}
+
+void FacetStore::CopyEntityTo(size_t e, float* out) const {
+  if (row_stride_ == dim_) {
+    std::memcpy(out, EntityBlock(e), num_facets_ * dim_ * sizeof(float));
+    return;
+  }
+  for (size_t k = 0; k < num_facets_; ++k) {
+    std::memcpy(out + k * dim_, Row(e, k), dim_ * sizeof(float));
+  }
+}
+
+void FacetStore::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace mars

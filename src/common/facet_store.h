@@ -1,0 +1,108 @@
+// Contiguous multi-facet embedding storage.
+//
+// One buffer holds every facet embedding of every entity in
+// [entity][facet][dim] order, so the training hot path — which always
+// touches all K facet rows of the same entity (u, v⁺, v⁻) — reads one
+// contiguous block per entity instead of K rows scattered across K separate
+// Matrix allocations. Rows are padded to a 64-byte multiple (`row_stride()`
+// floats) and the buffer itself is 64-byte aligned, so every facet row
+// starts on a cache-line boundary; kernels (common/kernels.h) take the
+// stride explicitly and ignore the zeroed padding.
+#ifndef MARS_COMMON_FACET_STORE_H_
+#define MARS_COMMON_FACET_STORE_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mars {
+
+/// Minimal aligned allocator so std::vector storage lands on a cache-line
+/// boundary (value semantics of the store stay trivial).
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  /// Non-type template parameters defeat allocator_traits' automatic
+  /// rebind; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+};
+
+/// Contiguous [entity][facet][dim] store with cache-line-aligned rows.
+class FacetStore {
+ public:
+  /// Rows are padded to this many bytes.
+  static constexpr size_t kRowAlignBytes = 64;
+
+  FacetStore() = default;
+  FacetStore(size_t num_entities, size_t num_facets, size_t dim);
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_facets() const { return num_facets_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Floats between consecutive facet rows (>= dim, 16-float multiple).
+  size_t row_stride() const { return row_stride_; }
+  /// Floats between consecutive entity blocks (num_facets * row_stride).
+  size_t entity_stride() const { return num_facets_ * row_stride_; }
+
+  /// Facet row `k` of entity `e` (dim valid floats, padding after).
+  float* Row(size_t e, size_t k) {
+    MARS_DCHECK(e < num_entities_ && k < num_facets_);
+    return data_.data() + e * entity_stride() + k * row_stride_;
+  }
+  const float* Row(size_t e, size_t k) const {
+    MARS_DCHECK(e < num_entities_ && k < num_facets_);
+    return data_.data() + e * entity_stride() + k * row_stride_;
+  }
+
+  /// All K facet rows of entity `e` as one contiguous (padded) block.
+  float* EntityBlock(size_t e) {
+    MARS_DCHECK(e < num_entities_);
+    return data_.data() + e * entity_stride();
+  }
+  const float* EntityBlock(size_t e) const {
+    MARS_DCHECK(e < num_entities_);
+    return data_.data() + e * entity_stride();
+  }
+
+  /// Copies entity `e` into a dense K×dim buffer (padding stripped).
+  void CopyEntityTo(size_t e, float* out) const;
+
+  /// Sets every element (padding included) to `value`.
+  void Fill(float value);
+
+ private:
+  size_t num_entities_ = 0;
+  size_t num_facets_ = 0;
+  size_t dim_ = 0;
+  size_t row_stride_ = 0;
+  std::vector<float, AlignedAllocator<float, kRowAlignBytes>> data_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_FACET_STORE_H_

@@ -1,0 +1,66 @@
+// Batched dense kernels over blocks of embedding rows.
+//
+// These extend the scalar primitives in vec.h to the block shapes the
+// serving and evaluation hot paths actually touch: one user row scored
+// against many candidate rows, and one entity's K facet rows scored against
+// another entity's K facet rows in a single pass. All kernels take an
+// explicit `stride` (in floats) between consecutive rows so they work both
+// on tightly packed Matrix rows (stride == n) and on the aligned, padded
+// rows of FacetStore (stride >= n, see common/facet_store.h). Row
+// accumulation is 8-wide (two independent 4-lane chains), which the
+// compiler turns into dual SIMD reduction chains — measurably faster than
+// the scalar 4-wide unroll when amortized over a candidate block; see
+// bench/microbench_kernels.cpp before changing the shapes.
+#ifndef MARS_COMMON_KERNELS_H_
+#define MARS_COMMON_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mars {
+
+/// out[i] = Dot(u, rows + i*stride) for i in [0, count).
+void DotBatch(const float* u, const float* rows, size_t count, size_t stride,
+              size_t n, float* out);
+
+/// out[i] = ||u - row_i||^2 for i in [0, count).
+void SquaredDistanceBatch(const float* u, const float* rows, size_t count,
+                          size_t stride, size_t n, float* out);
+
+/// out[i] = Cosine(u, row_i) for i in [0, count); 0 when either norm ~ 0.
+/// ||u|| is computed once, not per candidate.
+void CosineBatch(const float* u, const float* rows, size_t count,
+                 size_t stride, size_t n, float* out);
+
+/// Gather variants: candidate i lives at `base + ids[i] * stride`. These are
+/// the ScoreItems shapes — the evaluator hands models an arbitrary id list.
+void DotGather(const float* u, const float* base, size_t stride,
+               const uint32_t* ids, size_t count, size_t n, float* out);
+void SquaredDistanceGather(const float* u, const float* base, size_t stride,
+                           const uint32_t* ids, size_t count, size_t n,
+                           float* out);
+
+/// out[i] = -||u - row_{ids[i]}||² — the metric-model preference score
+/// (CML/SML/MetricF all rank by negated distance; shared here so the
+/// scoring convention lives in one place).
+void NegatedSquaredDistanceGather(const float* u, const float* base,
+                                  size_t stride, const uint32_t* ids,
+                                  size_t count, size_t n, float* out);
+
+/// Σ_k w[k] · <u + k·u_stride, v + k·v_stride> over n dims — the fused
+/// multi-facet cosine score of MARS (unit rows make dot == cosine). One
+/// traversal of both entity blocks.
+float WeightedFacetDot(const float* u, size_t u_stride, const float* v,
+                       size_t v_stride, const float* w, size_t num_facets,
+                       size_t n);
+
+/// Σ_k w[k] · ||(u + k·u_stride) - (v + k·v_stride)||^2 — the fused
+/// multi-facet metric score of MAR (negate for a preference score).
+float WeightedFacetSquaredDistance(const float* u, size_t u_stride,
+                                   const float* v, size_t v_stride,
+                                   const float* w, size_t num_facets,
+                                   size_t n);
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_KERNELS_H_

@@ -43,7 +43,14 @@ float Norm(const float* a, size_t n) { return std::sqrt(SquaredNorm(a, n)); }
 float SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
 
 void Axpy(float alpha, const float* b, float* a, size_t n) {
-  for (size_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a[i] += alpha * b[i];
+    a[i + 1] += alpha * b[i + 1];
+    a[i + 2] += alpha * b[i + 2];
+    a[i + 3] += alpha * b[i + 3];
+  }
+  for (; i < n; ++i) a[i] += alpha * b[i];
 }
 
 void Scale(float alpha, float* a, size_t n) {
@@ -71,10 +78,39 @@ void Hadamard(const float* a, const float* b, float* out, size_t n) {
 }
 
 float Cosine(const float* a, const float* b, size_t n) {
-  const float na = Norm(a, n);
-  const float nb = Norm(b, n);
+  // One fused traversal: dot and both squared norms share the loads.
+  float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+  float p0 = 0.0f, p1 = 0.0f, p2 = 0.0f, p3 = 0.0f;
+  float q0 = 0.0f, q1 = 0.0f, q2 = 0.0f, q3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float a0 = a[i], a1 = a[i + 1], a2 = a[i + 2], a3 = a[i + 3];
+    const float b0 = b[i], b1 = b[i + 1], b2 = b[i + 2], b3 = b[i + 3];
+    d0 += a0 * b0;
+    d1 += a1 * b1;
+    d2 += a2 * b2;
+    d3 += a3 * b3;
+    p0 += a0 * a0;
+    p1 += a1 * a1;
+    p2 += a2 * a2;
+    p3 += a3 * a3;
+    q0 += b0 * b0;
+    q1 += b1 * b1;
+    q2 += b2 * b2;
+    q3 += b3 * b3;
+  }
+  float dot = (d0 + d1) + (d2 + d3);
+  float na2 = (p0 + p1) + (p2 + p3);
+  float nb2 = (q0 + q1) + (q2 + q3);
+  for (; i < n; ++i) {
+    dot += a[i] * b[i];
+    na2 += a[i] * a[i];
+    nb2 += b[i] * b[i];
+  }
+  const float na = std::sqrt(na2);
+  const float nb = std::sqrt(nb2);
   if (na < 1e-12f || nb < 1e-12f) return 0.0f;
-  return Dot(a, b, n) / (na * nb);
+  return dot / (na * nb);
 }
 
 bool NormalizeInPlace(float* a, size_t n) {

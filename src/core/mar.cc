@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "core/adaptive_margin.h"
@@ -69,12 +70,10 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       psi_[k].FillIdentityPlusNoise(&rng, 0.1f);
     }
   } else {
-    user_facets_.assign(kf, Matrix(train.num_users(), d));
-    item_facets_.assign(kf, Matrix(train.num_items(), d));
-    for (size_t k = 0; k < kf; ++k) {
-      InitEmbeddingInBall(&user_facets_[k], &rng);
-      InitEmbeddingInBall(&item_facets_[k], &rng);
-    }
+    user_facets_ = FacetStore(train.num_users(), kf, d);
+    item_facets_ = FacetStore(train.num_items(), kf, d);
+    InitFacetStoreInBall(&user_facets_, &rng);
+    InitFacetStoreInBall(&item_facets_, &rng);
   }
 
   theta_logits_ =
@@ -118,19 +117,20 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       if (!sampler.Sample(&rng, &t)) continue;
 
       // --- Forward: facet embeddings for u, vp, vq ----------------------
-      for (size_t k = 0; k < kf; ++k) {
-        if (param_mode_ == FacetParam::kProjected) {
+      if (param_mode_ == FacetParam::kProjected) {
+        for (size_t k = 0; k < kf; ++k) {
           u_scale[k] = ProjectFacet(phi_[k], user_universal_.Row(t.user),
                                     &uf[k * d]);
           vp_scale[k] = ProjectFacet(psi_[k], item_universal_.Row(t.positive),
                                      &vpf[k * d]);
           vq_scale[k] = ProjectFacet(psi_[k], item_universal_.Row(t.negative),
                                      &vqf[k * d]);
-        } else {
-          Copy(user_facets_[k].Row(t.user), &uf[k * d], d);
-          Copy(item_facets_[k].Row(t.positive), &vpf[k * d], d);
-          Copy(item_facets_[k].Row(t.negative), &vqf[k * d], d);
         }
+      } else {
+        // Each entity's K facet rows are one contiguous block.
+        user_facets_.CopyEntityTo(t.user, uf.data());
+        item_facets_.CopyEntityTo(t.positive, vpf.data());
+        item_facets_.CopyEntityTo(t.negative, vqf.data());
       }
       Softmax(theta_logits_.Row(t.user), theta.data(), kf);
 
@@ -208,10 +208,11 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
             ClipGradient(&gvp[k * d], d, clip);
             ClipGradient(&gvq[k * d], d, clip);
           }
-          SgdStepBallProjected(user_facets_[k].Row(t.user), &gu[k * d], lr, d);
-          SgdStepBallProjected(item_facets_[k].Row(t.positive), &gvp[k * d],
+          SgdStepBallProjected(user_facets_.Row(t.user, k), &gu[k * d], lr,
+                               d);
+          SgdStepBallProjected(item_facets_.Row(t.positive, k), &gvp[k * d],
                                lr, d);
-          SgdStepBallProjected(item_facets_[k].Row(t.negative), &gvq[k * d],
+          SgdStepBallProjected(item_facets_.Row(t.negative, k), &gvq[k * d],
                                lr, d);
         }
         continue;
@@ -247,18 +248,20 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 float Mar::Score(UserId u, ItemId v) const {
   const size_t d = config_.dim;
   const size_t kf = config_.num_facets;
-  std::vector<float> theta(kf), ue(d), ve(d);
+  std::vector<float> theta(kf);
   Softmax(theta_logits_.Row(u), theta.data(), kf);
+  if (param_mode_ == FacetParam::kFree) {
+    return -WeightedFacetSquaredDistance(
+        user_facets_.EntityBlock(u), user_facets_.row_stride(),
+        item_facets_.EntityBlock(v), item_facets_.row_stride(), theta.data(),
+        kf, d);
+  }
+  std::vector<float> ue(d), ve(d);
   float score = 0.0f;
   for (size_t k = 0; k < kf; ++k) {
-    if (param_mode_ == FacetParam::kProjected) {
-      ProjectFacet(phi_[k], user_universal_.Row(u), ue.data());
-      ProjectFacet(psi_[k], item_universal_.Row(v), ve.data());
-      score -= theta[k] * SquaredDistance(ue.data(), ve.data(), d);
-    } else {
-      score -= theta[k] * SquaredDistance(user_facets_[k].Row(u),
-                                          item_facets_[k].Row(v), d);
-    }
+    ProjectFacet(phi_[k], user_universal_.Row(u), ue.data());
+    ProjectFacet(psi_[k], item_universal_.Row(v), ve.data());
+    score -= theta[k] * SquaredDistance(ue.data(), ve.data(), d);
   }
   return score;
 }
@@ -269,27 +272,31 @@ void Mar::ScoreItems(UserId u, std::span<const ItemId> items,
   const size_t kf = config_.num_facets;
   std::vector<float> theta(kf);
   Softmax(theta_logits_.Row(u), theta.data(), kf);
+  if (param_mode_ == FacetParam::kFree) {
+    // Batched path: one fused pass over both contiguous entity blocks per
+    // candidate.
+    const float* ublock = user_facets_.EntityBlock(u);
+    const size_t us = user_facets_.row_stride();
+    const size_t vs = item_facets_.row_stride();
+    for (size_t idx = 0; idx < items.size(); ++idx) {
+      out[idx] = -WeightedFacetSquaredDistance(
+          ublock, us, item_facets_.EntityBlock(items[idx]), vs, theta.data(),
+          kf, d);
+    }
+    return;
+  }
   // Hoist user facet projections out of the item loop.
   std::vector<float> ufacets(kf * d);
   for (size_t k = 0; k < kf; ++k) {
-    if (param_mode_ == FacetParam::kProjected) {
-      ProjectFacet(phi_[k], user_universal_.Row(u), &ufacets[k * d]);
-    } else {
-      Copy(user_facets_[k].Row(u), &ufacets[k * d], d);
-    }
+    ProjectFacet(phi_[k], user_universal_.Row(u), &ufacets[k * d]);
   }
   std::vector<float> ve(d);
   for (size_t idx = 0; idx < items.size(); ++idx) {
     const ItemId v = items[idx];
     float score = 0.0f;
     for (size_t k = 0; k < kf; ++k) {
-      if (param_mode_ == FacetParam::kProjected) {
-        ProjectFacet(psi_[k], item_universal_.Row(v), ve.data());
-        score -= theta[k] * SquaredDistance(&ufacets[k * d], ve.data(), d);
-      } else {
-        score -= theta[k] * SquaredDistance(&ufacets[k * d],
-                                            item_facets_[k].Row(v), d);
-      }
+      ProjectFacet(psi_[k], item_universal_.Row(v), ve.data());
+      score -= theta[k] * SquaredDistance(&ufacets[k * d], ve.data(), d);
     }
     out[idx] = score;
   }
@@ -301,7 +308,7 @@ std::vector<float> Mar::UserFacetEmbedding(UserId u, size_t k) const {
   if (param_mode_ == FacetParam::kProjected) {
     ProjectFacet(phi_[k], user_universal_.Row(u), out.data());
   } else {
-    Copy(user_facets_[k].Row(u), out.data(), config_.dim);
+    Copy(user_facets_.Row(u, k), out.data(), config_.dim);
   }
   return out;
 }
@@ -312,7 +319,7 @@ std::vector<float> Mar::ItemFacetEmbedding(ItemId v, size_t k) const {
   if (param_mode_ == FacetParam::kProjected) {
     ProjectFacet(psi_[k], item_universal_.Row(v), out.data());
   } else {
-    Copy(item_facets_[k].Row(v), out.data(), config_.dim);
+    Copy(item_facets_.Row(v, k), out.data(), config_.dim);
   }
   return out;
 }

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/facet_store.h"
 #include "common/matrix.h"
 #include "core/facet_config.h"
 #include "models/recommender.h"
@@ -68,9 +69,10 @@ class Mar : public Recommender {
   Matrix item_universal_;             // M×D
   std::vector<Matrix> phi_;           // K of D×D (user projections)
   std::vector<Matrix> psi_;           // K of D×D (item projections)
-  // kFree parameters.
-  std::vector<Matrix> user_facets_;   // K of N×D
-  std::vector<Matrix> item_facets_;   // K of M×D
+  // kFree parameters: contiguous [entity][facet][dim] tables (see
+  // common/facet_store.h) — the same layout MARS trains on.
+  FacetStore user_facets_;            // N×K×D
+  FacetStore item_facets_;            // M×K×D
 
   Matrix theta_logits_;               // N×K
   std::vector<float> margins_;        // γ_u per user

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "core/adaptive_margin.h"
@@ -37,8 +38,8 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
     Matrix item_universal(train.num_items(), d);
     InitEmbedding(&user_universal, &rng);
     InitEmbedding(&item_universal, &rng);
-    user_facets_.assign(kf, Matrix(train.num_users(), d));
-    item_facets_.assign(kf, Matrix(train.num_items(), d));
+    user_facets_ = FacetStore(train.num_users(), kf, d);
+    item_facets_ = FacetStore(train.num_items(), kf, d);
     Matrix phi(d, d), psi(d, d);
     std::vector<float> z(d);
     for (size_t k = 0; k < kf; ++k) {
@@ -47,12 +48,12 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       for (UserId u = 0; u < train.num_users(); ++u) {
         GemvTransposed(phi, user_universal.Row(u), z.data());
         if (!NormalizeInPlace(z.data(), d)) z[0] = 1.0f;
-        Copy(z.data(), user_facets_[k].Row(u), d);
+        Copy(z.data(), user_facets_.Row(u, k), d);
       }
       for (ItemId v = 0; v < train.num_items(); ++v) {
         GemvTransposed(psi, item_universal.Row(v), z.data());
         if (!NormalizeInPlace(z.data(), d)) z[0] = 1.0f;
-        Copy(z.data(), item_facets_[k].Row(v), d);
+        Copy(z.data(), item_facets_.Row(v, k), d);
       }
     }
   }
@@ -87,7 +88,7 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 
   std::vector<float> gu(kf * d), gvp(kf * d), gvq(kf * d);
   std::vector<float> theta(kf), coeff(kf), sp(kf), sq(kf);
-  std::vector<float> scratch(d);
+  const size_t fs = user_facets_.row_stride();
 
   const float lr_comp =
       config_.scale_lr_by_facets ? static_cast<float>(kf) : 1.0f;
@@ -101,10 +102,13 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       if (!sampler.Sample(&rng, &t)) continue;
 
       // --- Forward: cosine similarities per facet ------------------------
+      // The triplet's three entity blocks are each one contiguous read.
+      const float* ublock = user_facets_.EntityBlock(t.user);
+      const float* pblock = item_facets_.EntityBlock(t.positive);
+      const float* qblock = item_facets_.EntityBlock(t.negative);
       for (size_t k = 0; k < kf; ++k) {
-        const float* uk = user_facets_[k].Row(t.user);
-        sp[k] = Dot(uk, item_facets_[k].Row(t.positive), d);
-        sq[k] = Dot(uk, item_facets_[k].Row(t.negative), d);
+        sp[k] = Dot(ublock + k * fs, pblock + k * fs, d);
+        sq[k] = Dot(ublock + k * fs, qblock + k * fs, d);
       }
       Softmax(theta_logits_.Row(t.user), theta.data(), kf);
       float push_val = margins_[t.user];
@@ -118,9 +122,9 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       Fill(0.0f, gvp.data(), kf * d);
       Fill(0.0f, gvq.data(), kf * d);
       for (size_t k = 0; k < kf; ++k) {
-        const float* uk = user_facets_[k].Row(t.user);
-        const float* vpk = item_facets_[k].Row(t.positive);
-        const float* vqk = item_facets_[k].Row(t.negative);
+        const float* uk = ublock + k * fs;
+        const float* vpk = pblock + k * fs;
+        const float* vqk = qblock + k * fs;
         const float w_push = active ? theta[k] * radii_[k] : 0.0f;
         const float w_pull = lambda_pull * theta[k] * radii_[k];
         for (size_t i = 0; i < d; ++i) {
@@ -135,10 +139,8 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       if (lambda_facet > 0.0f && kf > 1) {
         for (size_t i = 0; i < kf; ++i) {
           for (size_t j = i + 1; j < kf; ++j) {
-            const float cu = Dot(user_facets_[i].Row(t.user),
-                                 user_facets_[j].Row(t.user), d);
-            const float cv = Dot(item_facets_[i].Row(t.positive),
-                                 item_facets_[j].Row(t.positive), d);
+            const float cu = Dot(ublock + i * fs, ublock + j * fs, d);
+            const float cv = Dot(pblock + i * fs, pblock + j * fs, d);
             // L = (1/α) log(1+exp(sign·α·cos)) per entity;
             // dL/dcos = sign·σ(sign·α·cos).
             const float wu = lambda_facet * facet_sign *
@@ -146,10 +148,10 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
             const float wv = lambda_facet * facet_sign *
                              static_cast<float>(Sigmoid(facet_sign * alpha * cv));
             for (size_t x = 0; x < d; ++x) {
-              gu[i * d + x] += wu * user_facets_[j].Row(t.user)[x];
-              gu[j * d + x] += wu * user_facets_[i].Row(t.user)[x];
-              gvp[i * d + x] += wv * item_facets_[j].Row(t.positive)[x];
-              gvp[j * d + x] += wv * item_facets_[i].Row(t.positive)[x];
+              gu[i * d + x] += wu * ublock[j * fs + x];
+              gu[j * d + x] += wu * ublock[i * fs + x];
+              gvp[i * d + x] += wv * pblock[j * fs + x];
+              gvp[j * d + x] += wv * pblock[i * fs + x];
             }
           }
         }
@@ -180,7 +182,9 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
         }
       }
 
-      // --- Calibrated Riemannian updates (Eq. 21) --------------------------
+      // --- Calibrated Riemannian updates (Eq. 21), fused single-pass ------
+      // Each entity's K rows sit contiguously, so the 3K fused steps stream
+      // over three blocks with no scratch buffer.
       for (size_t k = 0; k < kf; ++k) {
         float* guk = &gu[k * d];
         float* gvpk = &gvp[k * d];
@@ -191,16 +195,16 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
           ClipGradient(gvqk, d, clip);
         }
         if (SquaredNorm(guk, d) > 0.0f) {
-          RiemannianSgdStep(user_facets_[k].Row(t.user), guk, lr, d,
-                            scratch.data(), calibrated);
+          FusedRiemannianSgdStep(user_facets_.Row(t.user, k), guk, lr, d,
+                                 calibrated);
         }
         if (SquaredNorm(gvpk, d) > 0.0f) {
-          RiemannianSgdStep(item_facets_[k].Row(t.positive), gvpk, lr, d,
-                            scratch.data(), calibrated);
+          FusedRiemannianSgdStep(item_facets_.Row(t.positive, k), gvpk, lr,
+                                 d, calibrated);
         }
         if (SquaredNorm(gvqk, d) > 0.0f) {
-          RiemannianSgdStep(item_facets_[k].Row(t.negative), gvqk, lr, d,
-                            scratch.data(), calibrated);
+          FusedRiemannianSgdStep(item_facets_.Row(t.negative, k), gvqk, lr,
+                                 d, calibrated);
         }
       }
     }
@@ -209,45 +213,45 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 
 float Mars::Score(UserId u, ItemId v) const {
   const size_t kf = config_.num_facets;
-  const size_t d = config_.dim;
   std::vector<float> theta(kf);
   Softmax(theta_logits_.Row(u), theta.data(), kf);
-  float score = 0.0f;
-  for (size_t k = 0; k < kf; ++k) {
-    score += theta[k] * radii_[k] *
-             Dot(user_facets_[k].Row(u), item_facets_[k].Row(v), d);
-  }
-  return score;
+  for (size_t k = 0; k < kf; ++k) theta[k] *= radii_[k];
+  return WeightedFacetDot(user_facets_.EntityBlock(u),
+                          user_facets_.row_stride(),
+                          item_facets_.EntityBlock(v),
+                          item_facets_.row_stride(), theta.data(), kf,
+                          config_.dim);
 }
 
 void Mars::ScoreItems(UserId u, std::span<const ItemId> items,
                       float* out) const {
   const size_t kf = config_.num_facets;
-  const size_t d = config_.dim;
   std::vector<float> theta(kf);
   Softmax(theta_logits_.Row(u), theta.data(), kf);
   for (size_t k = 0; k < kf; ++k) theta[k] *= radii_[k];
+  // Per candidate, both entity blocks are contiguous: one fused pass over
+  // 2·K·D floats instead of K scattered row pairs.
+  const float* ublock = user_facets_.EntityBlock(u);
+  const size_t us = user_facets_.row_stride();
+  const size_t vs = item_facets_.row_stride();
   for (size_t idx = 0; idx < items.size(); ++idx) {
-    float score = 0.0f;
-    for (size_t k = 0; k < kf; ++k) {
-      score += theta[k] * Dot(user_facets_[k].Row(u),
-                              item_facets_[k].Row(items[idx]), d);
-    }
-    out[idx] = score;
+    out[idx] = WeightedFacetDot(ublock, us,
+                                item_facets_.EntityBlock(items[idx]), vs,
+                                theta.data(), kf, config_.dim);
   }
 }
 
 std::vector<float> Mars::UserFacetEmbedding(UserId u, size_t k) const {
   MARS_CHECK(k < config_.num_facets);
   std::vector<float> out(config_.dim);
-  Copy(user_facets_[k].Row(u), out.data(), config_.dim);
+  Copy(user_facets_.Row(u, k), out.data(), config_.dim);
   return out;
 }
 
 std::vector<float> Mars::ItemFacetEmbedding(ItemId v, size_t k) const {
   MARS_CHECK(k < config_.num_facets);
   std::vector<float> out(config_.dim);
-  Copy(item_facets_[k].Row(v), out.data(), config_.dim);
+  Copy(item_facets_.Row(v, k), out.data(), config_.dim);
   return out;
 }
 

@@ -15,6 +15,13 @@
 // embeddings themselves; they are free spherical parameters *initialized*
 // from the universal-embedding × projection factorization of Eq. 1-2 (see
 // DESIGN.md §2.2), with facet weights Θ seeded by K-factor NMF.
+//
+// Storage layout: all facet embeddings live in two contiguous FacetStore
+// buffers ([entity][facet][dim] with cache-line-aligned rows, see
+// common/facet_store.h). A sampled triplet (u, v⁺, v⁻) therefore touches
+// exactly three contiguous blocks per step — forward pass, gradients, and
+// the fused Riemannian updates (opt/sphere.h) all stream over them — and
+// batch scoring goes through the block kernels in common/kernels.h.
 #ifndef MARS_CORE_MARS_H_
 #define MARS_CORE_MARS_H_
 
@@ -22,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/facet_store.h"
 #include "common/matrix.h"
 #include "core/facet_config.h"
 #include "models/recommender.h"
@@ -82,9 +90,9 @@ class Mars : public Recommender {
   MultiFacetConfig config_;
   MarsOptions mars_options_;
 
-  std::vector<Matrix> user_facets_;  // K of N×D, unit rows
-  std::vector<Matrix> item_facets_;  // K of M×D, unit rows
-  Matrix theta_logits_;              // N×K
+  FacetStore user_facets_;  // N×K×D, unit rows
+  FacetStore item_facets_;  // M×K×D, unit rows
+  Matrix theta_logits_;     // N×K
   std::vector<float> radii_;         // K sphere radii (learn_radius)
   std::vector<float> margins_;
 };

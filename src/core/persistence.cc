@@ -10,7 +10,13 @@ namespace mars {
 namespace {
 
 constexpr uint32_t kMagic = 0x4D415253;  // "MARS"
-constexpr uint32_t kVersion = 1;
+// v1: facet-major tensors ([facet][entity][dim]), the std::vector<Matrix>
+//     era. Still loadable.
+// v2: entity-major tensors ([entity][facet][dim]) matching FacetStore;
+//     padding is never written, so files are layout- and bit-compatible
+//     with v1 up to the tensor ordering.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kOldestLoadableVersion = 1;
 
 void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -41,6 +47,47 @@ bool ReadFloats(std::istream& in, float* data, size_t n) {
   return in.good();
 }
 
+/// Writes a FacetStore entity-major with the row padding stripped. When the
+/// store is unpadded (dim is a cache-line multiple) the whole tensor is one
+/// dense bulk write instead of entities×facets small ones.
+void WriteFacetStore(std::ostream& out, const FacetStore& store) {
+  if (store.row_stride() == store.dim()) {
+    WriteFloats(out, store.EntityBlock(0),
+                store.num_entities() * store.entity_stride());
+    return;
+  }
+  for (size_t e = 0; e < store.num_entities(); ++e) {
+    for (size_t k = 0; k < store.num_facets(); ++k) {
+      WriteFloats(out, store.Row(e, k), store.dim());
+    }
+  }
+}
+
+/// Reads a tensor written entity-major (v2) into `store`.
+bool ReadFacetStoreV2(std::istream& in, FacetStore* store) {
+  if (store->row_stride() == store->dim()) {
+    return ReadFloats(in, store->EntityBlock(0),
+                      store->num_entities() * store->entity_stride());
+  }
+  for (size_t e = 0; e < store->num_entities(); ++e) {
+    for (size_t k = 0; k < store->num_facets(); ++k) {
+      if (!ReadFloats(in, store->Row(e, k), store->dim())) return false;
+    }
+  }
+  return true;
+}
+
+/// Reads a tensor written facet-major (v1, K stacked N×D matrices),
+/// transposing into the entity-major store.
+bool ReadFacetStoreV1(std::istream& in, FacetStore* store) {
+  for (size_t k = 0; k < store->num_facets(); ++k) {
+    for (size_t e = 0; e < store->num_entities(); ++e) {
+      if (!ReadFloats(in, store->Row(e, k), store->dim())) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveMars(const Mars& model, const std::string& path) {
@@ -53,8 +100,8 @@ bool SaveMars(const Mars& model, const std::string& path) {
 
   const size_t kf = model.config_.num_facets;
   const size_t d = model.config_.dim;
-  const size_t n_users = model.user_facets_[0].rows();
-  const size_t n_items = model.item_facets_[0].rows();
+  const size_t n_users = model.user_facets_.num_entities();
+  const size_t n_items = model.item_facets_.num_entities();
 
   WriteU32(out, kMagic);
   WriteU32(out, kVersion);
@@ -65,14 +112,8 @@ bool SaveMars(const Mars& model, const std::string& path) {
   WriteU32(out, model.mars_options_.learn_radius ? 1 : 0);
   WriteU32(out, model.mars_options_.calibrated ? 1 : 0);
 
-  for (size_t k = 0; k < kf; ++k) {
-    WriteFloats(out, model.user_facets_[k].data(),
-                model.user_facets_[k].size());
-  }
-  for (size_t k = 0; k < kf; ++k) {
-    WriteFloats(out, model.item_facets_[k].data(),
-                model.item_facets_[k].size());
-  }
+  WriteFacetStore(out, model.user_facets_);
+  WriteFacetStore(out, model.item_facets_);
   WriteFloats(out, model.theta_logits_.data(), model.theta_logits_.size());
   WriteFloats(out, model.radii_.data(), model.radii_.size());
   WriteU64(out, model.margins_.size());
@@ -91,7 +132,8 @@ std::unique_ptr<Mars> LoadMars(const std::string& path) {
     MARS_LOG(ERROR) << "LoadMars: bad magic in " << path;
     return nullptr;
   }
-  if (!ReadU32(in, &version) || version != kVersion) {
+  if (!ReadU32(in, &version) || version < kOldestLoadableVersion ||
+      version > kVersion) {
     MARS_LOG(ERROR) << "LoadMars: unsupported version";
     return nullptr;
   }
@@ -106,6 +148,16 @@ std::unique_ptr<Mars> LoadMars(const std::string& path) {
     MARS_LOG(ERROR) << "LoadMars: implausible header";
     return nullptr;
   }
+  // Bound the entity counts too: the per-row facet readers below loop over
+  // header-supplied extents, so a wrapped FacetStore size computation on a
+  // corrupt/crafted header would otherwise let ReadFloats write past the
+  // allocation (the old single bulk read failed cleanly by construction).
+  constexpr uint64_t kMaxEntities = 1ull << 31;
+  if (n_users == 0 || n_users > kMaxEntities || n_items == 0 ||
+      n_items > kMaxEntities) {
+    MARS_LOG(ERROR) << "LoadMars: implausible header";
+    return nullptr;
+  }
 
   MultiFacetConfig cfg;
   cfg.num_facets = kf;
@@ -115,17 +167,14 @@ std::unique_ptr<Mars> LoadMars(const std::string& path) {
   mopts.calibrated = calibrated != 0;
   auto model = std::make_unique<Mars>(cfg, mopts);
 
-  model->user_facets_.assign(kf, Matrix(n_users, d));
-  model->item_facets_.assign(kf, Matrix(n_items, d));
-  for (size_t k = 0; k < kf; ++k) {
-    if (!ReadFloats(in, model->user_facets_[k].data(), n_users * d)) {
-      return nullptr;
-    }
-  }
-  for (size_t k = 0; k < kf; ++k) {
-    if (!ReadFloats(in, model->item_facets_[k].data(), n_items * d)) {
-      return nullptr;
-    }
+  model->user_facets_ = FacetStore(n_users, kf, d);
+  model->item_facets_ = FacetStore(n_items, kf, d);
+  if (version == 1) {
+    if (!ReadFacetStoreV1(in, &model->user_facets_)) return nullptr;
+    if (!ReadFacetStoreV1(in, &model->item_facets_)) return nullptr;
+  } else {
+    if (!ReadFacetStoreV2(in, &model->user_facets_)) return nullptr;
+    if (!ReadFacetStoreV2(in, &model->item_facets_)) return nullptr;
   }
   model->theta_logits_ = Matrix(n_users, kf);
   if (!ReadFloats(in, model->theta_logits_.data(), n_users * kf)) {

@@ -65,13 +65,17 @@ Evaluator::Evaluator(
 
 size_t Evaluator::RankCase(const ItemScorer& scorer,
                            const UserCase& c) const {
-  // Score target + candidates in one batch call.
-  std::vector<ItemId> items(num_negatives_ + 1);
+  // Score target + candidates in one batch call. RankCase runs inside
+  // ParallelFor and once per eval user, so the scratch is thread_local to
+  // keep the ranking loop allocation-free after warm-up.
+  thread_local std::vector<ItemId> items;
+  thread_local std::vector<float> scores;
+  items.resize(num_negatives_ + 1);
+  scores.resize(num_negatives_ + 1);
   items[0] = c.target;
   std::copy(candidates_.begin() + c.candidate_offset,
             candidates_.begin() + c.candidate_offset + num_negatives_,
             items.begin() + 1);
-  std::vector<float> scores(items.size());
   scorer.ScoreItems(c.user, items, scores.data());
 
   const float target_score = scores[0];

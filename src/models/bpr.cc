@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "models/embedding.h"
@@ -57,6 +58,15 @@ float Bpr::Score(UserId u, ItemId v) const {
   float s = Dot(user_.Row(u), item_.Row(v), config_.dim);
   if (config_.use_item_bias) s += item_bias_[v];
   return s;
+}
+
+void Bpr::ScoreItems(UserId u, std::span<const ItemId> items,
+                     float* out) const {
+  DotGather(user_.Row(u), item_.data(), item_.cols(), items.data(),
+            items.size(), config_.dim, out);
+  if (config_.use_item_bias) {
+    for (size_t i = 0; i < items.size(); ++i) out[i] += item_bias_[items[i]];
+  }
 }
 
 }  // namespace mars

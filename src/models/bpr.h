@@ -29,6 +29,8 @@ class Bpr : public Recommender {
 
   void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
   float Score(UserId u, ItemId v) const override;
+  void ScoreItems(UserId u, std::span<const ItemId> items,
+                  float* out) const override;
   std::string name() const override { return "BPR"; }
 
   const Matrix& user_factors() const { return user_; }

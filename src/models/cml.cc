@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "models/embedding.h"
@@ -68,6 +69,13 @@ void Cml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 
 float Cml::Score(UserId u, ItemId v) const {
   return -SquaredDistance(user_.Row(u), item_.Row(v), config_.dim);
+}
+
+void Cml::ScoreItems(UserId u, std::span<const ItemId> items,
+                     float* out) const {
+  NegatedSquaredDistanceGather(user_.Row(u), item_.data(), item_.cols(),
+                               items.data(), items.size(), config_.dim,
+                               out);
 }
 
 }  // namespace mars

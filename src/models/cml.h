@@ -37,6 +37,8 @@ class Cml : public Recommender {
 
   void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
   float Score(UserId u, ItemId v) const override;
+  void ScoreItems(UserId u, std::span<const ItemId> items,
+                  float* out) const override;
   std::string name() const override { return "CML"; }
 
   const Matrix& user_embeddings() const { return user_; }

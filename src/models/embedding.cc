@@ -33,4 +33,18 @@ void ProjectAllRowsToBall(Matrix* table) {
   }
 }
 
+void InitFacetStoreInBall(FacetStore* store, Rng* rng) {
+  const size_t d = store->dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d > 0 ? d : 1));
+  for (size_t e = 0; e < store->num_entities(); ++e) {
+    for (size_t k = 0; k < store->num_facets(); ++k) {
+      float* row = store->Row(e, k);
+      for (size_t i = 0; i < d; ++i) {
+        row[i] = static_cast<float>(rng->Normal(0.0, scale));
+      }
+      ProjectToUnitBall(row, d);
+    }
+  }
+}
+
 }  // namespace mars

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 
+#include "common/facet_store.h"
 #include "common/matrix.h"
 
 namespace mars {
@@ -23,6 +24,10 @@ void InitEmbeddingOnSphere(Matrix* table, Rng* rng);
 
 /// Projects every row of `table` onto the unit ball (post-update sweep).
 void ProjectAllRowsToBall(Matrix* table);
+
+/// FacetStore variant: every facet row of every entity is drawn from
+/// N(0, 1/sqrt(dim)) then projected into the unit ball.
+void InitFacetStoreInBall(FacetStore* store, Rng* rng);
 
 }  // namespace mars
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/kernels.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "models/embedding.h"
@@ -65,6 +66,13 @@ void MetricF::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 
 float MetricF::Score(UserId u, ItemId v) const {
   return -SquaredDistance(user_.Row(u), item_.Row(v), config_.dim);
+}
+
+void MetricF::ScoreItems(UserId u, std::span<const ItemId> items,
+                         float* out) const {
+  NegatedSquaredDistanceGather(user_.Row(u), item_.data(), item_.cols(),
+                               items.data(), items.size(), config_.dim,
+                               out);
 }
 
 }  // namespace mars

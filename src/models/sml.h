@@ -44,6 +44,8 @@ class Sml : public Recommender {
 
   void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
   float Score(UserId u, ItemId v) const override;
+  void ScoreItems(UserId u, std::span<const ItemId> items,
+                  float* out) const override;
   std::string name() const override { return "SML"; }
 
   /// Learned per-user margins (for the ablation study and tests).

@@ -37,4 +37,50 @@ void RiemannianSgdStep(float* x, const float* grad, float lr, size_t n,
   Retract(x, scratch, n);
 }
 
+bool FusedRiemannianSgdStep(float* x, const float* grad, float lr, size_t n,
+                            bool calibrated) {
+  // The tangent step never needs to be materialized: with
+  //   radial = x·∇f,  f = 1 + radial/||∇f||  (calibration),
+  // the retraction argument is x + z = cx·x + cg·∇f where cg = -η·f and
+  // cx = 1 - cg·radial. Two dot products replace the composed path's
+  // projection/copy/scale traversals, and the scalar 4-wide reductions
+  // vectorize better than a hand-fused dual-accumulator loop (measured in
+  // bench/microbench_kernels.cpp — don't "optimize" this back).
+  const float radial = Dot(x, grad, n);
+  const float gnorm = std::sqrt(Dot(grad, grad, n));
+  const float factor =
+      (calibrated && gnorm >= 1e-12f) ? 1.0f + radial / gnorm : 1.0f;
+  const float cg = -lr * factor;
+  const float cx = 1.0f - cg * radial;
+
+  // Norm of the retraction argument (read-only, so a degenerate step can
+  // bail out without clobbering x).
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float y0 = cx * x[i] + cg * grad[i];
+    const float y1 = cx * x[i + 1] + cg * grad[i + 1];
+    const float y2 = cx * x[i + 2] + cg * grad[i + 2];
+    const float y3 = cx * x[i + 3] + cg * grad[i + 3];
+    acc0 += y0 * y0;
+    acc1 += y1 * y1;
+    acc2 += y2 * y2;
+    acc3 += y3 * y3;
+  }
+  float norm2 = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) {
+    const float y = cx * x[i] + cg * grad[i];
+    norm2 += y * y;
+  }
+  const float norm = std::sqrt(norm2);
+  if (norm < 1e-12f) return false;
+
+  // Write the retracted point.
+  const float inv = 1.0f / norm;
+  const float ax = cx * inv;
+  const float ag = cg * inv;
+  for (i = 0; i < n; ++i) x[i] = ax * x[i] + ag * grad[i];
+  return true;
+}
+
 }  // namespace mars

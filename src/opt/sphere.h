@@ -12,6 +12,13 @@
 // which scales the update by the angular disagreement between the parameter
 // and its Euclidean gradient: parameters pointing away from their target
 // direction move further.
+//
+// Two forms are provided: the composed building blocks below (reference
+// semantics, used by tests and ablations) and FusedRiemannianSgdStep, the
+// single-pass production kernel. The fused form is written for the
+// contiguous FacetStore layout ([entity][facet][dim], common/facet_store.h):
+// MARS applies it to the K facet rows of an entity back-to-back, streaming
+// one cache-resident block per entity with no scratch allocation.
 #ifndef MARS_OPT_SPHERE_H_
 #define MARS_OPT_SPHERE_H_
 
@@ -38,6 +45,22 @@ float CalibrationFactor(const float* x, const float* grad, size_t n);
 /// the ablation baseline.
 void RiemannianSgdStep(float* x, const float* grad, float lr, size_t n,
                        float* scratch, bool calibrated = true);
+
+/// Fused single-pass form of RiemannianSgdStep: tangent projection,
+/// calibration, and retraction in three traversals of `x`/`grad` with no
+/// scratch buffer and no intermediate stores. Algebraically
+///
+///   x + z = (1 + η·f·(x·∇f)) x − η·f·∇f,   f = calibration factor,
+///
+/// so the tangent vector never needs to be materialized; the new norm is
+/// accumulated while the combination is formed. Matches the composed
+/// TangentProject + CalibrationFactor + Retract path to float rounding
+/// (~1e-6 relative). This is the training hot-path kernel: MARS calls it
+/// 3K times per sampled triplet, on rows that sit contiguously in a
+/// FacetStore entity block. Returns false (leaving `x` unchanged) only in
+/// the degenerate case where x + z vanishes.
+bool FusedRiemannianSgdStep(float* x, const float* grad, float lr, size_t n,
+                            bool calibrated = true);
 
 }  // namespace mars
 

@@ -1,0 +1,120 @@
+#include "common/facet_store.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mars {
+namespace {
+
+TEST(FacetStoreTest, ShapeAndStride) {
+  FacetStore store(10, 3, 12);
+  EXPECT_EQ(store.num_entities(), 10u);
+  EXPECT_EQ(store.num_facets(), 3u);
+  EXPECT_EQ(store.dim(), 12u);
+  // 12 floats round up to one 64-byte line (16 floats).
+  EXPECT_EQ(store.row_stride(), 16u);
+  EXPECT_EQ(store.entity_stride(), 48u);
+  EXPECT_FALSE(store.empty());
+  EXPECT_TRUE(FacetStore().empty());
+}
+
+TEST(FacetStoreTest, ExactMultipleNeedsNoPadding) {
+  FacetStore store(4, 2, 32);
+  EXPECT_EQ(store.row_stride(), 32u);
+}
+
+TEST(FacetStoreTest, RowsAreCacheLineAligned) {
+  FacetStore store(7, 3, 20);
+  for (size_t e = 0; e < 7; ++e) {
+    for (size_t k = 0; k < 3; ++k) {
+      const auto addr = reinterpret_cast<uintptr_t>(store.Row(e, k));
+      EXPECT_EQ(addr % FacetStore::kRowAlignBytes, 0u)
+          << "entity " << e << " facet " << k;
+    }
+  }
+}
+
+TEST(FacetStoreTest, EntityBlockIsContiguousOverFacets) {
+  FacetStore store(5, 4, 8);
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(store.Row(2, k), store.EntityBlock(2) + k * store.row_stride());
+  }
+  // Adjacent entities are adjacent in memory.
+  EXPECT_EQ(store.EntityBlock(3), store.EntityBlock(2) + store.entity_stride());
+}
+
+TEST(FacetStoreTest, WritesDoNotAlias) {
+  FacetStore store(3, 2, 5);
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t k = 0; k < 2; ++k) {
+      for (size_t i = 0; i < 5; ++i) {
+        store.Row(e, k)[i] = static_cast<float>(100 * e + 10 * k + i);
+      }
+    }
+  }
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t k = 0; k < 2; ++k) {
+      for (size_t i = 0; i < 5; ++i) {
+        EXPECT_FLOAT_EQ(store.Row(e, k)[i],
+                        static_cast<float>(100 * e + 10 * k + i));
+      }
+    }
+  }
+}
+
+TEST(FacetStoreTest, PaddingStartsZeroed) {
+  FacetStore store(2, 2, 5);
+  ASSERT_GT(store.row_stride(), 5u);
+  for (size_t i = 5; i < store.row_stride(); ++i) {
+    EXPECT_FLOAT_EQ(store.Row(1, 1)[i], 0.0f);
+  }
+}
+
+TEST(FacetStoreTest, CopyEntityToStripsPadding) {
+  FacetStore store(2, 3, 5);
+  Rng rng(1);
+  for (size_t k = 0; k < 3; ++k) {
+    for (size_t i = 0; i < 5; ++i) {
+      store.Row(1, k)[i] = static_cast<float>(rng.Normal());
+    }
+  }
+  std::vector<float> dense(3 * 5, -1.0f);
+  store.CopyEntityTo(1, dense.data());
+  for (size_t k = 0; k < 3; ++k) {
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_FLOAT_EQ(dense[k * 5 + i], store.Row(1, k)[i]);
+    }
+  }
+}
+
+TEST(FacetStoreTest, CopyEntityToUnpaddedFastPath) {
+  FacetStore store(2, 2, 16);
+  ASSERT_EQ(store.row_stride(), 16u);
+  for (size_t k = 0; k < 2; ++k) {
+    for (size_t i = 0; i < 16; ++i) {
+      store.Row(0, k)[i] = static_cast<float>(k * 16 + i);
+    }
+  }
+  std::vector<float> dense(2 * 16);
+  store.CopyEntityTo(0, dense.data());
+  for (size_t j = 0; j < 32; ++j) {
+    EXPECT_FLOAT_EQ(dense[j], static_cast<float>(j));
+  }
+}
+
+TEST(FacetStoreTest, FillAndCopySemantics) {
+  FacetStore store(3, 2, 6);
+  store.Fill(2.5f);
+  EXPECT_FLOAT_EQ(store.Row(2, 1)[5], 2.5f);
+  FacetStore copy = store;  // value semantics
+  copy.Row(2, 1)[5] = -1.0f;
+  EXPECT_FLOAT_EQ(store.Row(2, 1)[5], 2.5f);
+  EXPECT_FLOAT_EQ(copy.Row(2, 1)[5], -1.0f);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,213 @@
+#include "common/kernels.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/facet_store.h"
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace mars {
+namespace {
+
+std::vector<float> RandomVec(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng->Normal());
+  return v;
+}
+
+/// A block of `count` rows spaced `stride` apart, padding zeroed.
+std::vector<float> RandomBlock(Rng* rng, size_t count, size_t stride,
+                               size_t n) {
+  std::vector<float> block(count * stride, 0.0f);
+  for (size_t r = 0; r < count; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      block[r * stride + i] = static_cast<float>(rng->Normal());
+    }
+  }
+  return block;
+}
+
+class BatchKernelShapes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(BatchKernelShapes, DotBatchMatchesPerRow) {
+  const auto [n, count] = GetParam();
+  const size_t stride = n + 3;  // deliberately padded
+  Rng rng(1);
+  const auto u = RandomVec(&rng, n);
+  const auto block = RandomBlock(&rng, count, stride, n);
+  std::vector<float> got(count, -1.0f);
+  DotBatch(u.data(), block.data(), count, stride, n, got.data());
+  for (size_t r = 0; r < count; ++r) {
+    EXPECT_NEAR(got[r], Dot(u.data(), block.data() + r * stride, n), 1e-5f)
+        << "n=" << n << " r=" << r;
+  }
+}
+
+TEST_P(BatchKernelShapes, SquaredDistanceBatchMatchesPerRow) {
+  const auto [n, count] = GetParam();
+  const size_t stride = n + 1;
+  Rng rng(2);
+  const auto u = RandomVec(&rng, n);
+  const auto block = RandomBlock(&rng, count, stride, n);
+  std::vector<float> got(count);
+  SquaredDistanceBatch(u.data(), block.data(), count, stride, n, got.data());
+  for (size_t r = 0; r < count; ++r) {
+    EXPECT_NEAR(got[r],
+                SquaredDistance(u.data(), block.data() + r * stride, n),
+                1e-4f);
+  }
+}
+
+TEST_P(BatchKernelShapes, CosineBatchMatchesPerRow) {
+  const auto [n, count] = GetParam();
+  const size_t stride = n;
+  Rng rng(3);
+  const auto u = RandomVec(&rng, n);
+  const auto block = RandomBlock(&rng, count, stride, n);
+  std::vector<float> got(count);
+  CosineBatch(u.data(), block.data(), count, stride, n, got.data());
+  for (size_t r = 0; r < count; ++r) {
+    EXPECT_NEAR(got[r], Cosine(u.data(), block.data() + r * stride, n),
+                1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchKernelShapes,
+    ::testing::Combine(::testing::Values<size_t>(1, 4, 7, 32, 129),
+                       ::testing::Values<size_t>(1, 2, 5, 64)));
+
+TEST(KernelsTest, CosineBatchZeroUserIsZero) {
+  std::vector<float> u(8, 0.0f);
+  Rng rng(4);
+  const auto block = RandomBlock(&rng, 3, 8, 8);
+  std::vector<float> got(3, 9.0f);
+  CosineBatch(u.data(), block.data(), 3, 8, 8, got.data());
+  for (float g : got) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(KernelsTest, CosineBatchZeroRowIsZero) {
+  Rng rng(5);
+  const auto u = RandomVec(&rng, 8);
+  std::vector<float> block(2 * 8, 0.0f);
+  for (size_t i = 0; i < 8; ++i) {
+    block[8 + i] = static_cast<float>(rng.Normal());
+  }
+  std::vector<float> got(2);
+  CosineBatch(u.data(), block.data(), 2, 8, 8, got.data());
+  EXPECT_FLOAT_EQ(got[0], 0.0f);
+  EXPECT_NEAR(got[1], Cosine(u.data(), block.data() + 8, 8), 1e-5f);
+}
+
+TEST(KernelsTest, DotGatherMatchesPerRow) {
+  const size_t n = 24, stride = 32, rows = 50;
+  Rng rng(6);
+  const auto u = RandomVec(&rng, n);
+  const auto base = RandomBlock(&rng, rows, stride, n);
+  const std::vector<uint32_t> ids = {3, 3, 49, 0, 17, 21, 8};
+  std::vector<float> got(ids.size());
+  DotGather(u.data(), base.data(), stride, ids.data(), ids.size(), n,
+            got.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NEAR(got[i], Dot(u.data(), base.data() + ids[i] * stride, n),
+                1e-5f);
+  }
+}
+
+TEST(KernelsTest, SquaredDistanceGatherMatchesPerRow) {
+  const size_t n = 17, stride = 17, rows = 40;
+  Rng rng(7);
+  const auto u = RandomVec(&rng, n);
+  const auto base = RandomBlock(&rng, rows, stride, n);
+  const std::vector<uint32_t> ids = {39, 1, 1, 12};
+  std::vector<float> got(ids.size());
+  SquaredDistanceGather(u.data(), base.data(), stride, ids.data(), ids.size(),
+                        n, got.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NEAR(got[i],
+                SquaredDistance(u.data(), base.data() + ids[i] * stride, n),
+                1e-4f);
+  }
+}
+
+TEST(KernelsTest, NegatedSquaredDistanceGatherMatchesPerRow) {
+  const size_t n = 13, stride = 13, rows = 30;
+  Rng rng(10);
+  const auto u = RandomVec(&rng, n);
+  const auto base = RandomBlock(&rng, rows, stride, n);
+  const std::vector<uint32_t> ids = {0, 29, 7, 7, 15};
+  std::vector<float> got(ids.size());
+  NegatedSquaredDistanceGather(u.data(), base.data(), stride, ids.data(),
+                               ids.size(), n, got.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NEAR(got[i],
+                -SquaredDistance(u.data(), base.data() + ids[i] * stride, n),
+                1e-4f);
+  }
+}
+
+TEST(KernelsTest, WeightedFacetDotMatchesLoop) {
+  const size_t kf = 4, d = 19;
+  FacetStore users(3, kf, d), items(5, kf, d);
+  Rng rng(8);
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        users.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  for (size_t e = 0; e < 5; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        items.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  const std::vector<float> w = {0.1f, 0.4f, 0.2f, 0.3f};
+  for (size_t u = 0; u < 3; ++u) {
+    for (size_t v = 0; v < 5; ++v) {
+      float expect = 0.0f;
+      for (size_t k = 0; k < kf; ++k) {
+        expect += w[k] * Dot(users.Row(u, k), items.Row(v, k), d);
+      }
+      const float got = WeightedFacetDot(
+          users.EntityBlock(u), users.row_stride(), items.EntityBlock(v),
+          items.row_stride(), w.data(), kf, d);
+      EXPECT_NEAR(got, expect, 1e-5f);
+    }
+  }
+}
+
+TEST(KernelsTest, WeightedFacetSquaredDistanceMixedStrides) {
+  // Dense K×d user buffer (stride d) against a padded FacetStore block.
+  const size_t kf = 3, d = 12;
+  FacetStore items(4, kf, d);
+  Rng rng(9);
+  std::vector<float> u(kf * d);
+  for (auto& x : u) x = static_cast<float>(rng.Normal());
+  for (size_t e = 0; e < 4; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        items.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  const std::vector<float> w = {0.5f, 0.25f, 0.25f};
+  for (size_t v = 0; v < 4; ++v) {
+    float expect = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      expect += w[k] * SquaredDistance(u.data() + k * d, items.Row(v, k), d);
+    }
+    const float got = WeightedFacetSquaredDistance(
+        u.data(), d, items.EntityBlock(v), items.row_stride(), w.data(), kf,
+        d);
+    EXPECT_NEAR(got, expect, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace mars

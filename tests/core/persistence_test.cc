@@ -1,6 +1,7 @@
 #include "core/persistence.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -98,6 +99,104 @@ TEST_F(PersistenceFixture, LoadRejectsTruncatedPayload) {
     std::ofstream out(path_, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(),
               static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(LoadMars(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, OldFormatV1StillLoads) {
+  // Reconstruct a v1 file (facet-major tensors, the std::vector<Matrix>
+  // era) from the v2 bytes and check the versioned load path transposes it
+  // into the FacetStore bit-exactly.
+  ASSERT_TRUE(SaveMars(*model_, path_));
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  auto u32 = [&](size_t off) {
+    uint32_t v;
+    std::memcpy(&v, bytes.data() + off, 4);
+    return v;
+  };
+  auto u64 = [&](size_t off) {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + off, 8);
+    return v;
+  };
+  ASSERT_EQ(u32(4), 2u) << "save should emit version 2";
+  const size_t kf = u64(8), d = u64(16);
+  const size_t n_users = u64(24), n_items = u64(32);
+  const size_t header = 4 + 4 + 8 * 4 + 4 + 4;
+  std::string v1 = bytes;
+  const uint32_t version1 = 1;
+  std::memcpy(v1.data() + 4, &version1, 4);
+  // Transpose [entity][facet][dim] → [facet][entity][dim] per tensor.
+  auto transpose = [&](size_t off, size_t entities) {
+    for (size_t e = 0; e < entities; ++e) {
+      for (size_t k = 0; k < kf; ++k) {
+        std::memcpy(v1.data() + off + (k * entities + e) * d * 4,
+                    bytes.data() + off + (e * kf + k) * d * 4, d * 4);
+      }
+    }
+  };
+  transpose(header, n_users);
+  transpose(header + n_users * kf * d * 4, n_items);
+  const std::string v1_path = ::testing::TempDir() + "/mars_model_v1.bin";
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+  }
+  const auto loaded = LoadMars(v1_path);
+  std::remove(v1_path.c_str());
+  ASSERT_NE(loaded, nullptr);
+  for (UserId u = 0; u < 20; ++u) {
+    for (ItemId v = 0; v < 20; ++v) {
+      EXPECT_FLOAT_EQ(loaded->Score(u, v), model_->Score(u, v));
+    }
+  }
+  const auto ea = loaded->UserFacetEmbedding(3, 1);
+  const auto eb = model_->UserFacetEmbedding(3, 1);
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_FLOAT_EQ(ea[i], eb[i]);
+}
+
+TEST_F(PersistenceFixture, RoundTripUnpaddedDim) {
+  // dim 16 is a cache-line multiple, so the store has no row padding and
+  // save/load take the dense bulk-I/O path instead of the per-row one.
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 2;
+  cfg.theta_nmf_iterations = 3;
+  Mars dense_model(cfg);
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.learning_rate = 0.2;
+  dense_model.Fit(*split_.train, opts);
+  ASSERT_TRUE(SaveMars(dense_model, path_));
+  const auto loaded = LoadMars(path_);
+  ASSERT_NE(loaded, nullptr);
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId v = 0; v < 10; ++v) {
+      EXPECT_FLOAT_EQ(loaded->Score(u, v), dense_model.Score(u, v));
+    }
+  }
+}
+
+TEST_F(PersistenceFixture, LoadRejectsOverflowingEntityCounts) {
+  // A crafted header with an absurd n_users must be rejected before any
+  // tensor allocation or per-row read happens.
+  ASSERT_TRUE(SaveMars(*model_, path_));
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  const uint64_t huge = ~0ull;
+  std::memcpy(bytes.data() + 24, &huge, 8);  // n_users field
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   EXPECT_EQ(LoadMars(path_), nullptr);
 }

@@ -164,6 +164,98 @@ TEST(SphereTest, CalibratedConvergesFasterFromAntipode) {
   EXPECT_LT(calib, 10000);
 }
 
+class FusedStepEquivalence : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FusedStepEquivalence, MatchesComposedPath) {
+  // The fused kernel must reproduce the composed TangentProject +
+  // CalibrationFactor + Retract step to float rounding across dims that
+  // exercise both the unrolled body and the scalar tail.
+  const bool calibrated = GetParam();
+  Rng rng(42);
+  for (size_t n : {2u, 7u, 8u, 16u, 33u, 128u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      auto x_ref = RandomUnit(&rng, n);
+      auto x_fused = x_ref;
+      std::vector<float> g(n), scratch(n);
+      for (auto& v : g) v = static_cast<float>(rng.Normal());
+      RiemannianSgdStep(x_ref.data(), g.data(), 0.05f, n, scratch.data(),
+                        calibrated);
+      ASSERT_TRUE(
+          FusedRiemannianSgdStep(x_fused.data(), g.data(), 0.05f, n,
+                                 calibrated));
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x_fused[i], x_ref[i], 1e-5f)
+            << "n=" << n << " trial=" << trial << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(FusedStepEquivalence, MatchesComposedPathOverTrajectory) {
+  // Rounding must not diverge over many consecutive steps either.
+  const bool calibrated = GetParam();
+  Rng rng(43);
+  auto x_ref = RandomUnit(&rng, 24);
+  auto x_fused = x_ref;
+  std::vector<float> g(24), scratch(24);
+  for (int step = 0; step < 200; ++step) {
+    for (auto& v : g) v = static_cast<float>(rng.Normal());
+    RiemannianSgdStep(x_ref.data(), g.data(), 0.05f, 24, scratch.data(),
+                      calibrated);
+    FusedRiemannianSgdStep(x_fused.data(), g.data(), 0.05f, 24, calibrated);
+  }
+  for (size_t i = 0; i < 24; ++i) {
+    EXPECT_NEAR(x_fused[i], x_ref[i], 1e-4f);
+  }
+  EXPECT_NEAR(Norm(x_fused.data(), 24), 1.0f, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, FusedStepEquivalence, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Calibrated" : "Plain";
+                         });
+
+TEST(SphereTest, FusedStepStaysOnSphere) {
+  Rng rng(44);
+  auto x = RandomUnit(&rng, 16);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<float> g(16);
+    for (auto& v : g) v = static_cast<float>(rng.Normal());
+    FusedRiemannianSgdStep(x.data(), g.data(), 0.1f, 16, true);
+    ASSERT_NEAR(Norm(x.data(), 16), 1.0f, 1e-4f) << "step " << step;
+  }
+}
+
+TEST(SphereTest, FusedStepRadialGradientIsNoop) {
+  // A purely radial gradient is annihilated by the tangent projection; the
+  // fused step must reduce to a renormalization, like the composed path.
+  std::vector<float> x = {1.0f, 0.0f};
+  std::vector<float> g = {20.0f, 0.0f};
+  EXPECT_TRUE(FusedRiemannianSgdStep(x.data(), g.data(), 0.05f, 2, false));
+  EXPECT_NEAR(x[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(x[1], 0.0f, 1e-6f);
+}
+
+TEST(SphereTest, FusedStepRenormalizesLikeRetract) {
+  // Zero gradient on a non-unit point: Retract(x, 0) renormalizes; the
+  // fused kernel must do the same.
+  std::vector<float> x = {2.0f, 0.0f};
+  std::vector<float> g = {0.0f, 0.0f};
+  EXPECT_TRUE(FusedRiemannianSgdStep(x.data(), g.data(), 0.1f, 2, true));
+  EXPECT_NEAR(x[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(x[1], 0.0f, 1e-6f);
+}
+
+TEST(SphereTest, FusedStepDegenerateRejected) {
+  // x = 0 and g = 0 leaves nothing to retract onto the sphere: the kernel
+  // must refuse and leave x untouched (mirrors Retract's degenerate case).
+  std::vector<float> x = {0.0f, 0.0f};
+  std::vector<float> g = {0.0f, 0.0f};
+  EXPECT_FALSE(FusedRiemannianSgdStep(x.data(), g.data(), 0.1f, 2, true));
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+}
+
 TEST(SphereTest, ZeroGradientIsNoop) {
   Rng rng(8);
   auto x = RandomUnit(&rng, 8);
