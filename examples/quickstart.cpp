@@ -20,11 +20,13 @@
 int main(int argc, char** argv) {
   using namespace mars;
 
-  // Optional overrides (used by scripts/ci.sh for a tiny smoke run):
-  //   quickstart [num_users] [num_items] [epochs]
+  // Optional overrides (used by scripts/ci.sh for tiny smoke runs):
+  //   quickstart [num_users] [num_items] [epochs] [num_threads]
   const size_t arg_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
   const size_t arg_items = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 500;
   const size_t arg_epochs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 30;
+  const size_t arg_threads =
+      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1;
 
   // 1. Data: 600 users × 500 items of multi-facet implicit feedback.
   SyntheticConfig data_cfg;
@@ -51,10 +53,17 @@ int main(int argc, char** argv) {
   train.epochs = arg_epochs;
   train.learning_rate = 0.3;
   train.seed = 42;
+  // >1 shards each epoch across Hogwild workers and overlaps the dev
+  // evaluation with the next epoch (see src/train/parallel_trainer.h).
+  train.num_threads = arg_threads;
   // Early stopping against the dev split.
   Evaluator dev(*split.train, split.dev_item, EvalProtocol{.seed = 5});
   train.dev_evaluator = &dev;
   model.Fit(*split.train, train);
+  if (arg_threads > 1) {
+    std::printf("trained with %zu Hogwild workers (overlapped eval)\n",
+                arg_threads);
+  }
 
   // 4. Test-set quality under the paper's protocol (100 negatives/user).
   Evaluator test(*split.train, split.test_item, EvalProtocol{.seed = 6});

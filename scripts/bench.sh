@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the training-throughput bench, writing
+# machine-readable results to BENCH_train.json at the repo root so future
+# PRs can diff training perf against this baseline.
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build)
+#        MARS_BENCH_FAST=1 scripts/bench.sh   # shrunken smoke variant
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_train
+
+"$BUILD_DIR"/bench_train BENCH_train.json
+echo
+echo "== BENCH_train.json =="
+cat BENCH_train.json

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # One-command gate for this repo: tier-1 verify (configure, build, ctest)
-# plus a smoke run of examples/quickstart on a tiny synthetic dataset.
+# plus smoke runs of examples/quickstart — serial and with the
+# num_threads=4 Hogwild trainer — so the parallel path is exercised on
+# every build.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -8,17 +10,51 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# Fail loudly on a stale build dir: a cache configured for another source
+# tree produces confusing half-builds, so refuse to reuse it.
+if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cache_home="$(sed -n 's/^CMAKE_HOME_DIRECTORY:INTERNAL=//p' "$BUILD_DIR/CMakeCache.txt")"
+  if [ "$cache_home" != "$(pwd)" ]; then
+    echo "error: stale build dir: $BUILD_DIR was configured for" >&2
+    echo "  '$cache_home', not '$(pwd)'. Delete it and re-run:" >&2
+    echo "  rm -rf $BUILD_DIR" >&2
+    exit 1
+  fi
+fi
+
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
+# A successful build must have produced the gate binaries. mars_tests is
+# special-cased: CMake only warns (does not fail) when GTest is absent, so
+# its absence usually means a missing dependency, not a stale dir.
+if [ ! -x "$BUILD_DIR/mars_tests" ]; then
+  echo "error: 'mars_tests' was not built. Most likely GTest is not" >&2
+  echo "  installed (CMake warns and skips tests); install GTest, or if" >&2
+  echo "  it is installed, the build dir may be stale: rm -rf $BUILD_DIR" >&2
+  exit 1
+fi
+for bin in quickstart bench_train; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "error: '$bin' missing from $BUILD_DIR after build — stale or" >&2
+    echo "  broken build dir. Delete it and re-run: rm -rf $BUILD_DIR" >&2
+    exit 1
+  fi
+done
+
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== quickstart smoke (tiny synthetic dataset) =="
+echo "== quickstart smoke (tiny synthetic dataset, serial) =="
 # Items must exceed the eval protocol's 100 sampled negatives.
 "$BUILD_DIR"/quickstart 120 200 3
+
+echo "== quickstart smoke (num_threads=4 Hogwild + overlapped eval) =="
+# 6 epochs so the default eval_every=5 actually fires one overlapped dev
+# eval (snapshot + eval thread + join) before the final epoch.
+"$BUILD_DIR"/quickstart 120 200 6 4
 
 echo "CI OK"

@@ -28,4 +28,25 @@ void FacetStore::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+std::pair<size_t, size_t> FacetStore::ShardRange(size_t num_entities,
+                                                 size_t shard,
+                                                 size_t num_shards) {
+  MARS_CHECK(num_shards >= 1);
+  MARS_CHECK(shard < num_shards);
+  const size_t base = num_entities / num_shards;
+  const size_t rem = num_entities % num_shards;
+  const size_t begin = shard * base + std::min(shard, rem);
+  const size_t end = begin + base + (shard < rem ? 1 : 0);
+  return {begin, end};
+}
+
+void FacetStore::ShardView::CopyFrom(const FacetStore& src) const {
+  MARS_CHECK(src.num_entities() == store_->num_entities() &&
+             src.num_facets() == store_->num_facets() &&
+             src.dim() == store_->dim());
+  if (empty()) return;
+  std::memcpy(data(), src.EntityBlock(begin_),
+              size_floats() * sizeof(float));
+}
+
 }  // namespace mars

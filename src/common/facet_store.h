@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <new>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -56,6 +57,61 @@ class FacetStore {
   /// Rows are padded to this many bytes.
   static constexpr size_t kRowAlignBytes = 64;
 
+  /// Mutable view of the contiguous entity range [entity_begin, entity_end).
+  ///
+  /// Because entity blocks are whole multiples of the 64-byte row stride and
+  /// the buffer base is 64-byte aligned, every shard's base pointer is
+  /// 64-byte aligned and two disjoint shards never share a cache line —
+  /// a worker may write its shard without false sharing against neighbors.
+  /// Views are invalidated by reassigning the store.
+  class ShardView {
+   public:
+    ShardView(FacetStore* store, size_t entity_begin, size_t entity_end)
+        : store_(store), begin_(entity_begin), end_(entity_end) {
+      MARS_DCHECK(store != nullptr);
+      MARS_DCHECK(entity_begin <= entity_end);
+      MARS_DCHECK(entity_end <= store->num_entities());
+    }
+
+    size_t entity_begin() const { return begin_; }
+    size_t entity_end() const { return end_; }
+    size_t num_entities() const { return end_ - begin_; }
+    bool empty() const { return begin_ == end_; }
+    const FacetStore& store() const { return *store_; }
+
+    /// True when the view owns global entity id `e`.
+    bool Contains(size_t e) const { return e >= begin_ && e < end_; }
+
+    /// Facet row `k` of *global* entity id `e`; must be inside the shard.
+    float* Row(size_t e, size_t k) const {
+      MARS_DCHECK(Contains(e));
+      return store_->Row(e, k);
+    }
+    /// Entity block of *global* entity id `e`; must be inside the shard.
+    float* EntityBlock(size_t e) const {
+      MARS_DCHECK(Contains(e));
+      return store_->EntityBlock(e);
+    }
+
+    /// Base pointer of the shard (64-byte aligned; empty shards → nullptr).
+    float* data() const {
+      return empty() ? nullptr : store_->EntityBlock(begin_);
+    }
+    /// Total floats covered, padding included.
+    size_t size_floats() const {
+      return num_entities() * store_->entity_stride();
+    }
+
+    /// Bulk-copies the same entity range of `src` into this shard. Both
+    /// stores must have identical shape (entities, facets, dim).
+    void CopyFrom(const FacetStore& src) const;
+
+   private:
+    FacetStore* store_;
+    size_t begin_;
+    size_t end_;
+  };
+
   FacetStore() = default;
   FacetStore(size_t num_entities, size_t num_facets, size_t dim);
 
@@ -94,6 +150,20 @@ class FacetStore {
 
   /// Sets every element (padding included) to `value`.
   void Fill(float value);
+
+  /// Balanced entity range of shard `shard` out of `num_shards`:
+  /// the first (num_entities % num_shards) shards get one extra entity.
+  /// Returns {begin, end}; ranges of consecutive shards tile
+  /// [0, num_entities) exactly. `num_shards` may exceed num_entities
+  /// (trailing shards come back empty).
+  static std::pair<size_t, size_t> ShardRange(size_t num_entities,
+                                              size_t shard, size_t num_shards);
+
+  /// Mutable view of shard `shard` of `num_shards` (see ShardRange).
+  ShardView Shard(size_t shard, size_t num_shards) {
+    const auto [b, e] = ShardRange(num_entities_, shard, num_shards);
+    return ShardView(this, b, e);
+  }
 
  private:
   size_t num_entities_ = 0;

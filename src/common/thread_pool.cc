@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace mars {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
+  worker_ids_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
 }
 
@@ -21,7 +25,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::IsWorkerThread() const {
+  // worker_ids_ is immutable after construction, so no lock is needed.
+  const std::thread::id self = std::this_thread::get_id();
+  return std::find(worker_ids_.begin(), worker_ids_.end(), self) !=
+         worker_ids_.end();
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  MARS_DCHECK(!IsWorkerThread());
   {
     std::unique_lock<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
@@ -31,6 +43,10 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  // A task waiting on its own pool counts itself as in-flight and would
+  // block forever; abort with a diagnostic instead of hanging.
+  MARS_CHECK_MSG(!IsWorkerThread(),
+                 "ThreadPool::Wait called from a pool task (re-entrant use)");
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }

@@ -14,7 +14,14 @@
 namespace mars {
 
 /// Fixed-size worker pool. Submit closures; Wait() blocks until all
-/// submitted work has finished. Not re-entrant (do not Submit from a task).
+/// submitted work has finished.
+///
+/// NOT re-entrant: a task must never call Submit/Wait/ParallelFor on the
+/// pool that runs it. Wait() counts the calling task itself as in-flight,
+/// so a nested Wait() deadlocks by construction; Wait() aborts loudly
+/// (always, not just in debug) when called from a worker, and Submit
+/// asserts in debug builds. Code that needs nested parallelism (e.g.
+/// evaluation overlapped with training) must use two distinct pools.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -24,22 +31,31 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.
+  /// Enqueues a task. Must not be called from a task on this pool
+  /// (asserted in debug builds).
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. Aborts if called
+  /// from a task on this pool — that would wait for itself forever.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and waits.
-  /// Work is chunked to limit queue overhead.
+  /// True when the calling thread is one of this pool's workers, i.e. the
+  /// caller is inside a task and must not Submit/Wait here.
+  bool IsWorkerThread() const;
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits. Dispatch is
+  /// chunked — one queued closure per contiguous index range, a few chunks
+  /// per worker — so fine-grained loops (per-user eval ranking) don't pay
+  /// one queue round-trip per index.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::vector<std::thread::id> worker_ids_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;

@@ -1,6 +1,7 @@
 #include "core/mar.h"
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -13,6 +14,8 @@
 #include "models/train_loop.h"
 #include "opt/sgd.h"
 #include "sampling/triplet_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -98,151 +101,223 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const float alpha = static_cast<float>(config_.alpha);
   const float clip = static_cast<float>(config_.grad_clip);
 
-  // Per-step scratch, flat K×D layouts.
-  std::vector<float> uf(kf * d), vpf(kf * d), vqf(kf * d);
-  std::vector<float> u_scale(kf), vp_scale(kf), vq_scale(kf);
-  std::vector<float> gu(kf * d), gvp(kf * d), gvq(kf * d);
-  std::vector<float> theta(kf), coeff(kf), b(kf);
-  std::vector<float> gz(d), du(d), dv(d);
-
   const float lr_comp =
       config_.scale_lr_by_facets ? static_cast<float>(kf) : 1.0f;
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    const float lr = static_cast<float>(lr_d) * lr_comp;
-    const float theta_lr = static_cast<float>(lr_d) *
-                           static_cast<float>(config_.theta_lr_scale);
+  // Steps touch only the sampled rows (kFree) — Hogwild workers update the
+  // shared tables lock-free with private scratch, and row collisions are
+  // rare. kProjected is different: every step of every worker reads AND
+  // writes all K global d×d projection matrices, so contention there is
+  // per-step certain, not rare — a worker can read a matrix mid-update
+  // (torn rows) and compute gradients from an inconsistent projection.
+  // Training still proceeds as approximate SGD, but multi-thread quality
+  // for kProjected is unvalidated; prefer num_threads=1 for that mode
+  // (see ROADMAP "shard/ownership model").
+  ParallelTrainer trainer(options, &rng);
+  struct Scratch {
+    std::vector<float> uf, vpf, vqf;
+    std::vector<float> u_scale, vp_scale, vq_scale;
+    std::vector<float> gu, gvp, gvq;
+    std::vector<float> theta, coeff, b;
+    std::vector<float> gz, du, dv;
+  };
+  std::vector<Scratch> scratch(trainer.num_workers());
+  for (Scratch& sc : scratch) {
+    sc.uf.resize(kf * d);
+    sc.vpf.resize(kf * d);
+    sc.vqf.resize(kf * d);
+    sc.u_scale.resize(kf);
+    sc.vp_scale.resize(kf);
+    sc.vq_scale.resize(kf);
+    sc.gu.resize(kf * d);
+    sc.gvp.resize(kf * d);
+    sc.gvq.resize(kf * d);
+    sc.theta.resize(kf);
+    sc.coeff.resize(kf);
+    sc.b.resize(kf);
+    sc.gz.resize(d);
+    sc.du.resize(d);
+    sc.dv.resize(d);
+  }
+
+  // Per-epoch learning rates, set before the steps fan out.
+  float lr = 0.0f;
+  float theta_lr = 0.0f;
+
+  const auto step = [&](size_t worker, Rng& wrng) {
+    Scratch& sc = scratch[worker];
+    std::vector<float>& uf = sc.uf;
+    std::vector<float>& vpf = sc.vpf;
+    std::vector<float>& vqf = sc.vqf;
+    std::vector<float>& u_scale = sc.u_scale;
+    std::vector<float>& vp_scale = sc.vp_scale;
+    std::vector<float>& vq_scale = sc.vq_scale;
+    std::vector<float>& gu = sc.gu;
+    std::vector<float>& gvp = sc.gvp;
+    std::vector<float>& gvq = sc.gvq;
+    std::vector<float>& theta = sc.theta;
+    std::vector<float>& coeff = sc.coeff;
+    std::vector<float>& b = sc.b;
+
     Triplet t;
-    for (size_t s = 0; s < steps; ++s) {
-      if (!sampler.Sample(&rng, &t)) continue;
+    if (!sampler.Sample(&wrng, &t)) return;
 
-      // --- Forward: facet embeddings for u, vp, vq ----------------------
-      if (param_mode_ == FacetParam::kProjected) {
-        for (size_t k = 0; k < kf; ++k) {
-          u_scale[k] = ProjectFacet(phi_[k], user_universal_.Row(t.user),
-                                    &uf[k * d]);
-          vp_scale[k] = ProjectFacet(psi_[k], item_universal_.Row(t.positive),
-                                     &vpf[k * d]);
-          vq_scale[k] = ProjectFacet(psi_[k], item_universal_.Row(t.negative),
-                                     &vqf[k * d]);
-        }
-      } else {
-        // Each entity's K facet rows are one contiguous block.
-        user_facets_.CopyEntityTo(t.user, uf.data());
-        item_facets_.CopyEntityTo(t.positive, vpf.data());
-        item_facets_.CopyEntityTo(t.negative, vqf.data());
-      }
-      Softmax(theta_logits_.Row(t.user), theta.data(), kf);
-
-      // Facet distances.
-      float push_val = margins_[t.user];
-      std::vector<float>& a = coeff;  // reuse: holds a_k, then coefficients
+    // --- Forward: facet embeddings for u, vp, vq ----------------------
+    if (param_mode_ == FacetParam::kProjected) {
       for (size_t k = 0; k < kf; ++k) {
-        a[k] = SquaredDistance(&uf[k * d], &vpf[k * d], d);
-        b[k] = SquaredDistance(&uf[k * d], &vqf[k * d], d);
-        push_val += theta[k] * (a[k] - b[k]);
+        u_scale[k] = ProjectFacet(phi_[k], user_universal_.Row(t.user),
+                                  &uf[k * d]);
+        vp_scale[k] = ProjectFacet(psi_[k], item_universal_.Row(t.positive),
+                                   &vpf[k * d]);
+        vq_scale[k] = ProjectFacet(psi_[k], item_universal_.Row(t.negative),
+                                   &vqf[k * d]);
       }
-      const bool active = push_val > 0.0f;
-
-      // --- Facet-space gradients ----------------------------------------
-      Fill(0.0f, gu.data(), kf * d);
-      Fill(0.0f, gvp.data(), kf * d);
-      Fill(0.0f, gvq.data(), kf * d);
-      for (size_t k = 0; k < kf; ++k) {
-        const float* ufk = &uf[k * d];
-        const float* vpk = &vpf[k * d];
-        const float* vqk = &vqf[k * d];
-        float* guk = &gu[k * d];
-        float* gvpk = &gvp[k * d];
-        float* gvqk = &gvq[k * d];
-        const float w_pull = lambda_pull * theta[k];
-        const float w_push = active ? theta[k] : 0.0f;
-        for (size_t i = 0; i < d; ++i) {
-          const float dp = ufk[i] - vpk[i];
-          const float dq = ufk[i] - vqk[i];
-          // push: θ(2dp - 2dq); pull: λθ·2dp
-          guk[i] += 2.0f * (w_push * (dp - dq) + w_pull * dp);
-          gvpk[i] += -2.0f * (w_push + w_pull) * dp;
-          gvqk[i] += 2.0f * w_push * dq;
-        }
-      }
-      // Facet-separating loss over facet pairs (user + positive item).
-      if (lambda_facet > 0.0f && kf > 1) {
-        for (size_t i = 0; i < kf; ++i) {
-          for (size_t j = i + 1; j < kf; ++j) {
-            const float s_ij =
-                SquaredDistance(&uf[i * d], &uf[j * d], d) +
-                SquaredDistance(&vpf[i * d], &vpf[j * d], d);
-            // dL/ds = -σ(-α s); gradient increases the separation.
-            const float w =
-                -lambda_facet * static_cast<float>(Sigmoid(-alpha * s_ij));
-            for (size_t x = 0; x < d; ++x) {
-              const float du_x = 2.0f * (uf[i * d + x] - uf[j * d + x]);
-              gu[i * d + x] += w * du_x;
-              gu[j * d + x] -= w * du_x;
-              const float dv_x = 2.0f * (vpf[i * d + x] - vpf[j * d + x]);
-              gvp[i * d + x] += w * dv_x;
-              gvp[j * d + x] -= w * dv_x;
-            }
-          }
-        }
-      }
-
-      // --- Facet-weight (Θ) update ---------------------------------------
-      // Coefficient of θ_k in the loss: push hinge + pull.
-      float mean_c = 0.0f;
-      for (size_t k = 0; k < kf; ++k) {
-        coeff[k] = (active ? (a[k] - b[k]) : 0.0f) + lambda_pull * a[k];
-        mean_c += theta[k] * coeff[k];
-      }
-      float* logits = theta_logits_.Row(t.user);
-      for (size_t k = 0; k < kf; ++k) {
-        logits[k] -= theta_lr * theta[k] * (coeff[k] - mean_c);
-      }
-
-      // --- Apply parameter updates ---------------------------------------
-      if (param_mode_ == FacetParam::kFree) {
-        for (size_t k = 0; k < kf; ++k) {
-          if (clip > 0.0f) {
-            ClipGradient(&gu[k * d], d, clip);
-            ClipGradient(&gvp[k * d], d, clip);
-            ClipGradient(&gvq[k * d], d, clip);
-          }
-          SgdStepBallProjected(user_facets_.Row(t.user, k), &gu[k * d], lr,
-                               d);
-          SgdStepBallProjected(item_facets_.Row(t.positive, k), &gvp[k * d],
-                               lr, d);
-          SgdStepBallProjected(item_facets_.Row(t.negative, k), &gvq[k * d],
-                               lr, d);
-        }
-        continue;
-      }
-      // kProjected: backprop through the clip into universal embeddings and
-      // projection matrices.
-      const float proj_lr =
-          lr * static_cast<float>(config_.projection_lr_scale);
-      auto backprop_entity = [&](Matrix& universal, std::vector<Matrix>& proj,
-                                 UserId row, const std::vector<float>& facets,
-                                 const std::vector<float>& scales,
-                                 std::vector<float>& grads) {
-        Fill(0.0f, du.data(), d);
-        float* x = universal.Row(row);
-        for (size_t k = 0; k < kf; ++k) {
-          if (clip > 0.0f) ClipGradient(&grads[k * d], d, clip);
-          ClipBackward(&facets[k * d], scales[k], &grads[k * d], gz.data(),
-                       d);
-          // ∂L/∂x += Φ_k gz ; ∂L/∂Φ_k = x gzᵀ (applied directly as update).
-          Gemv(proj[k], gz.data(), dv.data());
-          Axpy(1.0f, dv.data(), du.data(), d);
-          AddOuterProduct(-proj_lr, x, gz.data(), &proj[k]);
-        }
-        SgdStep(x, du.data(), lr, d);
-      };
-      backprop_entity(user_universal_, phi_, t.user, uf, u_scale, gu);
-      backprop_entity(item_universal_, psi_, t.positive, vpf, vp_scale, gvp);
-      backprop_entity(item_universal_, psi_, t.negative, vqf, vq_scale, gvq);
+    } else {
+      // Each entity's K facet rows are one contiguous block.
+      user_facets_.CopyEntityTo(t.user, uf.data());
+      item_facets_.CopyEntityTo(t.positive, vpf.data());
+      item_facets_.CopyEntityTo(t.negative, vqf.data());
     }
-  });
+    Softmax(theta_logits_.Row(t.user), theta.data(), kf);
+
+    // Facet distances.
+    float push_val = margins_[t.user];
+    std::vector<float>& a = coeff;  // reuse: holds a_k, then coefficients
+    for (size_t k = 0; k < kf; ++k) {
+      a[k] = SquaredDistance(&uf[k * d], &vpf[k * d], d);
+      b[k] = SquaredDistance(&uf[k * d], &vqf[k * d], d);
+      push_val += theta[k] * (a[k] - b[k]);
+    }
+    const bool active = push_val > 0.0f;
+
+    // --- Facet-space gradients ----------------------------------------
+    Fill(0.0f, gu.data(), kf * d);
+    Fill(0.0f, gvp.data(), kf * d);
+    Fill(0.0f, gvq.data(), kf * d);
+    for (size_t k = 0; k < kf; ++k) {
+      const float* ufk = &uf[k * d];
+      const float* vpk = &vpf[k * d];
+      const float* vqk = &vqf[k * d];
+      float* guk = &gu[k * d];
+      float* gvpk = &gvp[k * d];
+      float* gvqk = &gvq[k * d];
+      const float w_pull = lambda_pull * theta[k];
+      const float w_push = active ? theta[k] : 0.0f;
+      for (size_t i = 0; i < d; ++i) {
+        const float dp = ufk[i] - vpk[i];
+        const float dq = ufk[i] - vqk[i];
+        // push: θ(2dp - 2dq); pull: λθ·2dp
+        guk[i] += 2.0f * (w_push * (dp - dq) + w_pull * dp);
+        gvpk[i] += -2.0f * (w_push + w_pull) * dp;
+        gvqk[i] += 2.0f * w_push * dq;
+      }
+    }
+    // Facet-separating loss over facet pairs (user + positive item).
+    if (lambda_facet > 0.0f && kf > 1) {
+      for (size_t i = 0; i < kf; ++i) {
+        for (size_t j = i + 1; j < kf; ++j) {
+          const float s_ij =
+              SquaredDistance(&uf[i * d], &uf[j * d], d) +
+              SquaredDistance(&vpf[i * d], &vpf[j * d], d);
+          // dL/ds = -σ(-α s); gradient increases the separation.
+          const float w =
+              -lambda_facet * static_cast<float>(Sigmoid(-alpha * s_ij));
+          for (size_t x = 0; x < d; ++x) {
+            const float du_x = 2.0f * (uf[i * d + x] - uf[j * d + x]);
+            gu[i * d + x] += w * du_x;
+            gu[j * d + x] -= w * du_x;
+            const float dv_x = 2.0f * (vpf[i * d + x] - vpf[j * d + x]);
+            gvp[i * d + x] += w * dv_x;
+            gvp[j * d + x] -= w * dv_x;
+          }
+        }
+      }
+    }
+
+    // --- Facet-weight (Θ) update ---------------------------------------
+    // Coefficient of θ_k in the loss: push hinge + pull.
+    float mean_c = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      coeff[k] = (active ? (a[k] - b[k]) : 0.0f) + lambda_pull * a[k];
+      mean_c += theta[k] * coeff[k];
+    }
+    float* logits = theta_logits_.Row(t.user);
+    for (size_t k = 0; k < kf; ++k) {
+      logits[k] -= theta_lr * theta[k] * (coeff[k] - mean_c);
+    }
+
+    // --- Apply parameter updates ---------------------------------------
+    if (param_mode_ == FacetParam::kFree) {
+      for (size_t k = 0; k < kf; ++k) {
+        if (clip > 0.0f) {
+          ClipGradient(&gu[k * d], d, clip);
+          ClipGradient(&gvp[k * d], d, clip);
+          ClipGradient(&gvq[k * d], d, clip);
+        }
+        SgdStepBallProjected(user_facets_.Row(t.user, k), &gu[k * d], lr,
+                             d);
+        SgdStepBallProjected(item_facets_.Row(t.positive, k), &gvp[k * d],
+                             lr, d);
+        SgdStepBallProjected(item_facets_.Row(t.negative, k), &gvq[k * d],
+                             lr, d);
+      }
+      return;
+    }
+    // kProjected: backprop through the clip into universal embeddings and
+    // projection matrices.
+    const float proj_lr =
+        lr * static_cast<float>(config_.projection_lr_scale);
+    auto backprop_entity = [&](Matrix& universal, std::vector<Matrix>& proj,
+                               UserId row, const std::vector<float>& facets,
+                               const std::vector<float>& scales,
+                               std::vector<float>& grads) {
+      Fill(0.0f, sc.du.data(), d);
+      float* x = universal.Row(row);
+      for (size_t k = 0; k < kf; ++k) {
+        if (clip > 0.0f) ClipGradient(&grads[k * d], d, clip);
+        ClipBackward(&facets[k * d], scales[k], &grads[k * d], sc.gz.data(),
+                     d);
+        // ∂L/∂x += Φ_k gz ; ∂L/∂Φ_k = x gzᵀ (applied directly as update).
+        Gemv(proj[k], sc.gz.data(), sc.dv.data());
+        Axpy(1.0f, sc.dv.data(), sc.du.data(), d);
+        AddOuterProduct(-proj_lr, x, sc.gz.data(), &proj[k]);
+      }
+      SgdStep(x, sc.du.data(), lr, d);
+    };
+    backprop_entity(user_universal_, phi_, t.user, uf, u_scale, gu);
+    backprop_entity(item_universal_, psi_, t.positive, vpf, vp_scale, gvp);
+    backprop_entity(item_universal_, psi_, t.negative, vqf, vq_scale, gvq);
+  };
+
+  // Overlapped-eval snapshot (double-buffered; facet stores copied by
+  // shard on the idle trainer pool).
+  std::unique_ptr<Mar> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    if (snap == nullptr) {
+      snap = std::make_unique<Mar>(config_, param_mode_);
+    }
+    if (param_mode_ == FacetParam::kFree) {
+      SnapshotFacetStore(user_facets_, &snap->user_facets_, trainer.pool());
+      SnapshotFacetStore(item_facets_, &snap->item_facets_, trainer.pool());
+    } else {
+      snap->user_universal_ = user_universal_;
+      snap->item_universal_ = item_universal_;
+      snap->phi_ = phi_;
+      snap->psi_ = psi_;
+    }
+    snap->theta_logits_ = theta_logits_;
+    return snap.get();
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        lr = static_cast<float>(lr_d) * lr_comp;
+        theta_lr = static_cast<float>(lr_d) *
+                   static_cast<float>(config_.theta_lr_scale);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
 }
 
 float Mar::Score(UserId u, ItemId v) const {

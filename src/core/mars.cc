@@ -15,6 +15,8 @@
 #include "opt/sgd.h"
 #include "opt/sphere.h"
 #include "sampling/triplet_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -86,129 +88,178 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const float facet_sign =
       mars_options_.facet_sign == FacetLossSign::kSeparate ? 1.0f : -1.0f;
 
-  std::vector<float> gu(kf * d), gvp(kf * d), gvq(kf * d);
-  std::vector<float> theta(kf), coeff(kf), sp(kf), sq(kf);
   const size_t fs = user_facets_.row_stride();
 
   const float lr_comp =
       config_.scale_lr_by_facets ? static_cast<float>(kf) : 1.0f;
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    const float lr = static_cast<float>(lr_d) * lr_comp;
-    const float theta_lr = static_cast<float>(lr_d) *
-                           static_cast<float>(config_.theta_lr_scale);
+  // One SGD step touches only the triplet's rows, so workers update the
+  // shared stores Hogwild-style; each worker owns its scratch buffers.
+  ParallelTrainer trainer(options, &rng);
+  struct Scratch {
+    std::vector<float> gu, gvp, gvq, theta, coeff, sp, sq;
+  };
+  std::vector<Scratch> scratch(trainer.num_workers());
+  for (Scratch& sc : scratch) {
+    sc.gu.resize(kf * d);
+    sc.gvp.resize(kf * d);
+    sc.gvq.resize(kf * d);
+    sc.theta.resize(kf);
+    sc.coeff.resize(kf);
+    sc.sp.resize(kf);
+    sc.sq.resize(kf);
+  }
+
+  // Per-epoch learning rates, set before the steps fan out.
+  float lr = 0.0f;
+  float theta_lr = 0.0f;
+
+  const auto step = [&](size_t worker, Rng& wrng) {
+    Scratch& sc = scratch[worker];
+    float* const gu = sc.gu.data();
+    float* const gvp = sc.gvp.data();
+    float* const gvq = sc.gvq.data();
+    float* const theta = sc.theta.data();
+    float* const coeff = sc.coeff.data();
+    float* const sp = sc.sp.data();
+    float* const sq = sc.sq.data();
+
     Triplet t;
-    for (size_t s = 0; s < steps; ++s) {
-      if (!sampler.Sample(&rng, &t)) continue;
+    if (!sampler.Sample(&wrng, &t)) return;
 
-      // --- Forward: cosine similarities per facet ------------------------
-      // The triplet's three entity blocks are each one contiguous read.
-      const float* ublock = user_facets_.EntityBlock(t.user);
-      const float* pblock = item_facets_.EntityBlock(t.positive);
-      const float* qblock = item_facets_.EntityBlock(t.negative);
-      for (size_t k = 0; k < kf; ++k) {
-        sp[k] = Dot(ublock + k * fs, pblock + k * fs, d);
-        sq[k] = Dot(ublock + k * fs, qblock + k * fs, d);
-      }
-      Softmax(theta_logits_.Row(t.user), theta.data(), kf);
-      float push_val = margins_[t.user];
-      for (size_t k = 0; k < kf; ++k) {
-        push_val += theta[k] * radii_[k] * (sq[k] - sp[k]);
-      }
-      const bool active = push_val > 0.0f;
+    // --- Forward: cosine similarities per facet ------------------------
+    // The triplet's three entity blocks are each one contiguous read.
+    const float* ublock = user_facets_.EntityBlock(t.user);
+    const float* pblock = item_facets_.EntityBlock(t.positive);
+    const float* qblock = item_facets_.EntityBlock(t.negative);
+    for (size_t k = 0; k < kf; ++k) {
+      sp[k] = Dot(ublock + k * fs, pblock + k * fs, d);
+      sq[k] = Dot(ublock + k * fs, qblock + k * fs, d);
+    }
+    Softmax(theta_logits_.Row(t.user), theta, kf);
+    float push_val = margins_[t.user];
+    for (size_t k = 0; k < kf; ++k) {
+      push_val += theta[k] * radii_[k] * (sq[k] - sp[k]);
+    }
+    const bool active = push_val > 0.0f;
 
-      // --- Euclidean gradients in the ambient space -----------------------
-      Fill(0.0f, gu.data(), kf * d);
-      Fill(0.0f, gvp.data(), kf * d);
-      Fill(0.0f, gvq.data(), kf * d);
-      for (size_t k = 0; k < kf; ++k) {
-        const float* uk = ublock + k * fs;
-        const float* vpk = pblock + k * fs;
-        const float* vqk = qblock + k * fs;
-        const float w_push = active ? theta[k] * radii_[k] : 0.0f;
-        const float w_pull = lambda_pull * theta[k] * radii_[k];
-        for (size_t i = 0; i < d; ++i) {
-          // push: θ(∂(−s_p + s_q)) ; pull: −λθ ∂s_p
-          gu[k * d + i] +=
-              w_push * (vqk[i] - vpk[i]) - w_pull * vpk[i];
-          gvp[k * d + i] += -(w_push + w_pull) * uk[i];
-          gvq[k * d + i] += w_push * uk[i];
-        }
+    // --- Euclidean gradients in the ambient space -----------------------
+    Fill(0.0f, gu, kf * d);
+    Fill(0.0f, gvp, kf * d);
+    Fill(0.0f, gvq, kf * d);
+    for (size_t k = 0; k < kf; ++k) {
+      const float* uk = ublock + k * fs;
+      const float* vpk = pblock + k * fs;
+      const float* vqk = qblock + k * fs;
+      const float w_push = active ? theta[k] * radii_[k] : 0.0f;
+      const float w_pull = lambda_pull * theta[k] * radii_[k];
+      for (size_t i = 0; i < d; ++i) {
+        // push: θ(∂(−s_p + s_q)) ; pull: −λθ ∂s_p
+        gu[k * d + i] +=
+            w_push * (vqk[i] - vpk[i]) - w_pull * vpk[i];
+        gvp[k * d + i] += -(w_push + w_pull) * uk[i];
+        gvq[k * d + i] += w_push * uk[i];
       }
-      // Spherical facet-separating loss over facet pairs (user + pos item).
-      if (lambda_facet > 0.0f && kf > 1) {
-        for (size_t i = 0; i < kf; ++i) {
-          for (size_t j = i + 1; j < kf; ++j) {
-            const float cu = Dot(ublock + i * fs, ublock + j * fs, d);
-            const float cv = Dot(pblock + i * fs, pblock + j * fs, d);
-            // L = (1/α) log(1+exp(sign·α·cos)) per entity;
-            // dL/dcos = sign·σ(sign·α·cos).
-            const float wu = lambda_facet * facet_sign *
-                             static_cast<float>(Sigmoid(facet_sign * alpha * cu));
-            const float wv = lambda_facet * facet_sign *
-                             static_cast<float>(Sigmoid(facet_sign * alpha * cv));
-            for (size_t x = 0; x < d; ++x) {
-              gu[i * d + x] += wu * ublock[j * fs + x];
-              gu[j * d + x] += wu * ublock[i * fs + x];
-              gvp[i * d + x] += wv * pblock[j * fs + x];
-              gvp[j * d + x] += wv * pblock[i * fs + x];
-            }
+    }
+    // Spherical facet-separating loss over facet pairs (user + pos item).
+    if (lambda_facet > 0.0f && kf > 1) {
+      for (size_t i = 0; i < kf; ++i) {
+        for (size_t j = i + 1; j < kf; ++j) {
+          const float cu = Dot(ublock + i * fs, ublock + j * fs, d);
+          const float cv = Dot(pblock + i * fs, pblock + j * fs, d);
+          // L = (1/α) log(1+exp(sign·α·cos)) per entity;
+          // dL/dcos = sign·σ(sign·α·cos).
+          const float wu = lambda_facet * facet_sign *
+                           static_cast<float>(Sigmoid(facet_sign * alpha * cu));
+          const float wv = lambda_facet * facet_sign *
+                           static_cast<float>(Sigmoid(facet_sign * alpha * cv));
+          for (size_t x = 0; x < d; ++x) {
+            gu[i * d + x] += wu * ublock[j * fs + x];
+            gu[j * d + x] += wu * ublock[i * fs + x];
+            gvp[i * d + x] += wv * pblock[j * fs + x];
+            gvp[j * d + x] += wv * pblock[i * fs + x];
           }
         }
       }
+    }
 
-      // --- Θ update --------------------------------------------------------
-      float mean_c = 0.0f;
-      for (size_t k = 0; k < kf; ++k) {
-        coeff[k] = radii_[k] * ((active ? (sq[k] - sp[k]) : 0.0f) -
-                                static_cast<float>(lambda_pull) * sp[k]);
-        mean_c += theta[k] * coeff[k];
-      }
-      float* logits = theta_logits_.Row(t.user);
-      for (size_t k = 0; k < kf; ++k) {
-        logits[k] -= theta_lr * theta[k] * (coeff[k] - mean_c);
-      }
+    // --- Θ update --------------------------------------------------------
+    float mean_c = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      coeff[k] = radii_[k] * ((active ? (sq[k] - sp[k]) : 0.0f) -
+                              static_cast<float>(lambda_pull) * sp[k]);
+      mean_c += theta[k] * coeff[k];
+    }
+    float* logits = theta_logits_.Row(t.user);
+    for (size_t k = 0; k < kf; ++k) {
+      logits[k] -= theta_lr * theta[k] * (coeff[k] - mean_c);
+    }
 
-      // --- Facet-radius update (future-work extension) --------------------
-      if (mars_options_.learn_radius) {
-        constexpr float kMinRadius = 0.1f;
-        constexpr float kMaxRadius = 10.0f;
-        for (size_t k = 0; k < kf; ++k) {
-          const float grad_r =
-              theta[k] * ((active ? (sq[k] - sp[k]) : 0.0f) -
-                          static_cast<float>(lambda_pull) * sp[k]);
-          radii_[k] = std::clamp(radii_[k] - theta_lr * grad_r, kMinRadius,
-                                 kMaxRadius);
-        }
-      }
-
-      // --- Calibrated Riemannian updates (Eq. 21), fused single-pass ------
-      // Each entity's K rows sit contiguously, so the 3K fused steps stream
-      // over three blocks with no scratch buffer.
+    // --- Facet-radius update (future-work extension) --------------------
+    // radii_ is K global floats shared by every worker; concurrent updates
+    // race Hogwild-style like the embedding rows.
+    if (mars_options_.learn_radius) {
+      constexpr float kMinRadius = 0.1f;
+      constexpr float kMaxRadius = 10.0f;
       for (size_t k = 0; k < kf; ++k) {
-        float* guk = &gu[k * d];
-        float* gvpk = &gvp[k * d];
-        float* gvqk = &gvq[k * d];
-        if (clip > 0.0f) {
-          ClipGradient(guk, d, clip);
-          ClipGradient(gvpk, d, clip);
-          ClipGradient(gvqk, d, clip);
-        }
-        if (SquaredNorm(guk, d) > 0.0f) {
-          FusedRiemannianSgdStep(user_facets_.Row(t.user, k), guk, lr, d,
-                                 calibrated);
-        }
-        if (SquaredNorm(gvpk, d) > 0.0f) {
-          FusedRiemannianSgdStep(item_facets_.Row(t.positive, k), gvpk, lr,
-                                 d, calibrated);
-        }
-        if (SquaredNorm(gvqk, d) > 0.0f) {
-          FusedRiemannianSgdStep(item_facets_.Row(t.negative, k), gvqk, lr,
-                                 d, calibrated);
-        }
+        const float grad_r =
+            theta[k] * ((active ? (sq[k] - sp[k]) : 0.0f) -
+                        static_cast<float>(lambda_pull) * sp[k]);
+        radii_[k] = std::clamp(radii_[k] - theta_lr * grad_r, kMinRadius,
+                               kMaxRadius);
       }
     }
-  });
+
+    // --- Calibrated Riemannian updates (Eq. 21), fused single-pass ------
+    // Each entity's K rows sit contiguously, so the 3K fused steps stream
+    // over three blocks with no scratch buffer.
+    for (size_t k = 0; k < kf; ++k) {
+      float* guk = &gu[k * d];
+      float* gvpk = &gvp[k * d];
+      float* gvqk = &gvq[k * d];
+      if (clip > 0.0f) {
+        ClipGradient(guk, d, clip);
+        ClipGradient(gvpk, d, clip);
+        ClipGradient(gvqk, d, clip);
+      }
+      if (SquaredNorm(guk, d) > 0.0f) {
+        FusedRiemannianSgdStep(user_facets_.Row(t.user, k), guk, lr, d,
+                               calibrated);
+      }
+      if (SquaredNorm(gvpk, d) > 0.0f) {
+        FusedRiemannianSgdStep(item_facets_.Row(t.positive, k), gvpk, lr,
+                               d, calibrated);
+      }
+      if (SquaredNorm(gvqk, d) > 0.0f) {
+        FusedRiemannianSgdStep(item_facets_.Row(t.negative, k), gvqk, lr,
+                               d, calibrated);
+      }
+    }
+  };
+
+  // Overlapped-eval snapshot: the big facet stores are copied shard-by-
+  // shard on the (idle) trainer pool into a reusable buffer.
+  std::unique_ptr<Mars> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    if (snap == nullptr) {
+      snap = std::make_unique<Mars>(config_, mars_options_);
+    }
+    SnapshotFacetStore(user_facets_, &snap->user_facets_, trainer.pool());
+    SnapshotFacetStore(item_facets_, &snap->item_facets_, trainer.pool());
+    snap->theta_logits_ = theta_logits_;
+    snap->radii_ = radii_;
+    return snap.get();
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        lr = static_cast<float>(lr_d) * lr_comp;
+        theta_lr = static_cast<float>(lr_d) *
+                   static_cast<float>(config_.theta_lr_scale);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
 }
 
 float Mars::Score(UserId u, ItemId v) const {

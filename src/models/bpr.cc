@@ -1,5 +1,6 @@
 #include "models/bpr.h"
 
+#include <memory>
 #include <vector>
 
 #include "common/kernels.h"
@@ -8,6 +9,8 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/triplet_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -26,32 +29,47 @@ void Bpr::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const size_t steps = ResolveStepsPerEpoch(options, train);
   const float l2 = static_cast<float>(config_.l2_reg);
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    const float lr = static_cast<float>(lr_d);
+  // Each step writes only the triplet's rows — Hogwild workers share the
+  // factor tables directly.
+  ParallelTrainer trainer(options, &rng);
+  float lr = 0.0f;  // per-epoch, set before steps fan out
+
+  const auto step = [&](size_t, Rng& wrng) {
     Triplet t;
-    for (size_t s = 0; s < steps; ++s) {
-      if (!sampler.Sample(&rng, &t)) continue;
-      float* pu = user_.Row(t.user);
-      float* qp = item_.Row(t.positive);
-      float* qq = item_.Row(t.negative);
-      float x = Dot(pu, qp, d) - Dot(pu, qq, d);
-      if (config_.use_item_bias) {
-        x += item_bias_[t.positive] - item_bias_[t.negative];
-      }
-      const float g = static_cast<float>(Sigmoid(-x));  // dL/dx with sign
-      // Gradient ascent on log σ(x): p += lr (g (qp - qq) - λ p), etc.
-      for (size_t i = 0; i < d; ++i) {
-        const float pu_i = pu[i];
-        pu[i] += lr * (g * (qp[i] - qq[i]) - l2 * pu_i);
-        qp[i] += lr * (g * pu_i - l2 * qp[i]);
-        qq[i] += lr * (-g * pu_i - l2 * qq[i]);
-      }
-      if (config_.use_item_bias) {
-        item_bias_[t.positive] += lr * (g - l2 * item_bias_[t.positive]);
-        item_bias_[t.negative] += lr * (-g - l2 * item_bias_[t.negative]);
-      }
+    if (!sampler.Sample(&wrng, &t)) return;
+    float* pu = user_.Row(t.user);
+    float* qp = item_.Row(t.positive);
+    float* qq = item_.Row(t.negative);
+    float x = Dot(pu, qp, d) - Dot(pu, qq, d);
+    if (config_.use_item_bias) {
+      x += item_bias_[t.positive] - item_bias_[t.negative];
     }
-  });
+    const float g = static_cast<float>(Sigmoid(-x));  // dL/dx with sign
+    // Gradient ascent on log σ(x): p += lr (g (qp - qq) - λ p), etc.
+    for (size_t i = 0; i < d; ++i) {
+      const float pu_i = pu[i];
+      pu[i] += lr * (g * (qp[i] - qq[i]) - l2 * pu_i);
+      qp[i] += lr * (g * pu_i - l2 * qp[i]);
+      qq[i] += lr * (-g * pu_i - l2 * qq[i]);
+    }
+    if (config_.use_item_bias) {
+      item_bias_[t.positive] += lr * (g - l2 * item_bias_[t.positive]);
+      item_bias_[t.negative] += lr * (-g - l2 * item_bias_[t.negative]);
+    }
+  };
+
+  std::unique_ptr<Bpr> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    return CopyModelSnapshot(*this, &snap);
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        lr = static_cast<float>(lr_d);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
 }
 
 float Bpr::Score(UserId u, ItemId v) const {

@@ -1,6 +1,7 @@
 #include "models/cml.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/kernels.h"
 #include "common/rng.h"
@@ -9,6 +10,8 @@
 #include "models/train_loop.h"
 #include "sampling/negative_sampler.h"
 #include "sampling/triplet_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -28,43 +31,56 @@ void Cml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const float margin = static_cast<float>(config_.margin);
   const size_t candidates = std::max<size_t>(1, config_.negative_candidates);
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    const float lr = static_cast<float>(lr_d);
+  ParallelTrainer trainer(options, &rng);
+  float lr = 0.0f;  // per-epoch, set before steps fan out
+
+  const auto step = [&](size_t, Rng& wrng) {
     Triplet t;
-    for (size_t s = 0; s < steps; ++s) {
-      if (!sampler.Sample(&rng, &t)) continue;
-      float* u = user_.Row(t.user);
-      float* vp = item_.Row(t.positive);
-      // WARP-style: of `candidates` sampled negatives, train on the one
-      // currently closest to the user (the hardest violator).
-      ItemId hardest = t.negative;
-      float hardest_d = SquaredDistance(u, item_.Row(t.negative), d);
-      for (size_t c = 1; c < candidates; ++c) {
-        ItemId cand;
-        if (!negatives.Sample(t.user, &rng, &cand)) break;
-        const float cand_d = SquaredDistance(u, item_.Row(cand), d);
-        if (cand_d < hardest_d) {
-          hardest = cand;
-          hardest_d = cand_d;
-        }
+    if (!sampler.Sample(&wrng, &t)) return;
+    float* u = user_.Row(t.user);
+    float* vp = item_.Row(t.positive);
+    // WARP-style: of `candidates` sampled negatives, train on the one
+    // currently closest to the user (the hardest violator).
+    ItemId hardest = t.negative;
+    float hardest_d = SquaredDistance(u, item_.Row(t.negative), d);
+    for (size_t c = 1; c < candidates; ++c) {
+      ItemId cand;
+      if (!negatives.Sample(t.user, &wrng, &cand)) break;
+      const float cand_d = SquaredDistance(u, item_.Row(cand), d);
+      if (cand_d < hardest_d) {
+        hardest = cand;
+        hardest_d = cand_d;
       }
-      float* vq = item_.Row(hardest);
-      const float dp = SquaredDistance(u, vp, d);
-      const float dq = hardest_d;
-      if (margin + dp - dq <= 0.0f) continue;  // hinge inactive
-      // d/du   = 2(u - vp) - 2(u - vq) = 2(vq - vp)
-      // d/dvp  = -2(u - vp),  d/dvq = 2(u - vq)
-      for (size_t i = 0; i < d; ++i) {
-        const float ui = u[i];
-        u[i] -= lr * 2.0f * (vq[i] - vp[i]);
-        vp[i] -= lr * -2.0f * (ui - vp[i]);
-        vq[i] -= lr * 2.0f * (ui - vq[i]);
-      }
-      ProjectToUnitBall(u, d);
-      ProjectToUnitBall(vp, d);
-      ProjectToUnitBall(vq, d);
     }
-  });
+    float* vq = item_.Row(hardest);
+    const float dp = SquaredDistance(u, vp, d);
+    const float dq = hardest_d;
+    if (margin + dp - dq <= 0.0f) return;  // hinge inactive
+    // d/du   = 2(u - vp) - 2(u - vq) = 2(vq - vp)
+    // d/dvp  = -2(u - vp),  d/dvq = 2(u - vq)
+    for (size_t i = 0; i < d; ++i) {
+      const float ui = u[i];
+      u[i] -= lr * 2.0f * (vq[i] - vp[i]);
+      vp[i] -= lr * -2.0f * (ui - vp[i]);
+      vq[i] -= lr * 2.0f * (ui - vq[i]);
+    }
+    ProjectToUnitBall(u, d);
+    ProjectToUnitBall(vp, d);
+    ProjectToUnitBall(vq, d);
+  };
+
+  std::unique_ptr<Cml> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    return CopyModelSnapshot(*this, &snap);
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        lr = static_cast<float>(lr_d);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
 }
 
 float Cml::Score(UserId u, ItemId v) const {

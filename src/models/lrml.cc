@@ -1,5 +1,6 @@
 #include "models/lrml.h"
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -7,6 +8,8 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/triplet_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -87,34 +90,70 @@ void Lrml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const size_t steps = ResolveStepsPerEpoch(options, train);
   const float margin = static_cast<float>(config_.margin);
 
-  std::vector<float> a(s_n), rp(d), rq(d), ep(d), eq(d), grad_e(d);
+  // Hogwild workers race on the global key/memory matrices, which every
+  // step reads and writes — dense per-step contention, unlike the rare
+  // row collisions of the embedding tables. Training still proceeds as
+  // approximate SGD, but multi-thread quality for LRML is unvalidated;
+  // prefer num_threads=1 here (see ROADMAP "shard/ownership model").
+  ParallelTrainer trainer(options, &rng);
+  struct Scratch {
+    std::vector<float> a, rp, rq, ep, eq, grad_e;
+  };
+  std::vector<Scratch> scratch(trainer.num_workers());
+  for (Scratch& sc : scratch) {
+    sc.a.resize(s_n);
+    sc.rp.resize(d);
+    sc.rq.resize(d);
+    sc.ep.resize(d);
+    sc.eq.resize(d);
+    sc.grad_e.resize(d);
+  }
+  float lr = 0.0f;  // per-epoch, set before steps fan out
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    const float lr = static_cast<float>(lr_d);
+  const auto step = [&](size_t worker, Rng& wrng) {
+    Scratch& sc = scratch[worker];
+    std::vector<float>& a = sc.a;
+    std::vector<float>& rp = sc.rp;
+    std::vector<float>& rq = sc.rq;
+    std::vector<float>& ep = sc.ep;
+    std::vector<float>& eq = sc.eq;
+    std::vector<float>& grad_e = sc.grad_e;
+
     Triplet t;
-    for (size_t s = 0; s < steps; ++s) {
-      if (!sampler.Sample(&rng, &t)) continue;
-      float* u = user_.Row(t.user);
-      float* vp = item_.Row(t.positive);
-      float* vq = item_.Row(t.negative);
+    if (!sampler.Sample(&wrng, &t)) return;
+    float* u = user_.Row(t.user);
+    float* vp = item_.Row(t.positive);
+    float* vq = item_.Row(t.negative);
 
-      Relation(u, vp, a.data(), rp.data());
-      for (size_t i = 0; i < d; ++i) ep[i] = u[i] + rp[i] - vp[i];
-      Relation(u, vq, a.data(), rq.data());
-      for (size_t i = 0; i < d; ++i) eq[i] = u[i] + rq[i] - vq[i];
+    Relation(u, vp, a.data(), rp.data());
+    for (size_t i = 0; i < d; ++i) ep[i] = u[i] + rp[i] - vp[i];
+    Relation(u, vq, a.data(), rq.data());
+    for (size_t i = 0; i < d; ++i) eq[i] = u[i] + rq[i] - vq[i];
 
-      const float dp2 = SquaredNorm(ep.data(), d);
-      const float dq2 = SquaredNorm(eq.data(), d);
-      if (margin + dp2 - dq2 <= 0.0f) continue;
+    const float dp2 = SquaredNorm(ep.data(), d);
+    const float dq2 = SquaredNorm(eq.data(), d);
+    if (margin + dp2 - dq2 <= 0.0f) return;
 
-      // Positive pair term: +||e_p||² → grad_e = 2 e_p.
-      for (size_t i = 0; i < d; ++i) grad_e[i] = 2.0f * ep[i];
-      BackwardPair(u, vp, grad_e.data(), lr);
-      // Negative pair term: -||e_q||² → grad_e = -2 e_q.
-      for (size_t i = 0; i < d; ++i) grad_e[i] = -2.0f * eq[i];
-      BackwardPair(u, vq, grad_e.data(), lr);
-    }
-  });
+    // Positive pair term: +||e_p||² → grad_e = 2 e_p.
+    for (size_t i = 0; i < d; ++i) grad_e[i] = 2.0f * ep[i];
+    BackwardPair(u, vp, grad_e.data(), lr);
+    // Negative pair term: -||e_q||² → grad_e = -2 e_q.
+    for (size_t i = 0; i < d; ++i) grad_e[i] = -2.0f * eq[i];
+    BackwardPair(u, vq, grad_e.data(), lr);
+  };
+
+  std::unique_ptr<Lrml> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    return CopyModelSnapshot(*this, &snap);
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        lr = static_cast<float>(lr_d);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
 }
 
 float Lrml::Score(UserId u, ItemId v) const {

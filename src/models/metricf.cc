@@ -1,6 +1,7 @@
 #include "models/metricf.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/kernels.h"
 #include "common/rng.h"
@@ -8,6 +9,8 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/negative_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -27,41 +30,54 @@ void MetricF::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const float neg_w = static_cast<float>(config_.negative_weight);
   const auto& log = train.interactions();
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    const float lr = static_cast<float>(lr_d);
-    for (size_t s = 0; s < steps; ++s) {
-      const Interaction& x = log[rng.UniformInt(log.size())];
-      float* u = user_.Row(x.user);
-      float* vp = item_.Row(x.item);
-      // Pull: d/du d² = 2(u - vp).
+  ParallelTrainer trainer(options, &rng);
+  float lr = 0.0f;  // per-epoch, set before steps fan out
+
+  const auto step = [&](size_t, Rng& wrng) {
+    const Interaction& x = log[wrng.UniformInt(log.size())];
+    float* u = user_.Row(x.user);
+    float* vp = item_.Row(x.item);
+    // Pull: d/du d² = 2(u - vp).
+    for (size_t i = 0; i < d; ++i) {
+      const float diff = u[i] - vp[i];
+      u[i] -= lr * 2.0f * diff;
+      vp[i] += lr * 2.0f * diff;
+    }
+    ProjectToUnitBall(u, d);
+    ProjectToUnitBall(vp, d);
+
+    for (size_t k = 0; k < config_.negatives_per_positive; ++k) {
+      ItemId neg;
+      if (!negatives.Sample(x.user, &wrng, &neg)) break;
+      float* vq = item_.Row(neg);
+      const float dist = std::sqrt(SquaredDistance(u, vq, d));
+      if (dist < 1e-9f) continue;
+      // Two-sided regression L = w (dist - m)²:
+      // dL/du = 2w(dist - m)(u - vq)/dist — pushes when dist < m and
+      // pulls back when dist > m, as in the original MetricF.
+      const float coef = 2.0f * neg_w * (dist - margin) / dist;
       for (size_t i = 0; i < d; ++i) {
-        const float diff = u[i] - vp[i];
-        u[i] -= lr * 2.0f * diff;
-        vp[i] += lr * 2.0f * diff;
+        const float diff = u[i] - vq[i];
+        u[i] -= lr * coef * diff;
+        vq[i] += lr * coef * diff;
       }
       ProjectToUnitBall(u, d);
-      ProjectToUnitBall(vp, d);
-
-      for (size_t k = 0; k < config_.negatives_per_positive; ++k) {
-        ItemId neg;
-        if (!negatives.Sample(x.user, &rng, &neg)) break;
-        float* vq = item_.Row(neg);
-        const float dist = std::sqrt(SquaredDistance(u, vq, d));
-        if (dist < 1e-9f) continue;
-        // Two-sided regression L = w (dist - m)²:
-        // dL/du = 2w(dist - m)(u - vq)/dist — pushes when dist < m and
-        // pulls back when dist > m, as in the original MetricF.
-        const float coef = 2.0f * neg_w * (dist - margin) / dist;
-        for (size_t i = 0; i < d; ++i) {
-          const float diff = u[i] - vq[i];
-          u[i] -= lr * coef * diff;
-          vq[i] += lr * coef * diff;
-        }
-        ProjectToUnitBall(u, d);
-        ProjectToUnitBall(vq, d);
-      }
+      ProjectToUnitBall(vq, d);
     }
-  });
+  };
+
+  std::unique_ptr<MetricF> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    return CopyModelSnapshot(*this, &snap);
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        lr = static_cast<float>(lr_d);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
 }
 
 float MetricF::Score(UserId u, ItemId v) const {

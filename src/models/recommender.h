@@ -33,6 +33,11 @@ struct TrainOptions {
   LrDecay decay = LrDecay::kLinear;
   /// Seed for initialization and sampling.
   uint64_t seed = 7;
+  /// Hogwild training workers (train/parallel_trainer.h). 1 reproduces the
+  /// historical single-threaded training sequence bit-for-bit; more workers
+  /// shard each epoch's steps across a pool and overlap dev evaluation with
+  /// the next epoch (models score a double-buffered snapshot).
+  size_t num_threads = 1;
 
   /// Optional dev-set evaluator; when set, training early-stops on HR@10.
   const Evaluator* dev_evaluator = nullptr;

@@ -1,6 +1,17 @@
 // Shared epoch driver: runs epochs, schedules the learning rate, evaluates
 // the dev set, and early-stops. Every model's Fit() delegates here so the
 // training protocol is identical across the comparison.
+//
+// Two evaluation modes:
+//  * Synchronous (num_threads <= 1, or no snapshot function): the classic
+//    protocol — training stops while the dev set is ranked. This path is
+//    bit-identical to the pre-parallel trainer.
+//  * Overlapped (num_threads > 1 and a snapshot function): after an eval
+//    epoch the loop snapshots the model (double-buffered copy) and ranks
+//    the snapshot on a dedicated thread (plus options.eval_pool) while the
+//    next epoch trains. The eval is joined after that epoch, before the
+//    early-stop decision, so a stop triggers at most one epoch later than
+//    the synchronous protocol but eval wall-clock is hidden entirely.
 #ifndef MARS_MODELS_TRAIN_LOOP_H_
 #define MARS_MODELS_TRAIN_LOOP_H_
 
@@ -14,12 +25,20 @@ namespace mars {
 /// Callback invoked once per epoch with (epoch index, learning rate).
 using EpochFn = std::function<void(size_t epoch, double lr)>;
 
+/// Returns a frozen scorer reflecting the model's current weights; called
+/// only between epochs (workers quiesced). The returned pointer must stay
+/// valid until the next call or the end of training — models back it with
+/// a reusable snapshot instance (double buffer) rather than a fresh copy.
+using SnapshotFn = std::function<const ItemScorer*()>;
+
 /// Runs up to `options.epochs` epochs of `run_epoch`, early-stopping on the
 /// dev evaluator's HR@10 when one is configured. `scorer` is the model
-/// being trained (used for dev evaluation). Returns the number of epochs
-/// actually run.
+/// being trained (used for dev evaluation). When `snapshot` is provided and
+/// options.num_threads > 1, dev evaluation overlaps the next epoch (see
+/// file comment). Returns the number of epochs actually run.
 size_t RunTrainingLoop(const TrainOptions& options, const ItemScorer& scorer,
-                       const std::string& model_name, const EpochFn& run_epoch);
+                       const std::string& model_name, const EpochFn& run_epoch,
+                       const SnapshotFn& snapshot = nullptr);
 
 /// Resolves steps-per-epoch: `options.steps_per_epoch` or, when zero, the
 /// number of training interactions.

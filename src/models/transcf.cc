@@ -1,5 +1,6 @@
 #include "models/transcf.h"
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -7,6 +8,8 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/triplet_sampler.h"
+#include "train/parallel_trainer.h"
+#include "train/snapshot.h"
 
 namespace mars {
 
@@ -48,50 +51,84 @@ void TransCf::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const float l_dist = static_cast<float>(config_.lambda_dist);
   const float l_nbr = static_cast<float>(config_.lambda_nbr);
 
-  std::vector<float> rp(d), rq(d), ep(d), eq(d);
+  // Neighborhood means are refreshed serially at each epoch start (a global
+  // sweep); the per-step Hogwild updates then read them as constants.
+  ParallelTrainer trainer(options, &rng);
+  struct Scratch {
+    std::vector<float> rp, rq, ep, eq;
+  };
+  std::vector<Scratch> scratch(trainer.num_workers());
+  for (Scratch& sc : scratch) {
+    sc.rp.resize(d);
+    sc.rq.resize(d);
+    sc.ep.resize(d);
+    sc.eq.resize(d);
+  }
+  float lr = 0.0f;  // per-epoch, set before steps fan out
 
-  RunTrainingLoop(options, *this, name(), [&](size_t, double lr_d) {
-    RefreshNeighborhoodMeans(train);
-    const float lr = static_cast<float>(lr_d);
+  const auto step = [&](size_t worker, Rng& wrng) {
+    Scratch& sc = scratch[worker];
+    std::vector<float>& rp = sc.rp;
+    std::vector<float>& rq = sc.rq;
+    std::vector<float>& ep = sc.ep;
+    std::vector<float>& eq = sc.eq;
+
     Triplet t;
-    for (size_t s = 0; s < steps; ++s) {
-      if (!sampler.Sample(&rng, &t)) continue;
-      float* u = user_.Row(t.user);
-      float* vp = item_.Row(t.positive);
-      float* vq = item_.Row(t.negative);
-      const float* au = user_nbr_.Row(t.user);
+    if (!sampler.Sample(&wrng, &t)) return;
+    float* u = user_.Row(t.user);
+    float* vp = item_.Row(t.positive);
+    float* vq = item_.Row(t.negative);
+    const float* au = user_nbr_.Row(t.user);
 
-      // Relation vectors r_uv = α_u ⊙ β_v and residuals e = u + r - v.
-      Hadamard(au, item_nbr_.Row(t.positive), rp.data(), d);
-      Hadamard(au, item_nbr_.Row(t.negative), rq.data(), d);
-      for (size_t i = 0; i < d; ++i) {
-        ep[i] = u[i] + rp[i] - vp[i];
-        eq[i] = u[i] + rq[i] - vq[i];
-      }
-      const float dp = SquaredNorm(ep.data(), d);
-      const float dq = SquaredNorm(eq.data(), d);
-
-      const bool hinge_active = (margin + dp - dq > 0.0f);
-      // Hinge gradient + distance regularizer (both act through ep/eq).
-      const float wp = (hinge_active ? 1.0f : 0.0f) + l_dist;
-      const float wq = hinge_active ? -1.0f : 0.0f;
-      for (size_t i = 0; i < d; ++i) {
-        const float gp = 2.0f * wp * ep[i];
-        const float gq = 2.0f * wq * eq[i];
-        u[i] -= lr * (gp + gq);
-        vp[i] -= lr * (-gp);
-        vq[i] -= lr * (-gq);
-      }
-      // Neighborhood regularizer: pull entities toward their means.
-      for (size_t i = 0; i < d; ++i) {
-        u[i] -= lr * l_nbr * 2.0f * (u[i] - au[i]);
-        vp[i] -= lr * l_nbr * 2.0f * (vp[i] - item_nbr_.Row(t.positive)[i]);
-      }
-      ProjectToUnitBall(u, d);
-      ProjectToUnitBall(vp, d);
-      ProjectToUnitBall(vq, d);
+    // Relation vectors r_uv = α_u ⊙ β_v and residuals e = u + r - v.
+    Hadamard(au, item_nbr_.Row(t.positive), rp.data(), d);
+    Hadamard(au, item_nbr_.Row(t.negative), rq.data(), d);
+    for (size_t i = 0; i < d; ++i) {
+      ep[i] = u[i] + rp[i] - vp[i];
+      eq[i] = u[i] + rq[i] - vq[i];
     }
-  });
+    const float dp = SquaredNorm(ep.data(), d);
+    const float dq = SquaredNorm(eq.data(), d);
+
+    const bool hinge_active = (margin + dp - dq > 0.0f);
+    // Hinge gradient + distance regularizer (both act through ep/eq).
+    const float wp = (hinge_active ? 1.0f : 0.0f) + l_dist;
+    const float wq = hinge_active ? -1.0f : 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      const float gp = 2.0f * wp * ep[i];
+      const float gq = 2.0f * wq * eq[i];
+      u[i] -= lr * (gp + gq);
+      vp[i] -= lr * (-gp);
+      vq[i] -= lr * (-gq);
+    }
+    // Neighborhood regularizer: pull entities toward their means.
+    for (size_t i = 0; i < d; ++i) {
+      u[i] -= lr * l_nbr * 2.0f * (u[i] - au[i]);
+      vp[i] -= lr * l_nbr * 2.0f * (vp[i] - item_nbr_.Row(t.positive)[i]);
+    }
+    ProjectToUnitBall(u, d);
+    ProjectToUnitBall(vp, d);
+    ProjectToUnitBall(vq, d);
+  };
+
+  // Snapshot for overlapped eval. Scoring reads the neighborhood means, so
+  // they are refreshed on the snapshot copy — the live means stay as the
+  // trainer left them for the epoch.
+  std::unique_ptr<TransCf> snap;
+  const auto snapshot = [&]() -> const ItemScorer* {
+    TransCf* frozen = CopyModelSnapshot(*this, &snap);
+    frozen->RefreshNeighborhoodMeans(train);
+    return frozen;
+  };
+
+  RunTrainingLoop(
+      options, *this, name(),
+      [&](size_t, double lr_d) {
+        RefreshNeighborhoodMeans(train);
+        lr = static_cast<float>(lr_d);
+        trainer.RunEpoch(steps, step);
+      },
+      snapshot);
   // Means must reflect the final embeddings for scoring.
   RefreshNeighborhoodMeans(train);
 }

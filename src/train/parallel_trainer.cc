@@ -1,0 +1,52 @@
+#include "train/parallel_trainer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "models/recommender.h"
+
+namespace mars {
+
+ParallelTrainer::ParallelTrainer(size_t num_threads, uint64_t seed,
+                                 Rng* serial_rng)
+    : num_workers_(std::max<size_t>(1, num_threads)),
+      serial_rng_(serial_rng) {
+  MARS_CHECK(serial_rng_ != nullptr);
+  if (num_workers_ == 1) return;
+  worker_rngs_.reserve(num_workers_);
+  for (size_t w = 0; w < num_workers_; ++w) {
+    worker_rngs_.emplace_back(WorkerSeed(seed, w));
+  }
+  pool_ = std::make_unique<ThreadPool>(num_workers_);
+}
+
+ParallelTrainer::ParallelTrainer(const TrainOptions& options, Rng* serial_rng)
+    : ParallelTrainer(options.num_threads, options.seed, serial_rng) {}
+
+uint64_t ParallelTrainer::WorkerSeed(uint64_t seed, size_t worker) {
+  // seed ^ hash(worker_id): SplitMix64 decorrelates consecutive worker ids,
+  // so neighboring workers never start on overlapping xoshiro streams.
+  uint64_t h = static_cast<uint64_t>(worker);
+  return seed ^ SplitMix64(&h);
+}
+
+void ParallelTrainer::RunEpoch(size_t steps, const TrainStepFn& step) {
+  if (num_workers_ == 1) {
+    // Historical serial path: same thread, same RNG object, same sequence.
+    for (size_t s = 0; s < steps; ++s) step(0, *serial_rng_);
+    return;
+  }
+  const size_t base = steps / num_workers_;
+  const size_t rem = steps % num_workers_;
+  for (size_t w = 0; w < num_workers_; ++w) {
+    const size_t my_steps = base + (w < rem ? 1 : 0);
+    if (my_steps == 0) continue;
+    Rng* rng = &worker_rngs_[w];
+    pool_->Submit([w, my_steps, rng, &step] {
+      for (size_t s = 0; s < my_steps; ++s) step(w, *rng);
+    });
+  }
+  pool_->Wait();
+}
+
+}  // namespace mars

@@ -1,0 +1,29 @@
+#include "train/snapshot.h"
+
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace mars {
+
+void SnapshotFacetStore(const FacetStore& src, FacetStore* dst,
+                        ThreadPool* pool) {
+  if (src.empty()) {
+    *dst = src;
+    return;
+  }
+  if (dst->num_entities() != src.num_entities() ||
+      dst->num_facets() != src.num_facets() || dst->dim() != src.dim()) {
+    *dst = FacetStore(src.num_entities(), src.num_facets(), src.dim());
+  }
+  if (pool == nullptr || pool->num_threads() == 1) {
+    dst->Shard(0, 1).CopyFrom(src);
+    return;
+  }
+  const size_t num_shards = pool->num_threads();
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    dst->Shard(s, num_shards).CopyFrom(src);
+  });
+}
+
+}  // namespace mars

@@ -1,0 +1,44 @@
+// Double-buffer snapshot copies of training state.
+//
+// Overlapped evaluation (models/train_loop.h) ranks a frozen copy of the
+// model while the next epoch trains on the live tables. The copy happens at
+// an epoch boundary — the trainer pool is idle — so the same pool can blast
+// the FacetStore over its shards: each worker memcpys one contiguous,
+// cache-line-aligned ShardView, which is the fastest way to move an
+// [entity][facet][dim] table on this layout.
+#ifndef MARS_TRAIN_SNAPSHOT_H_
+#define MARS_TRAIN_SNAPSHOT_H_
+
+#include <memory>
+
+#include "common/facet_store.h"
+
+namespace mars {
+
+class ThreadPool;
+
+/// Copies `src` into `*dst`, reusing dst's buffer when shapes already match
+/// (the double-buffer case: after the first snapshot, no allocation).
+/// With a non-null idle `pool`, the entity range is split into one
+/// ShardView per worker and copied in parallel; otherwise serial.
+void SnapshotFacetStore(const FacetStore& src, FacetStore* dst,
+                        ThreadPool* pool);
+
+/// Whole-model double buffer for models whose state is cheap to copy by
+/// value: first call copy-constructs `*snap` from `live`, later calls
+/// copy-assign into the existing instance (reusing its buffers). Returns
+/// the snapshot. Models with large FacetStores (Mars, Mar) copy field-wise
+/// through SnapshotFacetStore instead.
+template <typename Model>
+Model* CopyModelSnapshot(const Model& live, std::unique_ptr<Model>* snap) {
+  if (*snap == nullptr) {
+    *snap = std::make_unique<Model>(live);
+  } else {
+    **snap = live;
+  }
+  return snap->get();
+}
+
+}  // namespace mars
+
+#endif  // MARS_TRAIN_SNAPSHOT_H_

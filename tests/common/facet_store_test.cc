@@ -1,6 +1,8 @@
 #include "common/facet_store.h"
 
 #include <cstdint>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -114,6 +116,129 @@ TEST(FacetStoreTest, FillAndCopySemantics) {
   copy.Row(2, 1)[5] = -1.0f;
   EXPECT_FLOAT_EQ(store.Row(2, 1)[5], 2.5f);
   EXPECT_FLOAT_EQ(copy.Row(2, 1)[5], -1.0f);
+}
+
+TEST(ShardViewTest, ShardRangeTilesExactly) {
+  // Non-divisible: 10 entities over 4 shards → 3/3/2/2.
+  EXPECT_EQ(FacetStore::ShardRange(10, 0, 4), (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(FacetStore::ShardRange(10, 1, 4), (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(FacetStore::ShardRange(10, 2, 4), (std::pair<size_t, size_t>{6, 8}));
+  EXPECT_EQ(FacetStore::ShardRange(10, 3, 4), (std::pair<size_t, size_t>{8, 10}));
+  // Divisible.
+  EXPECT_EQ(FacetStore::ShardRange(8, 1, 4), (std::pair<size_t, size_t>{2, 4}));
+  // More shards than entities: trailing shards are empty, still tiling.
+  size_t covered = 0;
+  for (size_t s = 0; s < 7; ++s) {
+    const auto [b, e] = FacetStore::ShardRange(3, s, 7);
+    EXPECT_EQ(b, covered);
+    covered = e;
+  }
+  EXPECT_EQ(covered, 3u);
+  // Single shard covers everything.
+  EXPECT_EQ(FacetStore::ShardRange(5, 0, 1), (std::pair<size_t, size_t>{0, 5}));
+}
+
+TEST(ShardViewTest, ViewMapsGlobalEntityIds) {
+  FacetStore store(10, 2, 4);
+  for (size_t e = 0; e < 10; ++e) {
+    store.Row(e, 1)[2] = static_cast<float>(e);
+  }
+  auto shard = store.Shard(1, 3);  // entities [4, 7)
+  EXPECT_EQ(shard.entity_begin(), 4u);
+  EXPECT_EQ(shard.entity_end(), 7u);
+  EXPECT_EQ(shard.num_entities(), 3u);
+  EXPECT_FALSE(shard.Contains(3));
+  EXPECT_TRUE(shard.Contains(4));
+  EXPECT_TRUE(shard.Contains(6));
+  EXPECT_FALSE(shard.Contains(7));
+  EXPECT_EQ(shard.Row(5, 1)[2], 5.0f);           // global id addressing
+  EXPECT_EQ(shard.EntityBlock(4), store.EntityBlock(4));
+  EXPECT_EQ(shard.data(), store.EntityBlock(4));
+  EXPECT_EQ(shard.size_floats(), 3u * store.entity_stride());
+}
+
+TEST(ShardViewTest, ShardBasesAreCacheLineAligned) {
+  // dim 9 pads to a 16-float row stride; any shard boundary must still land
+  // on a 64-byte line so disjoint shards never share a cache line.
+  FacetStore store(23, 3, 9);
+  for (size_t num_shards : {1u, 2u, 3u, 5u, 8u, 23u}) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      auto shard = store.Shard(s, num_shards);
+      if (shard.empty()) continue;
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(shard.data()) %
+                    FacetStore::kRowAlignBytes,
+                0u)
+          << "shard " << s << "/" << num_shards;
+    }
+  }
+}
+
+TEST(ShardViewTest, CopyFromCopiesOnlyTheRange) {
+  FacetStore src(9, 2, 5), dst(9, 2, 5);
+  for (size_t e = 0; e < 9; ++e) {
+    for (size_t k = 0; k < 2; ++k) {
+      for (size_t i = 0; i < 5; ++i) {
+        src.Row(e, k)[i] = static_cast<float>(100 * e + 10 * k + i);
+      }
+    }
+  }
+  dst.Fill(-1.0f);
+  dst.Shard(1, 3).CopyFrom(src);  // entities [3, 6)
+  for (size_t e = 0; e < 9; ++e) {
+    const bool copied = e >= 3 && e < 6;
+    for (size_t k = 0; k < 2; ++k) {
+      for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(dst.Row(e, k)[i],
+                  copied ? src.Row(e, k)[i] : -1.0f)
+            << "entity " << e;
+      }
+    }
+  }
+}
+
+// Workers writing disjoint shards concurrently must never corrupt a
+// neighboring shard's rows — the ownership model behind Hogwild-by-shard.
+TEST(ShardViewTest, DisjointShardWritesDoNotCorruptNeighbors) {
+  constexpr size_t kEntities = 257;  // prime: uneven shard boundaries
+  constexpr size_t kFacets = 2;
+  constexpr size_t kDim = 7;
+  constexpr size_t kShards = 8;
+  constexpr int kRounds = 50;
+  FacetStore store(kEntities, kFacets, kDim);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    threads.emplace_back([&store, s] {
+      auto shard = store.Shard(s, kShards);
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t e = shard.entity_begin(); e < shard.entity_end(); ++e) {
+          for (size_t k = 0; k < kFacets; ++k) {
+            float* row = shard.Row(e, k);
+            for (size_t i = 0; i < kDim; ++i) {
+              row[i] = static_cast<float>(1000 * s + 10 * k + i) +
+                       static_cast<float>(round);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t s = 0; s < kShards; ++s) {
+    const auto [begin, end] = FacetStore::ShardRange(kEntities, s, kShards);
+    for (size_t e = begin; e < end; ++e) {
+      for (size_t k = 0; k < kFacets; ++k) {
+        const float* row = store.Row(e, k);
+        for (size_t i = 0; i < kDim; ++i) {
+          ASSERT_EQ(row[i], static_cast<float>(1000 * s + 10 * k + i) +
+                                static_cast<float>(kRounds - 1))
+              << "entity " << e << " facet " << k << " dim " << i;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -75,5 +75,25 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(DefaultThreadCount(), 1u);
 }
 
+TEST(ThreadPoolTest, IsWorkerThreadIdentifiesPoolTasks) {
+  ThreadPool pool(2);
+  ThreadPool other(2);
+  EXPECT_FALSE(pool.IsWorkerThread());  // caller is not a worker
+
+  std::atomic<int> inside{0}, outside_other{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      // From a task, the executing pool must flag re-entrancy...
+      if (pool.IsWorkerThread()) inside.fetch_add(1);
+      // ...but an unrelated pool must not (two-pool nesting is the
+      // sanctioned pattern for overlapped evaluation).
+      if (!other.IsWorkerThread()) outside_other.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_EQ(outside_other.load(), 8);
+}
+
 }  // namespace
 }  // namespace mars

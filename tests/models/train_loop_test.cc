@@ -1,5 +1,7 @@
 #include "models/train_loop.h"
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -104,6 +106,76 @@ TEST(TrainLoopTest, ResolveStepsDefaultsToInteractions) {
             f.split.train->num_interactions());
   opts.steps_per_epoch = 123;
   EXPECT_EQ(ResolveStepsPerEpoch(opts, *f.split.train), 123u);
+}
+
+/// Scorer snapshotted by value for the overlapped-eval protocol: quality is
+/// frozen at snapshot time, so the eval thread never reads live state.
+class SnapshotableScorer : public ItemScorer {
+ public:
+  SnapshotableScorer(const std::vector<int64_t>& targets, size_t improving)
+      : targets_(targets), improving_(improving) {}
+
+  void Advance() { epoch_ = std::min(epoch_ + 1, improving_); }
+
+  float Score(UserId u, ItemId v) const override {
+    if (targets_[u] == static_cast<int64_t>(v)) {
+      return static_cast<float>(epoch_) / static_cast<float>(improving_);
+    }
+    const uint32_t h = (u * 2654435761u) ^ (v * 40503u);
+    return static_cast<float>(h % 1000) / 1000.0f * 0.5f;
+  }
+
+ private:
+  const std::vector<int64_t>& targets_;
+  size_t improving_;
+  size_t epoch_ = 0;
+};
+
+TEST(TrainLoopTest, OverlappedEvalStopsOnPlateauOneEpochLate) {
+  LoopFixture f;
+  Evaluator dev(*f.split.train, f.split.dev_item, EvalProtocol{});
+  SnapshotableScorer scorer(f.split.dev_item, 4);  // improves 4 epochs
+  TrainOptions opts;
+  opts.epochs = 40;
+  opts.eval_every = 1;
+  opts.patience = 2;
+  opts.dev_evaluator = &dev;
+  opts.num_threads = 2;  // engages the overlapped path
+
+  size_t snapshots_taken = 0;
+  std::unique_ptr<SnapshotableScorer> snap;
+  const size_t run = RunTrainingLoop(
+      opts, scorer, "test", [&](size_t, double) { scorer.Advance(); },
+      [&]() -> const ItemScorer* {
+        ++snapshots_taken;
+        snap = std::make_unique<SnapshotableScorer>(scorer);  // frozen copy
+        return snap.get();
+      });
+  // Synchronous stop would land around epoch 7 (plateau at 4 + patience 2);
+  // the overlapped decision lags one epoch. Bound it loosely but strictly
+  // below the 40-epoch budget to prove early stopping still engages.
+  EXPECT_GE(run, 4u);
+  EXPECT_LT(run, 12u);
+  EXPECT_GE(snapshots_taken, 4u);
+  EXPECT_LE(snapshots_taken, run);
+}
+
+TEST(TrainLoopTest, OverlappedPathRequiresSnapshot) {
+  // num_threads > 1 without a snapshot fn must fall back to the
+  // synchronous protocol (and not crash).
+  LoopFixture f;
+  Evaluator dev(*f.split.train, f.split.dev_item, EvalProtocol{});
+  ControlledScorer scorer(f.split.dev_item, 4);
+  TrainOptions opts;
+  opts.epochs = 40;
+  opts.eval_every = 1;
+  opts.patience = 2;
+  opts.dev_evaluator = &dev;
+  opts.num_threads = 4;
+  const size_t run = RunTrainingLoop(
+      opts, scorer, "test", [&](size_t, double) { scorer.Advance(); });
+  EXPECT_LT(run, 10u);
+  EXPECT_GE(run, 4u);
 }
 
 TEST(TrainLoopTest, NoEarlyStopOnFinalEpoch) {
