@@ -1,0 +1,134 @@
+// Serving-throughput bench: cold full-catalog sweeps vs cached hot-user
+// queries through the TopKServer, at several catalog sizes. Emits
+// machine-readable JSON (BENCH_serve.json via scripts/bench.sh or the
+// ci.sh --bench stage) so serving perf regressions are diffable.
+//
+// The model is BPR (DotBatch sweep — the cheapest per-item kernel, which
+// makes the *server* overhead the subject rather than the model), trained
+// just enough to have non-degenerate embeddings. "Cold" queries distinct
+// never-cached users, so every query pays the full sweep + heap merge;
+// "cached" re-queries the same users, so every query is an LRU hit. The
+// acceptance bar from the serving roadmap: cached ≥ 5x cold at ≥ 10k items.
+//
+// Single-threaded on purpose (no sweep pool): scripts/check_bench.py
+// compares these numbers across machines/runs, and single-thread timings
+// are the only ones comparable on a 1-core CI container (host_cpus is
+// recorded for the same reason as bench_train).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "models/bpr.h"
+#include "serve/top_k_server.h"
+
+namespace {
+
+struct ServeResult {
+  size_t num_items = 0;
+  double cold_ms = 0.0;    // per query, full-catalog sweep
+  double cached_ms = 0.0;  // per query, LRU hit
+  double speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mars;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const bool fast = BenchFastMode();
+
+  const std::vector<size_t> catalog_sizes =
+      fast ? std::vector<size_t>{1000, 10000}
+           : std::vector<size_t>{2000, 10000, 50000};
+  const size_t kUsers = fast ? 300 : 1000;
+  const size_t kTopK = 10;
+
+  bench::Banner("bench_serve — TopKServer cold sweep vs cached hot users");
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("host cpus: %u  k=%zu  users=%zu\n\n", host_cpus, kTopK,
+              kUsers);
+
+  std::vector<ServeResult> results;
+  for (const size_t num_items : catalog_sizes) {
+    SyntheticConfig data_cfg;
+    data_cfg.num_users = kUsers;
+    data_cfg.num_items = num_items;
+    data_cfg.target_interactions = kUsers * 20;
+    data_cfg.num_facets = 4;
+    data_cfg.seed = 7;
+    const auto dataset = GenerateSyntheticDataset(data_cfg);
+
+    Bpr model(BprConfig{.dim = 32});
+    TrainOptions train;
+    train.epochs = 1;
+    train.steps_per_epoch = 2000;  // embeddings only need to be non-trivial
+    train.learning_rate = 0.05;
+    train.seed = 42;
+    model.Fit(*dataset, train);
+
+    TopKServerOptions opts;
+    opts.k = kTopK;
+    opts.max_cached_users = kUsers;
+    TopKServer server(&model, kUsers, num_items, opts);
+
+    // Cold: each query is a distinct user → guaranteed cache miss.
+    const size_t cold_queries = fast ? 50 : 200;
+    Timer cold_timer;
+    for (size_t q = 0; q < cold_queries; ++q) {
+      server.TopK(static_cast<UserId>(q % kUsers));
+    }
+    const double cold_ms = cold_timer.ElapsedMillis() / cold_queries;
+
+    // Cached: the same users again, repeatedly → every query an LRU hit.
+    const size_t hot_queries = fast ? 5000 : 20000;
+    Timer hot_timer;
+    for (size_t q = 0; q < hot_queries; ++q) {
+      server.TopK(static_cast<UserId>(q % cold_queries));
+    }
+    const double cached_ms = hot_timer.ElapsedMillis() / hot_queries;
+
+    const auto stats = server.stats();
+    ServeResult r;
+    r.num_items = num_items;
+    r.cold_ms = cold_ms;
+    r.cached_ms = cached_ms;
+    r.speedup = cached_ms > 0.0 ? cold_ms / cached_ms : 0.0;
+    results.push_back(r);
+    std::printf(
+        "items=%-6zu cold %8.4f ms/q (%9.0f qps)   cached %8.5f ms/q "
+        "(%9.0f qps)   speedup %7.1fx   [hits=%llu misses=%llu]\n",
+        num_items, cold_ms, 1e3 / cold_ms, cached_ms, 1e3 / cached_ms,
+        r.speedup, static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses));
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"topk_serve\",\n");
+  std::fprintf(out, "  \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(out, "  \"fast_mode\": %s,\n", fast ? "true" : "false");
+  std::fprintf(out, "  \"model\": {\"type\": \"BPR\", \"dim\": 32},\n");
+  std::fprintf(out, "  \"k\": %zu,\n", kTopK);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ServeResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"num_items\": %zu, \"cold_ms_per_query\": %.6f, "
+                 "\"cached_ms_per_query\": %.6f, \"cached_speedup\": %.2f}%s\n",
+                 r.num_items, r.cold_ms, r.cached_ms, r.speedup,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -6,16 +6,16 @@
 //   2. hold out dev/test items per user with MakeLeaveOneOutSplit,
 //   3. configure and Fit a Mars model,
 //   4. evaluate with the sampled-candidate protocol,
-//   5. rank unseen items for one user.
-#include <algorithm>
+//   5. serve top-10 recommendations for one user through the TopKServer
+//      (full-catalog batched sweep + per-user cache).
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 #include "core/mars.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "serve/top_k_server.h"
 
 int main(int argc, char** argv) {
   using namespace mars;
@@ -71,20 +71,26 @@ int main(int argc, char** argv) {
   std::printf("test: HR@10=%.4f nDCG@10=%.4f over %zu users\n", metrics.hr10,
               metrics.ndcg10, metrics.users_evaluated);
 
-  // 5. Top-10 recommendations for user 0 among unseen items.
+  // 5. Serving: top-10 recommendations through the TopKServer, which
+  //    sweeps the full catalog with the batched kernels and caches the
+  //    per-user heap (invalidation hooks: serve/write_tracker.h).
   const UserId user = 0;
-  std::vector<std::pair<float, ItemId>> scored;
-  for (ItemId v = 0; v < dataset->num_items(); ++v) {
-    if (split.train->HasInteraction(user, v)) continue;
-    scored.emplace_back(model.Score(user, v), v);
-  }
-  std::partial_sort(scored.begin(), scored.begin() + 10, scored.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  TopKServerOptions serve_opts;
+  serve_opts.k = 10;
+  serve_opts.exclude_interactions = split.train.get();
+  TopKServer server(&model, dataset->num_users(), dataset->num_items(),
+                    serve_opts);
+  const TopKResult recs = server.TopK(user);  // cold full-catalog sweep
   std::printf("top-10 items for user %u:", user);
-  for (int i = 0; i < 10; ++i) {
-    std::printf(" %u(%.3f)", scored[i].second, scored[i].first);
+  for (size_t i = 0; i < recs.items.size(); ++i) {
+    std::printf(" %u(%.3f)", recs.items[i], recs.scores[i]);
   }
   std::printf("\n");
+  const TopKResult again = server.TopK(user);  // LRU hit, no sweep
+  std::printf("re-query served from cache: %s (hits=%llu misses=%llu)\n",
+              again.from_cache ? "yes" : "no",
+              static_cast<unsigned long long>(server.stats().hits),
+              static_cast<unsigned long long>(server.stats().misses));
 
   // Bonus: the user's learned facet mixture.
   std::printf("facet weights of user %u:", user);

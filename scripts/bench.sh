@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds (Release) and runs the training-throughput bench, writing
-# machine-readable results to BENCH_train.json at the repo root so future
-# PRs can diff training perf against this baseline.
+# Builds (Release) and runs the perf benches, writing machine-readable
+# results to BENCH_train.json / BENCH_serve.json at the repo root so future
+# PRs can diff perf against these baselines (compared by
+# scripts/check_bench.py, wired into scripts/ci.sh --bench).
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build)
 #        MARS_BENCH_FAST=1 scripts/bench.sh   # shrunken smoke variant
@@ -11,9 +12,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_train
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_train bench_serve
 
 "$BUILD_DIR"/bench_train BENCH_train.json
 echo
 echo "== BENCH_train.json =="
 cat BENCH_train.json
+
+"$BUILD_DIR"/bench_serve BENCH_serve.json
+echo
+echo "== BENCH_serve.json =="
+cat BENCH_serve.json

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh bench runs against committed baselines.
+
+Usage:
+    scripts/check_bench.py [--threshold 0.25] BASELINE FRESH [BASELINE FRESH ...]
+
+Each (BASELINE, FRESH) pair must be JSON emitted by the same bench binary
+(`bench_train` -> "mars_epoch_threads", `bench_serve` -> "topk_serve"); the
+"bench" field selects the comparison. A fresh single-thread timing more than
+`threshold` (default 25%) slower than the committed baseline fails the gate.
+
+Scaling checks (multi-thread speedup) are skipped unless BOTH runs saw more
+than one CPU: a 1-core container serializes the Hogwild workers, so its
+"speedup" numbers measure overhead, not scaling (see BENCH_train.json
+host_cpus).
+
+Wired into scripts/ci.sh as the opt-in `--bench` stage.
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg):
+    print(f"  ok: {msg}")
+
+
+def skip(msg):
+    print(f"skip: {msg}")
+
+
+# Timings below this (1 µs) are a single hash lookup; their run-to-run and
+# cross-machine jitter dwarfs any real regression, so the ratio check is
+# skipped and only invariants (e.g. the >=5x cached speedup) apply.
+NOISE_FLOOR_MS = 1e-3
+
+
+def check_slower(name, base, fresh, threshold):
+    """Fails when fresh > base * (1 + threshold). Returns the ratio."""
+    if base <= 0:
+        skip(f"{name}: baseline is {base}, nothing to compare")
+        return None
+    if base < NOISE_FLOOR_MS and fresh < NOISE_FLOOR_MS:
+        skip(f"{name}: {fresh:.6f} vs {base:.6f}, both under the "
+             f"{NOISE_FLOOR_MS} ms noise floor")
+        return None
+    ratio = fresh / base
+    if ratio > 1.0 + threshold:
+        fail(f"{name}: {fresh:.6f} vs baseline {base:.6f} "
+             f"({(ratio - 1.0) * 100:+.1f}%, limit +{threshold * 100:.0f}%)")
+    else:
+        ok(f"{name}: {fresh:.6f} vs {base:.6f} ({(ratio - 1.0) * 100:+.1f}%)")
+    return ratio
+
+
+def check_train(base, fresh, threshold):
+    base_by_t = {r["num_threads"]: r for r in base["results"]}
+    fresh_by_t = {r["num_threads"]: r for r in fresh["results"]}
+    if 1 not in base_by_t or 1 not in fresh_by_t:
+        fail("mars_epoch_threads: missing num_threads=1 row")
+        return
+    check_slower("train seconds_per_epoch @1 thread",
+                 base_by_t[1]["seconds_per_epoch"],
+                 fresh_by_t[1]["seconds_per_epoch"], threshold)
+
+    if base.get("host_cpus", 1) <= 1 or fresh.get("host_cpus", 1) <= 1:
+        skip("train scaling: host_cpus == 1 on at least one side "
+             "(serialized workers measure overhead, not scaling)")
+        return
+    for t in sorted(set(base_by_t) & set(fresh_by_t)):
+        if t == 1:
+            continue
+        base_s = base_by_t[t]["speedup_vs_serial"]
+        fresh_s = fresh_by_t[t]["speedup_vs_serial"]
+        if base_s > 0 and fresh_s < base_s * (1.0 - threshold):
+            fail(f"train speedup @{t} threads: {fresh_s:.2f}x vs "
+                 f"baseline {base_s:.2f}x")
+        else:
+            ok(f"train speedup @{t} threads: {fresh_s:.2f}x vs {base_s:.2f}x")
+
+
+def check_serve(base, fresh, threshold):
+    base_by_m = {r["num_items"]: r for r in base["results"]}
+    fresh_by_m = {r["num_items"]: r for r in fresh["results"]}
+    shared = sorted(set(base_by_m) & set(fresh_by_m))
+    if not shared:
+        fail("topk_serve: no shared catalog sizes between baseline and fresh")
+        return
+    for m in shared:
+        check_slower(f"serve cold_ms_per_query @{m} items",
+                     base_by_m[m]["cold_ms_per_query"],
+                     fresh_by_m[m]["cold_ms_per_query"], threshold)
+        check_slower(f"serve cached_ms_per_query @{m} items",
+                     base_by_m[m]["cached_ms_per_query"],
+                     fresh_by_m[m]["cached_ms_per_query"], threshold)
+        # Roadmap acceptance invariant, not a diff: cached hot-user queries
+        # must beat a cold full-catalog sweep by >= 5x at >= 10k items.
+        if m >= 10000:
+            speedup = fresh_by_m[m]["cached_speedup"]
+            if speedup < 5.0:
+                fail(f"serve cached_speedup @{m} items: {speedup:.1f}x < 5x")
+            else:
+                ok(f"serve cached_speedup @{m} items: {speedup:.1f}x >= 5x")
+
+
+CHECKERS = {
+    "mars_epoch_threads": check_train,
+    "topk_serve": check_serve,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction (default 0.25)")
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE FRESH pairs of bench JSON files")
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        parser.error("files must come in BASELINE FRESH pairs")
+
+    for base_path, fresh_path in zip(args.files[::2], args.files[1::2]):
+        with open(base_path) as f:
+            base = json.load(f)
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+        name = base.get("bench", "?")
+        print(f"== {name}: {fresh_path} vs baseline {base_path} ==")
+        if fresh.get("bench") != name:
+            fail(f"bench kind mismatch: {fresh.get('bench')} vs {name}")
+            continue
+        if base.get("fast_mode") != fresh.get("fast_mode"):
+            fail(f"{name}: fast_mode mismatch between baseline and fresh "
+                 "(rerun with matching MARS_BENCH_FAST)")
+            continue
+        checker = CHECKERS.get(name)
+        if checker is None:
+            skip(f"no checker for bench kind '{name}'")
+            continue
+        checker(base, fresh, args.threshold)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} bench regression(s).")
+        return 1
+    print("\nbench check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,17 @@ std::pair<size_t, size_t> FacetStore::ShardRange(size_t num_entities,
   return {begin, end};
 }
 
+size_t FacetStore::ShardOf(size_t num_entities, size_t e, size_t num_shards) {
+  MARS_CHECK(num_shards >= 1);
+  MARS_CHECK(e < num_entities);
+  const size_t base = num_entities / num_shards;
+  const size_t rem = num_entities % num_shards;
+  // The first `rem` shards hold base+1 entities, the rest hold base.
+  const size_t big_total = rem * (base + 1);
+  if (e < big_total) return e / (base + 1);
+  return rem + (e - big_total) / base;
+}
+
 void FacetStore::ShardView::CopyFrom(const FacetStore& src) const {
   MARS_CHECK(src.num_entities() == store_->num_entities() &&
              src.num_facets() == store_->num_facets() &&

@@ -159,6 +159,11 @@ class FacetStore {
   static std::pair<size_t, size_t> ShardRange(size_t num_entities,
                                               size_t shard, size_t num_shards);
 
+  /// Inverse of ShardRange: the shard of `num_shards` whose range contains
+  /// entity `e`. Used by the serving layer to map a dirtied row back to the
+  /// shard-granular invalidation unit.
+  static size_t ShardOf(size_t num_entities, size_t e, size_t num_shards);
+
   /// Mutable view of shard `shard` of `num_shards` (see ShardRange).
   ShardView Shard(size_t shard, size_t num_shards) {
     const auto [b, e] = ShardRange(num_entities_, shard, num_shards);

@@ -145,4 +145,35 @@ float WeightedFacetSquaredDistance(const float* u, size_t u_stride,
   return score;
 }
 
+void NegatedSquaredDistanceBatch(const float* u, const float* rows,
+                                 size_t count, size_t stride, size_t n,
+                                 float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = -SquaredDistanceRow(u, rows + r * stride, n);
+  }
+}
+
+void WeightedFacetDotBatch(const float* u, size_t u_stride,
+                           const float* blocks, size_t block_stride,
+                           size_t row_stride, const float* w,
+                           size_t num_facets, size_t count, size_t n,
+                           float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = WeightedFacetDot(u, u_stride, blocks + r * block_stride,
+                              row_stride, w, num_facets, n);
+  }
+}
+
+void WeightedFacetSquaredDistanceBatch(const float* u, size_t u_stride,
+                                       const float* blocks,
+                                       size_t block_stride, size_t row_stride,
+                                       const float* w, size_t num_facets,
+                                       size_t count, size_t n, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = WeightedFacetSquaredDistance(u, u_stride,
+                                          blocks + r * block_stride,
+                                          row_stride, w, num_facets, n);
+  }
+}
+
 }  // namespace mars

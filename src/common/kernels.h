@@ -47,6 +47,12 @@ void NegatedSquaredDistanceGather(const float* u, const float* base,
                                   size_t stride, const uint32_t* ids,
                                   size_t count, size_t n, float* out);
 
+/// Contiguous-block form of the above: out[i] = -||u - row_i||² for i in
+/// [0, count) — the metric models' full-catalog serving sweep.
+void NegatedSquaredDistanceBatch(const float* u, const float* rows,
+                                 size_t count, size_t stride, size_t n,
+                                 float* out);
+
 /// Σ_k w[k] · <u + k·u_stride, v + k·v_stride> over n dims — the fused
 /// multi-facet cosine score of MARS (unit rows make dot == cosine). One
 /// traversal of both entity blocks.
@@ -60,6 +66,22 @@ float WeightedFacetSquaredDistance(const float* u, size_t u_stride,
                                    const float* v, size_t v_stride,
                                    const float* w, size_t num_facets,
                                    size_t n);
+
+/// Full-catalog forms of the fused facet scores: one user entity block
+/// swept against `count` consecutive entity blocks starting at `blocks`
+/// (blocks are `block_stride` floats apart, facet rows `row_stride` apart
+/// within a block — FacetStore::entity_stride()/row_stride()). These are
+/// the MARS/MAR serving sweeps over the contiguous item store.
+void WeightedFacetDotBatch(const float* u, size_t u_stride,
+                           const float* blocks, size_t block_stride,
+                           size_t row_stride, const float* w,
+                           size_t num_facets, size_t count, size_t n,
+                           float* out);
+void WeightedFacetSquaredDistanceBatch(const float* u, size_t u_stride,
+                                       const float* blocks,
+                                       size_t block_stride, size_t row_stride,
+                                       const float* w, size_t num_facets,
+                                       size_t count, size_t n, float* out);
 
 }  // namespace mars
 

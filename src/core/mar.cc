@@ -14,6 +14,7 @@
 #include "models/train_loop.h"
 #include "opt/sgd.h"
 #include "sampling/triplet_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -114,6 +115,7 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   // for kProjected is unvalidated; prefer num_threads=1 for that mode
   // (see ROADMAP "shard/ownership model").
   ParallelTrainer trainer(options, &rng);
+  WriteTracker* const tracker = options.write_tracker;
   struct Scratch {
     std::vector<float> uf, vpf, vqf;
     std::vector<float> u_scale, vp_scale, vq_scale;
@@ -161,6 +163,18 @@ void Mar::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 
     Triplet t;
     if (!sampler.Sample(&wrng, &t)) return;
+    if (tracker != nullptr) {
+      if (param_mode_ == FacetParam::kProjected) {
+        // Every step writes the shared projection matrices, through which
+        // every user and item is scored.
+        tracker->MarkAllUsers();
+        tracker->MarkAllItems();
+      } else {
+        tracker->MarkUser(t.user);
+        tracker->MarkItem(t.positive);
+        tracker->MarkItem(t.negative);
+      }
+    }
 
     // --- Forward: facet embeddings for u, vp, vq ----------------------
     if (param_mode_ == FacetParam::kProjected) {
@@ -374,6 +388,40 @@ void Mar::ScoreItems(UserId u, std::span<const ItemId> items,
       score -= theta[k] * SquaredDistance(&ufacets[k * d], ve.data(), d);
     }
     out[idx] = score;
+  }
+}
+
+void Mar::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                         float* out) const {
+  if (begin >= end) return;
+  const size_t d = config_.dim;
+  const size_t kf = config_.num_facets;
+  std::vector<float> theta(kf);
+  Softmax(theta_logits_.Row(u), theta.data(), kf);
+  const size_t count = end - begin;
+  if (param_mode_ == FacetParam::kFree) {
+    // The contiguous item store makes the sweep one sequential pass over
+    // `count` consecutive entity blocks.
+    WeightedFacetSquaredDistanceBatch(
+        user_facets_.EntityBlock(u), user_facets_.row_stride(),
+        item_facets_.EntityBlock(begin), item_facets_.entity_stride(),
+        item_facets_.row_stride(), theta.data(), kf, count, d, out);
+    for (size_t i = 0; i < count; ++i) out[i] = -out[i];
+    return;
+  }
+  // Hoist user facet projections; items must be projected per candidate.
+  std::vector<float> ufacets(kf * d);
+  for (size_t k = 0; k < kf; ++k) {
+    ProjectFacet(phi_[k], user_universal_.Row(u), &ufacets[k * d]);
+  }
+  std::vector<float> ve(d);
+  for (ItemId v = begin; v < end; ++v) {
+    float score = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      ProjectFacet(psi_[k], item_universal_.Row(v), ve.data());
+      score -= theta[k] * SquaredDistance(&ufacets[k * d], ve.data(), d);
+    }
+    out[v - begin] = score;
   }
 }
 

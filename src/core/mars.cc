@@ -15,6 +15,7 @@
 #include "opt/sgd.h"
 #include "opt/sphere.h"
 #include "sampling/triplet_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -99,6 +100,7 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   struct Scratch {
     std::vector<float> gu, gvp, gvq, theta, coeff, sp, sq;
   };
+  WriteTracker* const tracker = options.write_tracker;
   std::vector<Scratch> scratch(trainer.num_workers());
   for (Scratch& sc : scratch) {
     sc.gu.resize(kf * d);
@@ -126,6 +128,13 @@ void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
 
     Triplet t;
     if (!sampler.Sample(&wrng, &t)) return;
+    if (tracker != nullptr) {
+      tracker->MarkUser(t.user);
+      tracker->MarkItem(t.positive);
+      tracker->MarkItem(t.negative);
+      // Radii are K global floats entering every score.
+      if (mars_options_.learn_radius) tracker->MarkAllItems();
+    }
 
     // --- Forward: cosine similarities per facet ------------------------
     // The triplet's three entity blocks are each one contiguous read.
@@ -290,6 +299,34 @@ void Mars::ScoreItems(UserId u, std::span<const ItemId> items,
                                 item_facets_.EntityBlock(items[idx]), vs,
                                 theta.data(), kf, config_.dim);
   }
+}
+
+void Mars::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                          float* out) const {
+  if (begin >= end) return;
+  const size_t kf = config_.num_facets;
+  std::vector<float> theta(kf);
+  Softmax(theta_logits_.Row(u), theta.data(), kf);
+  for (size_t k = 0; k < kf; ++k) theta[k] *= radii_[k];
+  const size_t count = end - begin;
+  if (kf == 1) {
+    // Single facet: rows sit on the unit sphere (the retraction normalizes
+    // every update), so the weighted dot *is* θ·r·cosine — score through
+    // CosineBatch, which amortizes ||u|| over the block and stays correct
+    // even if a row drifts off-unit.
+    CosineBatch(user_facets_.Row(u, 0), item_facets_.Row(begin, 0), count,
+                item_facets_.entity_stride(), config_.dim, out);
+    for (size_t i = 0; i < count; ++i) out[i] *= theta[0];
+    return;
+  }
+  // The item store is contiguous: the sweep streams over `count`
+  // consecutive entity blocks in one pass.
+  WeightedFacetDotBatch(user_facets_.EntityBlock(u),
+                        user_facets_.row_stride(),
+                        item_facets_.EntityBlock(begin),
+                        item_facets_.entity_stride(),
+                        item_facets_.row_stride(), theta.data(), kf,
+                        count, config_.dim, out);
 }
 
 std::vector<float> Mars::UserFacetEmbedding(UserId u, size_t k) const {

@@ -27,6 +27,17 @@ class ItemScorer {
     for (size_t i = 0; i < items.size(); ++i) out[i] = Score(u, items[i]);
   }
 
+  /// Serving adapter: scores the contiguous catalog slice [begin, end) into
+  /// out[0 .. end-begin). The top-k server (serve/top_k_server.h) partitions
+  /// the catalog into contiguous shard ranges and calls this per shard;
+  /// models override it with the contiguous-block kernels of
+  /// common/kernels.h so a full-catalog sweep streams sequentially through
+  /// the item table. The default loops over Score.
+  virtual void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                              float* out) const {
+    for (ItemId v = begin; v < end; ++v) out[v - begin] = Score(u, v);
+  }
+
   /// Whether Score/ScoreItems may be called concurrently from multiple
   /// threads. Models that reuse internal scratch buffers return false and
   /// are evaluated serially.

@@ -9,6 +9,7 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/triplet_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -32,11 +33,17 @@ void Bpr::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   // Each step writes only the triplet's rows — Hogwild workers share the
   // factor tables directly.
   ParallelTrainer trainer(options, &rng);
+  WriteTracker* const tracker = options.write_tracker;
   float lr = 0.0f;  // per-epoch, set before steps fan out
 
   const auto step = [&](size_t, Rng& wrng) {
     Triplet t;
     if (!sampler.Sample(&wrng, &t)) return;
+    if (tracker != nullptr) {
+      tracker->MarkUser(t.user);
+      tracker->MarkItem(t.positive);
+      tracker->MarkItem(t.negative);
+    }
     float* pu = user_.Row(t.user);
     float* qp = item_.Row(t.positive);
     float* qq = item_.Row(t.negative);
@@ -84,6 +91,16 @@ void Bpr::ScoreItems(UserId u, std::span<const ItemId> items,
             items.size(), config_.dim, out);
   if (config_.use_item_bias) {
     for (size_t i = 0; i < items.size(); ++i) out[i] += item_bias_[items[i]];
+  }
+}
+
+void Bpr::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                         float* out) const {
+  if (begin >= end) return;
+  DotBatch(user_.Row(u), item_.Row(begin), end - begin, item_.cols(),
+           config_.dim, out);
+  if (config_.use_item_bias) {
+    for (ItemId v = begin; v < end; ++v) out[v - begin] += item_bias_[v];
   }
 }
 

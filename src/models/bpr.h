@@ -31,6 +31,8 @@ class Bpr : public Recommender {
   float Score(UserId u, ItemId v) const override;
   void ScoreItems(UserId u, std::span<const ItemId> items,
                   float* out) const override;
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      float* out) const override;
   std::string name() const override { return "BPR"; }
 
   const Matrix& user_factors() const { return user_; }

@@ -8,6 +8,7 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/triplet_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -108,6 +109,7 @@ void Lrml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
     sc.eq.resize(d);
     sc.grad_e.resize(d);
   }
+  WriteTracker* const tracker = options.write_tracker;
   float lr = 0.0f;  // per-epoch, set before steps fan out
 
   const auto step = [&](size_t worker, Rng& wrng) {
@@ -124,6 +126,12 @@ void Lrml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
     float* u = user_.Row(t.user);
     float* vp = item_.Row(t.positive);
     float* vq = item_.Row(t.negative);
+    if (tracker != nullptr) {
+      // BackwardPair also writes the global key/memory matrices, which
+      // enter the relation of *every* pair — the whole catalog is dirty.
+      tracker->MarkAllUsers();
+      tracker->MarkAllItems();
+    }
 
     Relation(u, vp, a.data(), rp.data());
     for (size_t i = 0; i < d; ++i) ep[i] = u[i] + rp[i] - vp[i];
@@ -154,6 +162,25 @@ void Lrml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
         trainer.RunEpoch(steps, step);
       },
       snapshot);
+}
+
+void Lrml::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                          float* out) const {
+  // Attention is per pair, so the sweep hoists only the user row and the
+  // scratch buffers out of the item loop (Score reallocates them per call).
+  const size_t d = config_.dim;
+  std::vector<float> a(config_.memory_slots), r(d);
+  const float* eu = user_.Row(u);
+  for (ItemId v = begin; v < end; ++v) {
+    const float* ev = item_.Row(v);
+    Relation(eu, ev, a.data(), r.data());
+    float acc = 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      const float e = eu[i] + r[i] - ev[i];
+      acc += e * e;
+    }
+    out[v - begin] = -acc;
+  }
 }
 
 float Lrml::Score(UserId u, ItemId v) const {

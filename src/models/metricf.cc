@@ -9,6 +9,7 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/negative_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -31,12 +32,17 @@ void MetricF::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const auto& log = train.interactions();
 
   ParallelTrainer trainer(options, &rng);
+  WriteTracker* const tracker = options.write_tracker;
   float lr = 0.0f;  // per-epoch, set before steps fan out
 
   const auto step = [&](size_t, Rng& wrng) {
     const Interaction& x = log[wrng.UniformInt(log.size())];
     float* u = user_.Row(x.user);
     float* vp = item_.Row(x.item);
+    if (tracker != nullptr) {
+      tracker->MarkUser(x.user);
+      tracker->MarkItem(x.item);
+    }
     // Pull: d/du d² = 2(u - vp).
     for (size_t i = 0; i < d; ++i) {
       const float diff = u[i] - vp[i];
@@ -50,6 +56,7 @@ void MetricF::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       ItemId neg;
       if (!negatives.Sample(x.user, &wrng, &neg)) break;
       float* vq = item_.Row(neg);
+      if (tracker != nullptr) tracker->MarkItem(neg);
       const float dist = std::sqrt(SquaredDistance(u, vq, d));
       if (dist < 1e-9f) continue;
       // Two-sided regression L = w (dist - m)²:
@@ -89,6 +96,13 @@ void MetricF::ScoreItems(UserId u, std::span<const ItemId> items,
   NegatedSquaredDistanceGather(user_.Row(u), item_.data(), item_.cols(),
                                items.data(), items.size(), config_.dim,
                                out);
+}
+
+void MetricF::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                             float* out) const {
+  if (begin >= end) return;
+  NegatedSquaredDistanceBatch(user_.Row(u), item_.Row(begin), end - begin,
+                              item_.cols(), config_.dim, out);
 }
 
 }  // namespace mars

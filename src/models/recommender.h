@@ -20,6 +20,7 @@
 namespace mars {
 
 class ThreadPool;
+class WriteTracker;
 
 /// Uniform training knobs.
 struct TrainOptions {
@@ -47,6 +48,14 @@ struct TrainOptions {
   size_t eval_every = 5;
   /// Early-stopping patience (consecutive non-improving dev evals).
   size_t patience = 2;
+
+  /// Optional dirty-shard reporting for the serving cache
+  /// (serve/write_tracker.h): when set, every training step marks the
+  /// shards of the rows it wrote (relaxed atomic stores, safe from Hogwild
+  /// workers), and models whose steps write global tables mark the whole
+  /// catalog. TopKServer::AbsorbWrites consumes the flags at a quiesced
+  /// epoch boundary.
+  WriteTracker* write_tracker = nullptr;
 
   /// Log per-epoch progress.
   bool verbose = false;

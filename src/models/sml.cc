@@ -10,6 +10,7 @@
 #include "models/train_loop.h"
 #include "sampling/negative_sampler.h"
 #include "sampling/triplet_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -38,6 +39,7 @@ void Sml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
   const size_t candidates = std::max<size_t>(1, config_.negative_candidates);
 
   ParallelTrainer trainer(options, &rng);
+  WriteTracker* const tracker = options.write_tracker;
   float lr = 0.0f;  // per-epoch, set before steps fan out
 
   const auto step = [&](size_t, Rng& wrng) {
@@ -58,6 +60,11 @@ void Sml::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       }
     }
     float* vq = item_.Row(hardest);
+    if (tracker != nullptr) {
+      tracker->MarkUser(t.user);
+      tracker->MarkItem(t.positive);
+      tracker->MarkItem(hardest);
+    }
 
     const float dp = SquaredDistance(u, vp, d);
     const float dq = SquaredDistance(u, vq, d);
@@ -123,6 +130,13 @@ void Sml::ScoreItems(UserId u, std::span<const ItemId> items,
   NegatedSquaredDistanceGather(user_.Row(u), item_.data(), item_.cols(),
                                items.data(), items.size(), config_.dim,
                                out);
+}
+
+void Sml::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                         float* out) const {
+  if (begin >= end) return;
+  NegatedSquaredDistanceBatch(user_.Row(u), item_.Row(begin), end - begin,
+                              item_.cols(), config_.dim, out);
 }
 
 }  // namespace mars

@@ -46,6 +46,8 @@ class Sml : public Recommender {
   float Score(UserId u, ItemId v) const override;
   void ScoreItems(UserId u, std::span<const ItemId> items,
                   float* out) const override;
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      float* out) const override;
   std::string name() const override { return "SML"; }
 
   /// Learned per-user margins (for the ablation study and tests).

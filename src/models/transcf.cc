@@ -8,6 +8,7 @@
 #include "models/embedding.h"
 #include "models/train_loop.h"
 #include "sampling/triplet_sampler.h"
+#include "serve/write_tracker.h"
 #include "train/parallel_trainer.h"
 #include "train/snapshot.h"
 
@@ -64,6 +65,7 @@ void TransCf::Fit(const ImplicitDataset& train, const TrainOptions& options) {
     sc.ep.resize(d);
     sc.eq.resize(d);
   }
+  WriteTracker* const tracker = options.write_tracker;
   float lr = 0.0f;  // per-epoch, set before steps fan out
 
   const auto step = [&](size_t worker, Rng& wrng) {
@@ -78,6 +80,11 @@ void TransCf::Fit(const ImplicitDataset& train, const TrainOptions& options) {
     float* u = user_.Row(t.user);
     float* vp = item_.Row(t.positive);
     float* vq = item_.Row(t.negative);
+    if (tracker != nullptr) {
+      tracker->MarkUser(t.user);
+      tracker->MarkItem(t.positive);
+      tracker->MarkItem(t.negative);
+    }
     const float* au = user_nbr_.Row(t.user);
 
     // Relation vectors r_uv = α_u ⊙ β_v and residuals e = u + r - v.
@@ -125,12 +132,38 @@ void TransCf::Fit(const ImplicitDataset& train, const TrainOptions& options) {
       options, *this, name(),
       [&](size_t, double lr_d) {
         RefreshNeighborhoodMeans(train);
+        // The refreshed means enter every pair's score: the whole catalog
+        // (and every user) is effectively rewritten each epoch.
+        if (tracker != nullptr) {
+          tracker->MarkAllUsers();
+          tracker->MarkAllItems();
+        }
         lr = static_cast<float>(lr_d);
         trainer.RunEpoch(steps, step);
       },
       snapshot);
   // Means must reflect the final embeddings for scoring.
   RefreshNeighborhoodMeans(train);
+}
+
+void TransCf::ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                             float* out) const {
+  // r_uv = α_u ⊙ β_v depends on the candidate, so there is no single-kernel
+  // form — but the user side (e_u, α_u) hoists, and the item tables are
+  // scanned sequentially over the contiguous range.
+  const size_t d = config_.dim;
+  const float* au = user_nbr_.Row(u);
+  const float* eu = user_.Row(u);
+  for (ItemId v = begin; v < end; ++v) {
+    const float* bv = item_nbr_.Row(v);
+    const float* ev = item_.Row(v);
+    float acc = 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      const float e = eu[i] + au[i] * bv[i] - ev[i];
+      acc += e * e;
+    }
+    out[v - begin] = -acc;
+  }
 }
 
 float TransCf::Score(UserId u, ItemId v) const {

@@ -42,6 +42,8 @@ class TransCf : public Recommender {
 
   void Fit(const ImplicitDataset& train, const TrainOptions& options) override;
   float Score(UserId u, ItemId v) const override;
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      float* out) const override;
   std::string name() const override { return "TransCF"; }
 
  private:

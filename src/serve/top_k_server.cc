@@ -1,0 +1,183 @@
+#include "serve/top_k_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/facet_store.h"
+#include "common/thread_pool.h"
+
+namespace mars {
+
+namespace {
+
+/// Ranking order of the served lists: score descending, item id ascending
+/// on ties — the same deterministic order the equivalence tests pin.
+inline bool RanksBetter(const std::pair<float, ItemId>& a,
+                        const std::pair<float, ItemId>& b) {
+  return a.first > b.first || (a.first == b.first && a.second < b.second);
+}
+
+/// Pushes (score, v) into `heap`, a worst-on-top heap bounded at `k`.
+inline void PushTopK(std::vector<std::pair<float, ItemId>>* heap, size_t k,
+                     float score, ItemId v) {
+  if (k == 0) return;
+  const std::pair<float, ItemId> cand{score, v};
+  if (heap->size() < k) {
+    heap->push_back(cand);
+    std::push_heap(heap->begin(), heap->end(), RanksBetter);
+    return;
+  }
+  if (!RanksBetter(cand, heap->front())) return;
+  std::pop_heap(heap->begin(), heap->end(), RanksBetter);
+  heap->back() = cand;
+  std::push_heap(heap->begin(), heap->end(), RanksBetter);
+}
+
+}  // namespace
+
+TopKServer::TopKServer(const ItemScorer* model, size_t num_users,
+                       size_t num_items, TopKServerOptions options)
+    : model_(model),
+      num_users_(num_users),
+      num_items_(num_items),
+      options_(options) {
+  MARS_CHECK(model != nullptr);
+  MARS_CHECK(num_items >= 1);
+}
+
+TopKResult TopKServer::TopK(UserId u) {
+  MARS_CHECK(u < num_users_);
+  const auto it = cache_.find(u);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    TopKResult result;
+    result.items = it->second.items;
+    result.scores = it->second.scores;
+    result.from_cache = true;
+    return result;
+  }
+
+  ++stats_.misses;
+  TopKResult result;
+  Sweep(u, &result.items, &result.scores);
+  if (options_.max_cached_users > 0) {
+    CacheEntry entry;
+    entry.items = result.items;
+    entry.scores = result.scores;
+    lru_.push_front(u);
+    entry.lru_pos = lru_.begin();
+    cache_.emplace(u, std::move(entry));
+    EvictIfOverCap();
+  }
+  return result;
+}
+
+void TopKServer::Sweep(UserId u, std::vector<ItemId>* items,
+                       std::vector<float>* scores) {
+  const size_t pool_threads =
+      options_.pool != nullptr ? options_.pool->num_threads() : 1;
+  const size_t shards = std::max<size_t>(
+      1, options_.sweep_shards > 0 ? options_.sweep_shards : pool_threads);
+  const size_t k = std::min(options_.k, num_items_);
+  const ImplicitDataset* exclude = options_.exclude_interactions;
+  sweep_scratch_.resize(shards);
+
+  // Each worker scans one contiguous ShardRange — the item blocks inside it
+  // are sequential in memory — and keeps a bounded local top-k.
+  const auto scan_shard = [&, k](size_t s) {
+    const auto [begin, end] = FacetStore::ShardRange(num_items_, s, shards);
+    ShardScratch& scratch = sweep_scratch_[s];
+    scratch.candidates.clear();
+    if (begin == end) return;
+    scratch.scores.resize(end - begin);
+    model_->ScoreItemRange(u, begin, end, scratch.scores.data());
+    for (ItemId v = begin; v < end; ++v) {
+      if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
+      PushTopK(&scratch.candidates, k, scratch.scores[v - begin], v);
+    }
+  };
+
+  // Serial fallback for models whose scoring reuses internal scratch
+  // (thread_safe() == false) — same guard the evaluator applies.
+  if (options_.pool != nullptr && shards > 1 && model_->thread_safe()) {
+    for (size_t s = 0; s < shards; ++s) {
+      options_.pool->Submit([&scan_shard, s] { scan_shard(s); });
+    }
+    options_.pool->Wait();
+  } else {
+    for (size_t s = 0; s < shards; ++s) scan_shard(s);
+  }
+
+  // Merge the per-shard winners (≤ k each) into the final ranking.
+  std::vector<std::pair<float, ItemId>> merged;
+  merged.reserve(shards * k);
+  for (const ShardScratch& scratch : sweep_scratch_) {
+    merged.insert(merged.end(), scratch.candidates.begin(),
+                  scratch.candidates.end());
+  }
+  std::sort(merged.begin(), merged.end(), RanksBetter);
+  const size_t n = std::min(k, merged.size());
+  items->resize(n);
+  scores->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*items)[i] = merged[i].second;
+    (*scores)[i] = merged[i].first;
+  }
+}
+
+void TopKServer::AbsorbWrites(WriteTracker* tracker) {
+  MARS_CHECK(tracker != nullptr);
+  MARS_CHECK(tracker->num_users() == num_users_);
+  MARS_CHECK(tracker->num_items() == num_items_);
+
+  // Any dirty item shard invalidates every entry: a cached heap ranks the
+  // full catalog, so all item shards contribute to it.
+  bool items_dirty = false;
+  for (size_t s = 0; s < tracker->num_item_shards() && !items_dirty; ++s) {
+    items_dirty = tracker->ItemShardDirty(s);
+  }
+
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const bool stale =
+        items_dirty ||
+        tracker->UserShardDirty(tracker->UserShardOf(it->first));
+    if (stale) {
+      ++stats_.invalidated;
+      lru_.erase(it->second.lru_pos);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  tracker->Clear();
+}
+
+void TopKServer::ReplaceModel(const ItemScorer* model) {
+  MARS_CHECK(model != nullptr);
+  model_ = model;
+}
+
+void TopKServer::InvalidateAll() {
+  stats_.invalidated += cache_.size();
+  cache_.clear();
+  lru_.clear();
+}
+
+void TopKServer::EvictIfOverCap() {
+  while (cache_.size() > options_.max_cached_users) {
+    const UserId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+TopKServerStats TopKServer::stats() const {
+  TopKServerStats s = stats_;
+  s.cached_users = cache_.size();
+  return s;
+}
+
+}  // namespace mars

@@ -1,0 +1,142 @@
+// Top-k serving over a quiesced model: full-catalog sweep + bounded cache.
+//
+// TopKServer answers "top-k items for user u" by sweeping the *entire*
+// catalog with the model's ScoreItemRange (the contiguous-block serving
+// adapter every model overrides with its batch kernel — DotBatch for
+// dot-product models, SquaredDistanceBatch for metric models, the fused
+// WeightedFacetDot path for MARS/MAR), then keeps the ranked top-k per user
+// in a bounded LRU cache so hot users are answered without touching the
+// embedding tables at all.
+//
+// The sweep partitions [0, num_items) into the same balanced, cache-line-
+// aligned contiguous ranges FacetStore::ShardRange hands to training
+// shards; with a ThreadPool each worker scans one range sequentially in
+// memory and keeps a local top-k, and the per-shard winners are merged.
+//
+// Invalidation is shard-granular: training steps mark dirtied rows in a
+// WriteTracker (serve/write_tracker.h), and AbsorbWrites() — called at a
+// quiesced epoch boundary, the same contract under which overlapped eval
+// snapshots the model — drops every cached entry whose user row shard was
+// touched, and *all* entries when any item shard was touched (a cached heap
+// ranks the full catalog, so every item shard contributes to it).
+//
+// Threading contract: the model must be quiescent (no concurrent training
+// writes) whenever TopK or AbsorbWrites runs — serve a snapshot, not the
+// live tables (see ReplaceModel). TopK itself is not re-entrant: one query
+// at a time, though each query fans its sweep across the pool.
+#ifndef MARS_SERVE_TOP_K_SERVER_H_
+#define MARS_SERVE_TOP_K_SERVER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/scorer.h"
+#include "serve/write_tracker.h"
+
+namespace mars {
+
+class ThreadPool;
+
+/// Serving knobs.
+struct TopKServerOptions {
+  /// Recommendations per query. Results are (score desc, item id asc);
+  /// fewer than k come back when the catalog (minus exclusions) is smaller.
+  size_t k = 10;
+  /// Bounded cache: least-recently-queried users are evicted beyond this.
+  size_t max_cached_users = 4096;
+  /// Sweep partitions; 0 means one per pool thread (or 1 serial).
+  size_t sweep_shards = 0;
+  /// Pool for the parallel sweep (may be null → serial sweep). Models
+  /// whose thread_safe() is false are swept serially regardless.
+  ThreadPool* pool = nullptr;
+  /// When set, items the user already interacted with are not recommended.
+  const ImplicitDataset* exclude_interactions = nullptr;
+};
+
+/// One answered query.
+struct TopKResult {
+  std::vector<ItemId> items;  // ranked best-first
+  std::vector<float> scores;  // parallel to items
+  bool from_cache = false;
+};
+
+/// Serving-side counters (cumulative since construction).
+struct TopKServerStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidated = 0;  // cached entries dropped by AbsorbWrites
+  uint64_t evictions = 0;    // entries dropped by the LRU bound
+  size_t cached_users = 0;
+};
+
+/// Full-catalog top-k server with shard-invalidated per-user cache.
+class TopKServer {
+ public:
+  /// `model` scores the catalog [0, num_items) for users [0, num_users);
+  /// it must outlive the server (swap snapshots with ReplaceModel).
+  TopKServer(const ItemScorer* model, size_t num_users, size_t num_items,
+             TopKServerOptions options = {});
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+  const TopKServerOptions& options() const { return options_; }
+
+  /// Top-k for `u`: cache hit, or a full-catalog sweep that fills the cache.
+  TopKResult TopK(UserId u);
+
+  /// Consumes the tracker's dirty flags (and clears them): entries of users
+  /// in dirtied user shards are invalidated, and any dirty item shard
+  /// invalidates every entry. Call only at a quiesced epoch boundary,
+  /// typically right after snapshotting the model for serving.
+  void AbsorbWrites(WriteTracker* tracker);
+
+  /// Points the server at a fresh quiesced snapshot of the same shape.
+  /// Does not invalidate by itself — pair with AbsorbWrites, which knows
+  /// what actually changed.
+  void ReplaceModel(const ItemScorer* model);
+
+  /// Drops every cached entry (e.g. after a model swap of unknown delta).
+  void InvalidateAll();
+
+  TopKServerStats stats() const;
+
+ private:
+  struct CacheEntry {
+    std::vector<ItemId> items;  // ranked best-first
+    std::vector<float> scores;
+    std::list<UserId>::iterator lru_pos;
+  };
+
+  /// Full-catalog sweep for `u`; fills `items`/`scores` ranked best-first.
+  void Sweep(UserId u, std::vector<ItemId>* items,
+             std::vector<float>* scores);
+
+  void EvictIfOverCap();
+
+  const ItemScorer* model_;
+  size_t num_users_;
+  size_t num_items_;
+  TopKServerOptions options_;
+
+  // The cache is bounded, so AbsorbWrites invalidates *eagerly*: it scans
+  // the (≤ max_cached_users) entries once and erases the stale ones, which
+  // keeps lookups a plain hash find with no staleness check.
+  std::unordered_map<UserId, CacheEntry> cache_;
+  std::list<UserId> lru_;  // front = most recently used
+
+  // Reused per-query sweep scratch (one slot per sweep shard).
+  struct ShardScratch {
+    std::vector<float> scores;                         // range-sized buffer
+    std::vector<std::pair<float, ItemId>> candidates;  // local top-k
+  };
+  std::vector<ShardScratch> sweep_scratch_;
+
+  TopKServerStats stats_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_SERVE_TOP_K_SERVER_H_

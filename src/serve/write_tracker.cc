@@ -1,0 +1,69 @@
+#include "serve/write_tracker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/facet_store.h"
+
+namespace mars {
+
+namespace {
+
+size_t ClampShards(size_t num_entities, size_t num_shards) {
+  return std::max<size_t>(1, std::min(num_shards, std::max<size_t>(
+                                                      1, num_entities)));
+}
+
+}  // namespace
+
+WriteTracker::WriteTracker(size_t num_users, size_t num_items,
+                           size_t num_shards)
+    : num_users_(num_users),
+      num_items_(num_items),
+      user_dirty_(ClampShards(num_users, num_shards)),
+      item_dirty_(ClampShards(num_items, num_shards)) {
+  MARS_CHECK(num_shards >= 1);
+}
+
+size_t WriteTracker::UserShardOf(UserId u) const {
+  return FacetStore::ShardOf(num_users_, u, user_dirty_.size());
+}
+
+size_t WriteTracker::ItemShardOf(ItemId v) const {
+  return FacetStore::ShardOf(num_items_, v, item_dirty_.size());
+}
+
+bool WriteTracker::UserShardDirty(size_t shard) const {
+  MARS_DCHECK(shard < user_dirty_.size());
+  return all_users_.load(std::memory_order_relaxed) != 0 ||
+         user_dirty_[shard].load(std::memory_order_relaxed) != 0;
+}
+
+bool WriteTracker::ItemShardDirty(size_t shard) const {
+  MARS_DCHECK(shard < item_dirty_.size());
+  return all_items_.load(std::memory_order_relaxed) != 0 ||
+         item_dirty_[shard].load(std::memory_order_relaxed) != 0;
+}
+
+bool WriteTracker::AnyDirty() const {
+  if (all_users_.load(std::memory_order_relaxed) != 0 ||
+      all_items_.load(std::memory_order_relaxed) != 0) {
+    return true;
+  }
+  for (const auto& f : user_dirty_) {
+    if (f.load(std::memory_order_relaxed) != 0) return true;
+  }
+  for (const auto& f : item_dirty_) {
+    if (f.load(std::memory_order_relaxed) != 0) return true;
+  }
+  return false;
+}
+
+void WriteTracker::Clear() {
+  for (auto& f : user_dirty_) f.store(0, std::memory_order_relaxed);
+  for (auto& f : item_dirty_) f.store(0, std::memory_order_relaxed);
+  all_users_.store(0, std::memory_order_relaxed);
+  all_items_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mars

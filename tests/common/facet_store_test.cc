@@ -138,6 +138,17 @@ TEST(ShardViewTest, ShardRangeTilesExactly) {
   EXPECT_EQ(FacetStore::ShardRange(5, 0, 1), (std::pair<size_t, size_t>{0, 5}));
 }
 
+TEST(ShardViewTest, ShardOfMatchesShardRangeBoundaries) {
+  const size_t n = 103, shards = 8;
+  for (size_t s = 0; s < shards; ++s) {
+    const auto [b, e] = FacetStore::ShardRange(n, s, shards);
+    if (b == e) continue;
+    EXPECT_EQ(FacetStore::ShardOf(n, b, shards), s);
+    EXPECT_EQ(FacetStore::ShardOf(n, e - 1, shards), s);
+  }
+  EXPECT_EQ(FacetStore::ShardOf(1, 0, 1), 0u);
+}
+
 TEST(ShardViewTest, ViewMapsGlobalEntityIds) {
   FacetStore store(10, 2, 4);
   for (size_t e = 0; e < 10; ++e) {

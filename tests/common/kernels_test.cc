@@ -182,6 +182,87 @@ TEST(KernelsTest, WeightedFacetDotMatchesLoop) {
   }
 }
 
+TEST(KernelsTest, NegatedSquaredDistanceBatchMatchesPerRow) {
+  const size_t n = 13, count = 9, stride = n + 2;
+  Rng rng(11);
+  const auto u = RandomVec(&rng, n);
+  const auto block = RandomBlock(&rng, count, stride, n);
+  std::vector<float> got(count);
+  NegatedSquaredDistanceBatch(u.data(), block.data(), count, stride, n,
+                              got.data());
+  for (size_t r = 0; r < count; ++r) {
+    EXPECT_NEAR(got[r],
+                -SquaredDistance(u.data(), block.data() + r * stride, n),
+                1e-4f);
+  }
+}
+
+TEST(KernelsTest, WeightedFacetDotBatchSweepsContiguousBlocks) {
+  // The MARS serving shape: one user entity block against a consecutive
+  // run of item entity blocks straight out of a FacetStore.
+  const size_t kf = 4, d = 17;
+  FacetStore users(2, kf, d), items(9, kf, d);
+  Rng rng(12);
+  for (size_t e = 0; e < users.num_entities(); ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        users.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  for (size_t e = 0; e < items.num_entities(); ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        items.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  const std::vector<float> w = {0.1f, 0.4f, 0.2f, 0.3f};
+  const size_t begin = 2, count = 6;
+  std::vector<float> got(count, -1.0f);
+  WeightedFacetDotBatch(users.EntityBlock(1), users.row_stride(),
+                        items.EntityBlock(begin), items.entity_stride(),
+                        items.row_stride(), w.data(), kf, count, d,
+                        got.data());
+  for (size_t r = 0; r < count; ++r) {
+    const float expect =
+        WeightedFacetDot(users.EntityBlock(1), users.row_stride(),
+                         items.EntityBlock(begin + r), items.row_stride(),
+                         w.data(), kf, d);
+    EXPECT_EQ(got[r], expect) << "candidate " << r;
+  }
+}
+
+TEST(KernelsTest, WeightedFacetSquaredDistanceBatchSweepsContiguousBlocks) {
+  const size_t kf = 3, d = 12;
+  FacetStore users(1, kf, d), items(7, kf, d);
+  Rng rng(13);
+  for (size_t k = 0; k < kf; ++k) {
+    for (size_t i = 0; i < d; ++i) {
+      users.Row(0, k)[i] = static_cast<float>(rng.Normal());
+    }
+  }
+  for (size_t e = 0; e < items.num_entities(); ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < d; ++i) {
+        items.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  const std::vector<float> w = {0.5f, 0.25f, 0.25f};
+  std::vector<float> got(items.num_entities());
+  WeightedFacetSquaredDistanceBatch(
+      users.EntityBlock(0), users.row_stride(), items.EntityBlock(0),
+      items.entity_stride(), items.row_stride(), w.data(), kf,
+      items.num_entities(), d, got.data());
+  for (size_t v = 0; v < items.num_entities(); ++v) {
+    const float expect = WeightedFacetSquaredDistance(
+        users.EntityBlock(0), users.row_stride(), items.EntityBlock(v),
+        items.row_stride(), w.data(), kf, d);
+    EXPECT_EQ(got[v], expect) << "candidate " << v;
+  }
+}
+
 TEST(KernelsTest, WeightedFacetSquaredDistanceMixedStrides) {
   // Dense K×d user buffer (stride d) against a padded FacetStore block.
   const size_t kf = 3, d = 12;

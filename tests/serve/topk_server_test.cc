@@ -1,0 +1,450 @@
+#include "serve/top_k_server.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/mar.h"
+#include "core/mars.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "models/bpr.h"
+#include "models/cml.h"
+#include "models/lrml.h"
+#include "models/metricf.h"
+#include "models/recommender.h"
+#include "models/sml.h"
+#include "models/transcf.h"
+#include "serve/write_tracker.h"
+
+namespace mars {
+namespace {
+
+/// Brute-force reference: ScoreItems over the whole catalog, ranked
+/// (score desc, id asc) — the ordering TopKServer pins.
+std::pair<std::vector<ItemId>, std::vector<float>> BruteForceTopK(
+    const ItemScorer& scorer, UserId u, size_t num_items, size_t k,
+    const ImplicitDataset* exclude = nullptr) {
+  std::vector<ItemId> ids;
+  for (ItemId v = 0; v < num_items; ++v) {
+    if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
+    ids.push_back(v);
+  }
+  std::vector<float> scores(ids.size());
+  scorer.ScoreItems(u, ids, scores.data());
+  std::vector<std::pair<float, ItemId>> ranked(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) ranked[i] = {scores[i], ids[i]};
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  ranked.resize(std::min(k, ranked.size()));
+  std::vector<ItemId> top;
+  std::vector<float> top_scores;
+  for (const auto& [s, v] : ranked) {
+    top.push_back(v);
+    top_scores.push_back(s);
+  }
+  return {top, top_scores};
+}
+
+/// Deterministic synthetic scorer for cache-logic tests; `bias` simulates
+/// a model whose weights moved.
+class ToyScorer : public ItemScorer {
+ public:
+  explicit ToyScorer(float bias = 0.0f) : bias_(bias) {}
+  float Score(UserId u, ItemId v) const override {
+    return bias_ + static_cast<float>((v * 37 + u * 11) % 101);
+  }
+
+ private:
+  float bias_;
+};
+
+std::shared_ptr<ImplicitDataset> SmallDataset(size_t users = 60,
+                                              size_t items = 150) {
+  SyntheticConfig cfg;
+  cfg.num_users = users;
+  cfg.num_items = items;
+  cfg.target_interactions = users * 12;
+  cfg.num_facets = 3;
+  cfg.seed = 7;
+  return GenerateSyntheticDataset(cfg);
+}
+
+TrainOptions QuickTrain() {
+  TrainOptions options;
+  options.epochs = 3;
+  options.learning_rate = 0.1;
+  options.seed = 42;
+  return options;
+}
+
+void ExpectServerMatchesBruteForce(Recommender* model,
+                                   const ImplicitDataset& data,
+                                   float score_tol = 0.0f) {
+  const size_t k = 7;
+  TopKServerOptions opts;
+  opts.k = k;
+  opts.sweep_shards = 5;  // force a multi-shard merge even without a pool
+  TopKServer server(model, data.num_users(), data.num_items(), opts);
+  for (UserId u = 0; u < 8; ++u) {
+    const auto [want_items, want_scores] =
+        BruteForceTopK(*model, u, data.num_items(), k);
+    const TopKResult got = server.TopK(u);
+    ASSERT_EQ(got.items.size(), want_items.size()) << model->name();
+    for (size_t i = 0; i < want_items.size(); ++i) {
+      EXPECT_EQ(got.items[i], want_items[i])
+          << model->name() << " user " << u << " rank " << i;
+      if (score_tol == 0.0f) {
+        EXPECT_EQ(got.scores[i], want_scores[i])
+            << model->name() << " user " << u << " rank " << i;
+      } else {
+        EXPECT_NEAR(got.scores[i], want_scores[i], score_tol)
+            << model->name() << " user " << u << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(TopKServerModelEquivalence, Mars) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 4;
+  cfg.theta_init_nmf = false;
+  Mars model(cfg);
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, MarsSingleFacetCosinePath) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 1;
+  cfg.theta_init_nmf = false;
+  Mars model(cfg);
+  model.Fit(*data, QuickTrain());
+  // The K=1 sweep ranks through CosineBatch: identical ordering on the
+  // unit sphere, scores equal up to the normalization round-trip.
+  ExpectServerMatchesBruteForce(&model, *data, /*score_tol=*/1e-4f);
+}
+
+TEST(TopKServerModelEquivalence, MarFree) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 3;
+  cfg.theta_init_nmf = false;
+  Mar model(cfg, FacetParam::kFree);
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, MarProjected) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 3;
+  cfg.theta_init_nmf = false;
+  Mar model(cfg, FacetParam::kProjected);
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, Bpr) {
+  const auto data = SmallDataset();
+  Bpr model(BprConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, Cml) {
+  const auto data = SmallDataset();
+  Cml model(CmlConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, Sml) {
+  const auto data = SmallDataset();
+  Sml model(SmlConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, MetricF) {
+  const auto data = SmallDataset();
+  MetricF model(MetricFConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, TransCf) {
+  const auto data = SmallDataset();
+  TransCf model(TransCfConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerModelEquivalence, Lrml) {
+  const auto data = SmallDataset();
+  Lrml model(LrmlConfig{.dim = 16, .memory_slots = 4});
+  model.Fit(*data, QuickTrain());
+  ExpectServerMatchesBruteForce(&model, *data);
+}
+
+TEST(TopKServerTest, ParallelSweepMatchesSerial) {
+  const auto data = SmallDataset();
+  Bpr model(BprConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+
+  ThreadPool pool(3);
+  TopKServerOptions par;
+  par.k = 9;
+  par.pool = &pool;
+  par.sweep_shards = 6;
+  TopKServer parallel_server(&model, data->num_users(), data->num_items(),
+                             par);
+  TopKServerOptions ser;
+  ser.k = 9;
+  TopKServer serial_server(&model, data->num_users(), data->num_items(), ser);
+
+  for (UserId u = 0; u < 10; ++u) {
+    const TopKResult a = parallel_server.TopK(u);
+    const TopKResult b = serial_server.TopK(u);
+    EXPECT_EQ(a.items, b.items) << "user " << u;
+    EXPECT_EQ(a.scores, b.scores) << "user " << u;
+  }
+}
+
+TEST(TopKServerTest, NonThreadSafeModelIsSweptSeriallyAndCorrectly) {
+  // A pool is configured but the scorer declares thread_safe() == false
+  // (internal scratch): the sweep must fall back to serial — same guard
+  // the evaluator applies — and still produce the pinned ranking.
+  class ScratchScorer : public ToyScorer {
+   public:
+    bool thread_safe() const override { return false; }
+  };
+  ScratchScorer scorer;
+  ThreadPool pool(3);
+  TopKServerOptions opts;
+  opts.k = 6;
+  opts.pool = &pool;
+  opts.sweep_shards = 4;
+  TopKServer server(&scorer, 10, 40, opts);
+  const auto [want_items, want_scores] = BruteForceTopK(scorer, 1, 40, 6);
+  const TopKResult got = server.TopK(1);
+  EXPECT_EQ(got.items, want_items);
+  EXPECT_EQ(got.scores, want_scores);
+}
+
+TEST(TopKServerTest, KLargerThanCatalogReturnsWholeCatalogRanked) {
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 50;
+  opts.sweep_shards = 4;
+  TopKServer server(&scorer, /*num_users=*/10, /*num_items=*/5, opts);
+  const TopKResult result = server.TopK(3);
+  ASSERT_EQ(result.items.size(), 5u);
+  const auto [want_items, want_scores] = BruteForceTopK(scorer, 3, 5, 50);
+  EXPECT_EQ(result.items, want_items);
+  EXPECT_EQ(result.scores, want_scores);
+}
+
+TEST(TopKServerTest, TiesBreakTowardSmallerItemId) {
+  class ConstantScorer : public ItemScorer {
+   public:
+    float Score(UserId, ItemId) const override { return 1.0f; }
+  };
+  ConstantScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 4;
+  opts.sweep_shards = 3;
+  TopKServer server(&scorer, 2, 20, opts);
+  const TopKResult result = server.TopK(0);
+  EXPECT_EQ(result.items, (std::vector<ItemId>{0, 1, 2, 3}));
+}
+
+TEST(TopKServerTest, ExcludesInteractedItemsAndServesZeroInteractionUsers) {
+  // User 0 interacted with items {1, 3}; user 2 never interacted at all.
+  std::vector<Interaction> log = {
+      {0, 1, 0}, {0, 3, 1}, {1, 0, 0}, {1, 4, 1}};
+  ImplicitDataset data(/*num_users=*/3, /*num_items=*/6, std::move(log));
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 6;
+  opts.exclude_interactions = &data;
+  TopKServer server(&scorer, data.num_users(), data.num_items(), opts);
+
+  const TopKResult seen = server.TopK(0);
+  ASSERT_EQ(seen.items.size(), 4u);  // 6 items minus the 2 interacted
+  for (ItemId v : seen.items) {
+    EXPECT_FALSE(data.HasInteraction(0, v));
+  }
+  const auto [want, _] =
+      BruteForceTopK(scorer, 0, data.num_items(), 6, &data);
+  EXPECT_EQ(seen.items, want);
+
+  // A user with zero interactions is served the full catalog.
+  const TopKResult cold = server.TopK(2);
+  EXPECT_EQ(cold.items.size(), 6u);
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_TRUE(server.TopK(2).from_cache);
+}
+
+TEST(TopKServerTest, CachesAndCountsHits) {
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 3;
+  TopKServer server(&scorer, 20, 30, opts);
+  EXPECT_FALSE(server.TopK(5).from_cache);
+  EXPECT_TRUE(server.TopK(5).from_cache);
+  EXPECT_TRUE(server.TopK(5).from_cache);
+  const TopKServerStats stats = server.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.cached_users, 1u);
+}
+
+TEST(TopKServerTest, LruEvictionBoundsTheCache) {
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 3;
+  opts.max_cached_users = 2;
+  TopKServer server(&scorer, 20, 30, opts);
+  server.TopK(0);
+  server.TopK(1);
+  server.TopK(2);  // evicts user 0 (least recently used)
+  EXPECT_EQ(server.stats().evictions, 1u);
+  EXPECT_EQ(server.stats().cached_users, 2u);
+  EXPECT_TRUE(server.TopK(2).from_cache);
+  EXPECT_TRUE(server.TopK(1).from_cache);
+  EXPECT_FALSE(server.TopK(0).from_cache);  // was evicted
+}
+
+TEST(TopKServerTest, ZeroCapacityDisablesCaching) {
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 3;
+  opts.max_cached_users = 0;
+  TopKServer server(&scorer, 20, 30, opts);
+  EXPECT_FALSE(server.TopK(5).from_cache);
+  EXPECT_FALSE(server.TopK(5).from_cache);
+  EXPECT_EQ(server.stats().cached_users, 0u);
+}
+
+TEST(TopKServerInvalidation, UserShardInvalidatesOnlyItsUsers) {
+  ToyScorer scorer;
+  const size_t users = 64;
+  WriteTracker tracker(users, 30, /*num_shards=*/8);
+  TopKServerOptions opts;
+  opts.k = 3;
+  TopKServer server(&scorer, users, 30, opts);
+
+  const UserId a = 0, b = 63;  // first and last shard
+  ASSERT_NE(tracker.UserShardOf(a), tracker.UserShardOf(b));
+  server.TopK(a);
+  server.TopK(b);
+
+  tracker.MarkUser(a);
+  server.AbsorbWrites(&tracker);
+  EXPECT_EQ(server.stats().invalidated, 1u);
+  EXPECT_FALSE(server.TopK(a).from_cache);  // dropped
+  EXPECT_TRUE(server.TopK(b).from_cache);   // untouched shard survives
+
+  // AbsorbWrites consumed the flags.
+  EXPECT_FALSE(tracker.AnyDirty());
+}
+
+TEST(TopKServerInvalidation, DirtyItemShardInvalidatesEveryEntry) {
+  // Cached heaps rank the full catalog, so dirtying a single item shard —
+  // with *no* user row touched — must drop every cached entry.
+  ToyScorer scorer;
+  WriteTracker tracker(64, 30, /*num_shards=*/8);
+  TopKServerOptions opts;
+  opts.k = 3;
+  TopKServer server(&scorer, 64, 30, opts);
+  server.TopK(0);
+  server.TopK(63);
+
+  tracker.MarkItem(17);
+  server.AbsorbWrites(&tracker);
+  EXPECT_EQ(server.stats().invalidated, 2u);
+  EXPECT_FALSE(server.TopK(0).from_cache);
+  EXPECT_FALSE(server.TopK(63).from_cache);
+}
+
+TEST(TopKServerInvalidation, CleanTrackerInvalidatesNothing) {
+  ToyScorer scorer;
+  WriteTracker tracker(64, 30, 8);
+  TopKServerOptions opts;
+  opts.k = 3;
+  TopKServer server(&scorer, 64, 30, opts);
+  server.TopK(7);
+  server.AbsorbWrites(&tracker);
+  EXPECT_EQ(server.stats().invalidated, 0u);
+  EXPECT_TRUE(server.TopK(7).from_cache);
+}
+
+TEST(TopKServerInvalidation, SnapshotVsLiveDivergenceAfterTrainingEpoch) {
+  // The serving contract: the server ranks a quiesced snapshot, so after a
+  // training epoch the live model diverges until AbsorbWrites+ReplaceModel
+  // swap in the fresh snapshot. Simulated with two fits that differ by one
+  // epoch (the second reports its writes through the real tracker hook).
+  const auto data = SmallDataset(40, 80);
+  Bpr before(BprConfig{.dim = 8});
+  TrainOptions one_epoch = QuickTrain();
+  one_epoch.epochs = 1;
+  before.Fit(*data, one_epoch);
+
+  WriteTracker tracker(data->num_users(), data->num_items());
+  Bpr after(BprConfig{.dim = 8});
+  TrainOptions two_epochs = QuickTrain();
+  two_epochs.epochs = 2;
+  two_epochs.write_tracker = &tracker;  // dirty-shard reporting from steps
+  after.Fit(*data, two_epochs);
+  EXPECT_TRUE(tracker.AnyDirty());
+
+  TopKServerOptions opts;
+  opts.k = 10;
+  TopKServer server(&before, data->num_users(), data->num_items(), opts);
+  const UserId u = 3;
+  const TopKResult stale = server.TopK(u);
+
+  // Live model moved, server not refreshed: still the old snapshot's view.
+  const TopKResult still_stale = server.TopK(u);
+  EXPECT_TRUE(still_stale.from_cache);
+  EXPECT_EQ(still_stale.scores, stale.scores);
+  const auto [live_items, live_scores] =
+      BruteForceTopK(after, u, data->num_items(), 10);
+  EXPECT_NE(stale.scores, live_scores);  // genuine divergence
+
+  // Refresh: absorb the epoch's writes and swap to the new snapshot.
+  server.AbsorbWrites(&tracker);
+  server.ReplaceModel(&after);
+  const TopKResult fresh = server.TopK(u);
+  EXPECT_FALSE(fresh.from_cache);
+  EXPECT_EQ(fresh.items, live_items);
+  EXPECT_EQ(fresh.scores, live_scores);
+}
+
+TEST(TopKServerInvalidation, InvalidateAllDropsEverything) {
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 3;
+  TopKServer server(&scorer, 20, 30, opts);
+  server.TopK(1);
+  server.TopK(2);
+  server.InvalidateAll();
+  EXPECT_EQ(server.stats().invalidated, 2u);
+  EXPECT_EQ(server.stats().cached_users, 0u);
+  EXPECT_FALSE(server.TopK(1).from_cache);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,109 @@
+#include "serve/write_tracker.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/facet_store.h"
+
+namespace mars {
+namespace {
+
+TEST(WriteTrackerTest, ShardOfInvertsShardRange) {
+  for (const size_t n : {1ul, 5ul, 64ul, 100ul, 129ul}) {
+    for (const size_t shards : {1ul, 3ul, 7ul, 64ul}) {
+      for (size_t s = 0; s < shards; ++s) {
+        const auto [b, e] = FacetStore::ShardRange(n, s, shards);
+        for (size_t x = b; x < e; ++x) {
+          EXPECT_EQ(FacetStore::ShardOf(n, x, shards), s)
+              << "n=" << n << " shards=" << shards << " entity=" << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(WriteTrackerTest, StartsClean) {
+  WriteTracker tracker(100, 200, 8);
+  EXPECT_FALSE(tracker.AnyDirty());
+  for (size_t s = 0; s < tracker.num_user_shards(); ++s) {
+    EXPECT_FALSE(tracker.UserShardDirty(s));
+  }
+  for (size_t s = 0; s < tracker.num_item_shards(); ++s) {
+    EXPECT_FALSE(tracker.ItemShardDirty(s));
+  }
+}
+
+TEST(WriteTrackerTest, MarksOnlyTheOwningShard) {
+  WriteTracker tracker(100, 200, 8);
+  tracker.MarkUser(42);
+  tracker.MarkItem(7);
+  EXPECT_TRUE(tracker.AnyDirty());
+  for (size_t s = 0; s < tracker.num_user_shards(); ++s) {
+    EXPECT_EQ(tracker.UserShardDirty(s), s == tracker.UserShardOf(42));
+  }
+  for (size_t s = 0; s < tracker.num_item_shards(); ++s) {
+    EXPECT_EQ(tracker.ItemShardDirty(s), s == tracker.ItemShardOf(7));
+  }
+}
+
+TEST(WriteTrackerTest, MarkAllDirtiesEveryShard) {
+  WriteTracker tracker(100, 200, 8);
+  tracker.MarkAllItems();
+  EXPECT_TRUE(tracker.AnyDirty());
+  for (size_t s = 0; s < tracker.num_item_shards(); ++s) {
+    EXPECT_TRUE(tracker.ItemShardDirty(s));
+  }
+  for (size_t s = 0; s < tracker.num_user_shards(); ++s) {
+    EXPECT_FALSE(tracker.UserShardDirty(s));
+  }
+  tracker.MarkAllUsers();
+  for (size_t s = 0; s < tracker.num_user_shards(); ++s) {
+    EXPECT_TRUE(tracker.UserShardDirty(s));
+  }
+}
+
+TEST(WriteTrackerTest, ClearResetsEverything) {
+  WriteTracker tracker(100, 200, 8);
+  tracker.MarkUser(1);
+  tracker.MarkItem(199);
+  tracker.MarkAllUsers();
+  tracker.MarkAllItems();
+  tracker.Clear();
+  EXPECT_FALSE(tracker.AnyDirty());
+}
+
+TEST(WriteTrackerTest, ShardCountClampedToEntityCount) {
+  // More shards than entities: one entity per shard, no empty shard to
+  // mis-map a mark into.
+  WriteTracker tracker(3, 2, 64);
+  EXPECT_EQ(tracker.num_user_shards(), 3u);
+  EXPECT_EQ(tracker.num_item_shards(), 2u);
+  tracker.MarkUser(2);
+  EXPECT_TRUE(tracker.UserShardDirty(2));
+}
+
+TEST(WriteTrackerTest, ConcurrentMarkingIsSafe) {
+  // Hogwild contract: Mark* may race freely. Run under TSAN via
+  // scripts/ci.sh --san.
+  WriteTracker tracker(1000, 1000, 16);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&tracker, w] {
+      for (int i = 0; i < 5000; ++i) {
+        tracker.MarkUser((w * 131 + i * 7) % 1000);
+        tracker.MarkItem((w * 17 + i * 13) % 1000);
+        if (i % 1000 == 0) tracker.MarkAllItems();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(tracker.AnyDirty());
+  for (size_t s = 0; s < tracker.num_item_shards(); ++s) {
+    EXPECT_TRUE(tracker.ItemShardDirty(s));
+  }
+}
+
+}  // namespace
+}  // namespace mars
