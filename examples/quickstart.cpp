@@ -7,15 +7,20 @@
 //   3. configure and Fit a Mars model,
 //   4. evaluate with the sampled-candidate protocol,
 //   5. serve top-10 recommendations for one user through the TopKServer
-//      (full-catalog batched sweep + per-user cache).
+//      (full-catalog batched sweep + per-user cache),
+//   6. persist the model as a format-v3 snapshot plus a top-k sidecar,
+//      mmap it back zero-copy, and serve from the mapping — the restart /
+//      model-swap path (docs/FORMAT.md).
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/mars.h"
+#include "core/persistence.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "serve/top_k_server.h"
+#include "serve/top_k_sidecar.h"
 
 int main(int argc, char** argv) {
   using namespace mars;
@@ -91,6 +96,40 @@ int main(int argc, char** argv) {
               again.from_cache ? "yes" : "no",
               static_cast<unsigned long long>(server.stats().hits),
               static_cast<unsigned long long>(server.stats().misses));
+
+  // 6. Persistence: save an aligned-stride v3 snapshot + top-k sidecar,
+  //    then restart serving by mmap'ing the snapshot (zero copy — the
+  //    facet tensors are read straight from the page cache) and warming
+  //    the new server's cache from the sidecar.
+  const char* model_path = "quickstart_model.v3";
+  const char* sidecar_path = "quickstart_topk.sidecar";
+  const bool persisted = SaveMarsV3(model, model_path) &&
+                         SaveTopKSidecar(server, sidecar_path);
+  // The mapping keeps serving after the unlink, so the files can be
+  // consumed-and-removed immediately — no stray files on any exit path.
+  const auto mapped = persisted ? LoadMarsMapped(model_path) : nullptr;
+  std::remove(model_path);
+  if (mapped == nullptr) {
+    std::remove(sidecar_path);
+    std::fprintf(stderr, "failed to persist or mmap the v3 snapshot\n");
+    return 1;
+  }
+  TopKServer restarted(mapped.get(), dataset->num_users(),
+                       dataset->num_items(), serve_opts);
+  const size_t warmed = WarmFromSidecar(&restarted, sidecar_path);
+  std::remove(sidecar_path);
+  const TopKResult after_restart = restarted.TopK(user);
+  std::printf(
+      "mmap-served top-10 after restart (%zu cache entries warmed, "
+      "first query %s cache): ",
+      warmed, after_restart.from_cache ? "from" : "missed");
+  bool identical = after_restart.items.size() == recs.items.size();
+  for (size_t i = 0; identical && i < recs.items.size(); ++i) {
+    identical = after_restart.items[i] == recs.items[i];
+  }
+  std::printf("%s\n", identical ? "identical to pre-restart ranking"
+                                : "MISMATCH vs pre-restart ranking");
+  if (!identical || !after_restart.from_cache) return 1;
 
   // Bonus: the user's learned facet mixture.
   std::printf("facet weights of user %u:", user);

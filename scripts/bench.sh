@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds (Release) and runs the perf benches, writing machine-readable
-# results to BENCH_train.json / BENCH_serve.json at the repo root so future
-# PRs can diff perf against these baselines (compared by
-# scripts/check_bench.py, wired into scripts/ci.sh --bench).
+# results to BENCH_train.json / BENCH_serve.json / BENCH_load.json at the
+# repo root so future PRs can diff perf against these baselines (compared
+# by scripts/check_bench.py, wired into scripts/ci.sh --bench).
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build)
 #        MARS_BENCH_FAST=1 scripts/bench.sh   # shrunken smoke variant
@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_train bench_serve
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_train bench_serve bench_load
 
 "$BUILD_DIR"/bench_train BENCH_train.json
 echo
@@ -23,3 +23,8 @@ cat BENCH_train.json
 echo
 echo "== BENCH_serve.json =="
 cat BENCH_serve.json
+
+"$BUILD_DIR"/bench_load BENCH_load.json
+echo
+echo "== BENCH_load.json =="
+cat BENCH_load.json

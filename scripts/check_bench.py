@@ -111,9 +111,38 @@ def check_serve(base, fresh, threshold):
                 ok(f"serve cached_speedup @{m} items: {speedup:.1f}x >= 5x")
 
 
+def check_load(base, fresh, threshold):
+    base_by_m = {r["num_items"]: r for r in base["results"]}
+    fresh_by_m = {r["num_items"]: r for r in fresh["results"]}
+    shared = sorted(set(base_by_m) & set(fresh_by_m))
+    if not shared:
+        fail("mmap_load: no shared catalog sizes between baseline and fresh")
+        return
+    for m in shared:
+        check_slower(f"load v2_total_ms @{m} items",
+                     base_by_m[m]["v2_total_ms"],
+                     fresh_by_m[m]["v2_total_ms"], threshold)
+        check_slower(f"load v3_cold_total_ms @{m} items",
+                     base_by_m[m]["v3_cold_total_ms"],
+                     fresh_by_m[m]["v3_cold_total_ms"], threshold)
+        check_slower(f"load v3_warm_total_ms @{m} items",
+                     base_by_m[m]["v3_warm_total_ms"],
+                     fresh_by_m[m]["v3_warm_total_ms"], threshold)
+        # Roadmap acceptance invariant, not a diff: the v3 restart lifecycle
+        # (mmap + sidecar warm + first query) must reach its first served
+        # query >= 5x faster than v2 copy-load at >= 10k items.
+        if m >= 10000:
+            speedup = fresh_by_m[m]["speedup_warm"]
+            if speedup < 5.0:
+                fail(f"load speedup_warm @{m} items: {speedup:.1f}x < 5x")
+            else:
+                ok(f"load speedup_warm @{m} items: {speedup:.1f}x >= 5x")
+
+
 CHECKERS = {
     "mars_epoch_threads": check_train,
     "topk_serve": check_serve,
+    "mmap_load": check_load,
 }
 
 

@@ -10,8 +10,8 @@
 #
 # Modes:
 #   (none)    configure + build + ctest + quickstart smokes
-#   --bench   additionally run bench_train/bench_serve and gate fresh
-#             timings against the committed BENCH_*.json via
+#   --bench   additionally run bench_train/bench_serve/bench_load and gate
+#             fresh timings against the committed BENCH_*.json via
 #             scripts/check_bench.py (>25% single-thread regression fails)
 #   --san     sanitizer build only: compile with -DMARS_SANITIZE=... and run
 #             the concurrency-sensitive tests (ShardView concurrent-writer
@@ -75,6 +75,12 @@ if [ -n "$SANITIZER" ]; then
   # and the serving cache (trackers are marked from concurrent workers).
   FILTER='ShardViewTest.*:ParallelTrainerTest.*:SnapshotFacetStoreTest.*'
   FILTER="$FILTER:WriteTrackerTest.*:TopKServer*"
+  if [ "$SANITIZER" = address ]; then
+    # mmap'd serving is a classic lifetime-bug nest (views into unmapped
+    # pages, keepalive ordering): run the persistence/mapped-store/sidecar
+    # suites under ASAN as well.
+    FILTER="$FILTER:PersistenceFixture.*:MappedStoreFixture.*:SidecarFixture.*"
+  fi
   echo "== $SANITIZER-sanitized tests ($FILTER) =="
   if [ "$SANITIZER" = thread ]; then
     TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp history_size=7 halt_on_error=0 exitcode=66" \
@@ -141,9 +147,11 @@ if [ "$RUN_BENCH" = 1 ]; then
   echo "== bench regression gate (fresh run vs committed BENCH_*.json) =="
   "$BUILD_DIR"/bench_train "$BUILD_DIR/fresh_train.json"
   "$BUILD_DIR"/bench_serve "$BUILD_DIR/fresh_serve.json"
+  "$BUILD_DIR"/bench_load "$BUILD_DIR/fresh_load.json"
   python3 scripts/check_bench.py \
     BENCH_train.json "$BUILD_DIR/fresh_train.json" \
-    BENCH_serve.json "$BUILD_DIR/fresh_serve.json"
+    BENCH_serve.json "$BUILD_DIR/fresh_serve.json" \
+    BENCH_load.json "$BUILD_DIR/fresh_load.json"
 fi
 
 echo "CI OK"

@@ -1,0 +1,47 @@
+// Little-endian binary stream helpers shared by the persistence layers
+// (core/persistence.cc model snapshots, serve/top_k_sidecar.cc cache
+// sidecars). The on-disk formats (docs/FORMAT.md) are defined as
+// little-endian; these write the host representation directly, which is
+// correct on every platform this library targets — if a big-endian port
+// ever lands, the byte swap belongs here and nowhere else.
+#ifndef MARS_COMMON_BINARY_IO_H_
+#define MARS_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace mars {
+
+inline void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void WriteFloats(std::ostream& out, const float* data, size_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+inline bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+inline bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+inline bool ReadFloats(std::istream& in, float* data, size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return in.good();
+}
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_BINARY_IO_H_

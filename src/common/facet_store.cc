@@ -1,6 +1,7 @@
 #include "common/facet_store.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 
 namespace mars {
@@ -9,9 +10,27 @@ FacetStore::FacetStore(size_t num_entities, size_t num_facets, size_t dim)
     : num_entities_(num_entities), num_facets_(num_facets), dim_(dim) {
   MARS_CHECK(num_facets >= 1);
   MARS_CHECK(dim >= 1);
-  constexpr size_t kAlignFloats = kRowAlignBytes / sizeof(float);
-  row_stride_ = (dim + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  row_stride_ = RowStrideFor(dim);
   data_.assign(num_entities * num_facets * row_stride_, 0.0f);
+}
+
+FacetStore FacetStore::BorrowConst(const float* base, size_t num_entities,
+                                   size_t num_facets, size_t dim,
+                                   size_t row_stride) {
+  MARS_CHECK(base != nullptr);
+  MARS_CHECK(num_facets >= 1);
+  MARS_CHECK(dim >= 1);
+  MARS_CHECK(row_stride >= dim);
+  MARS_CHECK(row_stride * sizeof(float) % kRowAlignBytes == 0);
+  MARS_CHECK(reinterpret_cast<uintptr_t>(base) % kRowAlignBytes == 0);
+  FacetStore store;
+  store.num_entities_ = num_entities;
+  store.num_facets_ = num_facets;
+  store.dim_ = dim;
+  store.row_stride_ = row_stride;
+  store.borrowed_base_ = base;
+  store.borrowed_ = true;
+  return store;
 }
 
 void FacetStore::CopyEntityTo(size_t e, float* out) const {
@@ -25,6 +44,7 @@ void FacetStore::CopyEntityTo(size_t e, float* out) const {
 }
 
 void FacetStore::Fill(float value) {
+  MARS_CHECK(!borrowed_);
   std::fill(data_.begin(), data_.end(), value);
 }
 

@@ -52,10 +52,30 @@ struct AlignedAllocator {
 };
 
 /// Contiguous [entity][facet][dim] store with cache-line-aligned rows.
+///
+/// Two storage modes share the same read surface:
+///   - *owned* (the default): the store allocates and may be written —
+///     training, snapshots, and copy-loads use this;
+///   - *borrowed* (BorrowConst): the store is a read-only view over
+///     external memory with exactly this layout — e.g. the payload region
+///     of an mmap'd format-v3 snapshot (common/mapped_store.h). Borrowed
+///     stores never own or free the bytes; the caller keeps the backing
+///     mapping alive. Mutable accessors on a borrowed store are a
+///     programming error and abort (MARS_CHECK — the external bytes are
+///     never writable through this class). Copies of a borrowed store are
+///     further borrowed views of the same memory.
 class FacetStore {
  public:
   /// Rows are padded to this many bytes.
   static constexpr size_t kRowAlignBytes = 64;
+
+  /// Row stride (in floats) an owned store uses for dimension `dim`: the
+  /// smallest kRowAlignBytes multiple holding `dim` floats. Exposed so the
+  /// persistence layer can write/validate the exact in-memory stride.
+  static size_t RowStrideFor(size_t dim) {
+    constexpr size_t kAlignFloats = kRowAlignBytes / sizeof(float);
+    return (dim + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  }
 
   /// Mutable view of the contiguous entity range [entity_begin, entity_end).
   ///
@@ -112,13 +132,81 @@ class FacetStore {
     size_t end_;
   };
 
+  /// Read-only view of the contiguous entity range [entity_begin,
+  /// entity_end) — the const counterpart of ShardView, with the same
+  /// alignment guarantees. This is the shard surface a borrowed
+  /// (mmap-backed) store exposes: sweeps partition it exactly like an
+  /// owned store, but nothing can write through it. Today's serving sweep
+  /// goes through ScoreItemRange and only needs ShardRange, so the
+  /// current consumers are MappedFacetStore::ConstShard and the
+  /// owned/mapped parity tests; shard-level readers (e.g. a future
+  /// row-partitioned rescorer over mapped snapshots) should take this
+  /// view rather than grow a writable one.
+  class ConstShardView {
+   public:
+    ConstShardView(const FacetStore* store, size_t entity_begin,
+                   size_t entity_end)
+        : store_(store), begin_(entity_begin), end_(entity_end) {
+      MARS_DCHECK(store != nullptr);
+      MARS_DCHECK(entity_begin <= entity_end);
+      MARS_DCHECK(entity_end <= store->num_entities());
+    }
+
+    size_t entity_begin() const { return begin_; }
+    size_t entity_end() const { return end_; }
+    size_t num_entities() const { return end_ - begin_; }
+    bool empty() const { return begin_ == end_; }
+    const FacetStore& store() const { return *store_; }
+
+    /// True when the view covers global entity id `e`.
+    bool Contains(size_t e) const { return e >= begin_ && e < end_; }
+
+    /// Facet row `k` of *global* entity id `e`; must be inside the shard.
+    const float* Row(size_t e, size_t k) const {
+      MARS_DCHECK(Contains(e));
+      return store_->Row(e, k);
+    }
+    /// Entity block of *global* entity id `e`; must be inside the shard.
+    const float* EntityBlock(size_t e) const {
+      MARS_DCHECK(Contains(e));
+      return store_->EntityBlock(e);
+    }
+
+    /// Base pointer of the shard (64-byte aligned; empty shards → nullptr).
+    const float* data() const {
+      return empty() ? nullptr : store_->EntityBlock(begin_);
+    }
+    /// Total floats covered, padding included.
+    size_t size_floats() const {
+      return num_entities() * store_->entity_stride();
+    }
+
+   private:
+    const FacetStore* store_;
+    size_t begin_;
+    size_t end_;
+  };
+
   FacetStore() = default;
   FacetStore(size_t num_entities, size_t num_facets, size_t dim);
+
+  /// Borrowed read-only store over `base`, which must hold
+  /// `num_entities * num_facets * row_stride` floats laid out exactly like
+  /// an owned store ([entity][facet][dim] with `row_stride`-float rows).
+  /// Requirements (checked): `base` is kRowAlignBytes-aligned, `row_stride`
+  /// is a whole multiple of kRowAlignBytes and >= dim. The caller owns the
+  /// lifetime of `base` (e.g. via MappedFacetStore).
+  static FacetStore BorrowConst(const float* base, size_t num_entities,
+                                size_t num_facets, size_t dim,
+                                size_t row_stride);
 
   size_t num_entities() const { return num_entities_; }
   size_t num_facets() const { return num_facets_; }
   size_t dim() const { return dim_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return num_entities_ == 0; }
+
+  /// True for a BorrowConst store (read-only, externally owned memory).
+  bool borrowed() const { return borrowed_; }
 
   /// Floats between consecutive facet rows (>= dim, 16-float multiple).
   size_t row_stride() const { return row_stride_; }
@@ -126,23 +214,27 @@ class FacetStore {
   size_t entity_stride() const { return num_facets_ * row_stride_; }
 
   /// Facet row `k` of entity `e` (dim valid floats, padding after).
+  /// Mutable accessors require an owned store (always checked: on a
+  /// borrowed store they would not point into the external bytes at all).
   float* Row(size_t e, size_t k) {
+    MARS_CHECK(!borrowed_);
     MARS_DCHECK(e < num_entities_ && k < num_facets_);
     return data_.data() + e * entity_stride() + k * row_stride_;
   }
   const float* Row(size_t e, size_t k) const {
     MARS_DCHECK(e < num_entities_ && k < num_facets_);
-    return data_.data() + e * entity_stride() + k * row_stride_;
+    return cdata() + e * entity_stride() + k * row_stride_;
   }
 
   /// All K facet rows of entity `e` as one contiguous (padded) block.
   float* EntityBlock(size_t e) {
+    MARS_CHECK(!borrowed_);
     MARS_DCHECK(e < num_entities_);
     return data_.data() + e * entity_stride();
   }
   const float* EntityBlock(size_t e) const {
     MARS_DCHECK(e < num_entities_);
-    return data_.data() + e * entity_stride();
+    return cdata() + e * entity_stride();
   }
 
   /// Copies entity `e` into a dense K×dim buffer (padding stripped).
@@ -166,16 +258,33 @@ class FacetStore {
 
   /// Mutable view of shard `shard` of `num_shards` (see ShardRange).
   ShardView Shard(size_t shard, size_t num_shards) {
+    MARS_CHECK(!borrowed_);
     const auto [b, e] = ShardRange(num_entities_, shard, num_shards);
     return ShardView(this, b, e);
   }
 
+  /// Read-only view of shard `shard` of `num_shards` (see ShardRange);
+  /// works on owned and borrowed stores alike.
+  ConstShardView ConstShard(size_t shard, size_t num_shards) const {
+    const auto [b, e] = ShardRange(num_entities_, shard, num_shards);
+    return ConstShardView(this, b, e);
+  }
+
  private:
+  /// Read-side base pointer: the allocation when owned, the external
+  /// buffer when borrowed.
+  const float* cdata() const {
+    return borrowed_ ? borrowed_base_ : data_.data();
+  }
+
   size_t num_entities_ = 0;
   size_t num_facets_ = 0;
   size_t dim_ = 0;
   size_t row_stride_ = 0;
   std::vector<float, AlignedAllocator<float, kRowAlignBytes>> data_;
+  // BorrowConst mode: external read-only base, not owned.
+  const float* borrowed_base_ = nullptr;
+  bool borrowed_ = false;
 };
 
 }  // namespace mars

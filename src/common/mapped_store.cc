@@ -1,0 +1,94 @@
+#include "common/mapped_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mars {
+
+std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    MARS_LOG(ERROR) << "MappedFile: cannot open " << path << ": "
+                    << std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    MARS_LOG(ERROR) << "MappedFile: cannot stat " << path << ": "
+                    << std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      MARS_LOG(ERROR) << "MappedFile: mmap of " << path << " failed: "
+                      << std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+    data = static_cast<const uint8_t*>(mapping);
+  }
+  // The mapping outlives the descriptor (POSIX keeps the pages referenced),
+  // so close now instead of carrying the fd around.
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size, path));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+std::unique_ptr<MappedFacetStore> MappedFacetStore::Create(
+    std::shared_ptr<MappedFile> file, size_t byte_offset, size_t num_entities,
+    size_t num_facets, size_t dim, size_t row_stride) {
+  if (file == nullptr) {
+    MARS_LOG(ERROR) << "MappedFacetStore: null file";
+    return nullptr;
+  }
+  if (byte_offset % FacetStore::kRowAlignBytes != 0) {
+    MARS_LOG(ERROR) << "MappedFacetStore: offset " << byte_offset << " in "
+                    << file->path() << " is not "
+                    << FacetStore::kRowAlignBytes << "-byte aligned";
+    return nullptr;
+  }
+  if (num_facets == 0 || dim == 0 ||
+      row_stride != FacetStore::RowStrideFor(dim)) {
+    MARS_LOG(ERROR) << "MappedFacetStore: stride " << row_stride
+                    << " does not match the aligned stride "
+                    << FacetStore::RowStrideFor(dim) << " for dim " << dim
+                    << " in " << file->path();
+    return nullptr;
+  }
+  // Overflow-safe bounds check against the mapped size.
+  const size_t max_floats = (file->size() - std::min(file->size(),
+                                                     byte_offset)) /
+                            sizeof(float);
+  const size_t per_entity = num_facets * row_stride;
+  if (per_entity != 0 && num_entities > max_floats / per_entity) {
+    MARS_LOG(ERROR) << "MappedFacetStore: region [" << byte_offset << ", +"
+                    << num_entities << "x" << per_entity << " floats) "
+                    << "overruns " << file->path() << " (" << file->size()
+                    << " bytes) — truncated payload?";
+    return nullptr;
+  }
+  const float* base =
+      reinterpret_cast<const float*>(file->data() + byte_offset);
+  FacetStore store = FacetStore::BorrowConst(base, num_entities, num_facets,
+                                             dim, row_stride);
+  return std::unique_ptr<MappedFacetStore>(
+      new MappedFacetStore(std::move(file), std::move(store)));
+}
+
+}  // namespace mars

@@ -1,0 +1,104 @@
+// Zero-copy, read-only FacetStore views over mmap'd snapshot files.
+//
+// A format-v3 snapshot (docs/FORMAT.md, core/persistence.h) writes its
+// facet tensors with the *exact* in-memory FacetStore layout: rows padded
+// to the 64-byte-aligned stride, each tensor starting on a 64-byte file
+// offset. Because mmap returns page-aligned (≥ 4096-byte) addresses, a
+// 64-byte file offset is a 64-byte memory address, so the payload region of
+// a mapped v3 file *is* a valid FacetStore buffer — serving a persisted
+// model becomes an mmap + pointer fix-up instead of a deserialize-and-copy.
+//
+// MappedFile owns the mapping (RAII over open + mmap(PROT_READ) + munmap);
+// MappedFacetStore pins a MappedFile and exposes one tensor region of it
+// through the ordinary FacetStore read surface (Row/EntityBlock/
+// ConstShardView/ShardRange), validated for alignment, stride, and bounds
+// at construction. Multiple stores (e.g. the user and item tensors of one
+// snapshot) share the same MappedFile via shared_ptr.
+//
+// Lifetime contract: anything that captured a raw pointer into the store
+// (a borrowed FacetStore, a serving model from LoadMarsMapped) must not
+// outlive the MappedFile — holders keep the shared_ptr alive for exactly
+// that reason. The mapping is immutable; writing through it faults.
+#ifndef MARS_COMMON_MAPPED_STORE_H_
+#define MARS_COMMON_MAPPED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/facet_store.h"
+
+namespace mars {
+
+/// Read-only memory-mapped file (RAII). Non-copyable, non-movable — hand
+/// out shared_ptr<MappedFile> instead.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns nullptr (with an error log) when the
+  /// file cannot be opened, stat'd, or mapped. Empty files map to a valid
+  /// object with size() == 0.
+  static std::shared_ptr<MappedFile> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+/// One [entity][facet][dim] tensor inside a MappedFile, exposed through the
+/// FacetStore read surface without copying a byte.
+class MappedFacetStore {
+ public:
+  /// Wraps the `num_entities * num_facets * row_stride` floats starting at
+  /// `byte_offset` of `file`. Returns nullptr (with an error log) when:
+  ///   - `byte_offset` is not a FacetStore::kRowAlignBytes multiple (the
+  ///     mapped base would not be cache-line aligned),
+  ///   - `row_stride` is not the aligned stride for `dim`
+  ///     (FacetStore::RowStrideFor — a foreign or corrupt layout),
+  ///   - the region overruns the file (truncated payload).
+  static std::unique_ptr<MappedFacetStore> Create(
+      std::shared_ptr<MappedFile> file, size_t byte_offset,
+      size_t num_entities, size_t num_facets, size_t dim, size_t row_stride);
+
+  /// The borrowed store view; valid for the life of this object.
+  const FacetStore& store() const { return store_; }
+  /// The backing mapping (share it to extend the lifetime).
+  const std::shared_ptr<MappedFile>& file() const { return file_; }
+
+  // Convenience forwards mirroring the owned-store read surface.
+  size_t num_entities() const { return store_.num_entities(); }
+  size_t num_facets() const { return store_.num_facets(); }
+  size_t dim() const { return store_.dim(); }
+  size_t row_stride() const { return store_.row_stride(); }
+  size_t entity_stride() const { return store_.entity_stride(); }
+  const float* Row(size_t e, size_t k) const { return store_.Row(e, k); }
+  const float* EntityBlock(size_t e) const { return store_.EntityBlock(e); }
+  FacetStore::ConstShardView ConstShard(size_t shard,
+                                        size_t num_shards) const {
+    return store_.ConstShard(shard, num_shards);
+  }
+
+ private:
+  MappedFacetStore(std::shared_ptr<MappedFile> file, FacetStore store)
+      : file_(std::move(file)), store_(std::move(store)) {}
+
+  std::shared_ptr<MappedFile> file_;
+  FacetStore store_;  // borrowed view into file_
+};
+
+}  // namespace mars
+
+#endif  // MARS_COMMON_MAPPED_STORE_H_

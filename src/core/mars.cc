@@ -29,6 +29,11 @@ Mars::Mars(MultiFacetConfig config, MarsOptions mars_options)
 }
 
 void Mars::Fit(const ImplicitDataset& train, const TrainOptions& options) {
+  // A mapped model is an immutable serving snapshot over PROT_READ pages;
+  // training it is a caller bug, not a recoverable condition.
+  MARS_CHECK_MSG(!mapped(),
+                 "cannot Fit a mapped model (LoadMarsMapped serves an "
+                 "immutable snapshot; copy-load with LoadMars to retrain)");
   const size_t d = config_.dim;
   const size_t kf = config_.num_facets;
   Rng rng(options.seed);

@@ -40,7 +40,9 @@ class Mars;
 
 /// Binary persistence (core/persistence.h); friends of Mars.
 bool SaveMars(const Mars& model, const std::string& path);
+bool SaveMarsV3(const Mars& model, const std::string& path);
 std::unique_ptr<Mars> LoadMars(const std::string& path);
+std::unique_ptr<Mars> LoadMarsMapped(const std::string& path);
 
 /// MARS-specific options on top of the shared multi-facet config.
 struct MarsOptions {
@@ -85,9 +87,16 @@ class Mars : public Recommender {
   /// Learned facet-sphere radii (all 1 unless learn_radius is set).
   const std::vector<float>& FacetRadii() const { return radii_; }
 
+  /// True when the facet tensors alias an immutable mmap'd snapshot
+  /// (LoadMarsMapped): the model is a read-only serving view — attaching a
+  /// trainer to it (Fit) aborts.
+  bool mapped() const { return user_facets_.borrowed(); }
+
  private:
   friend bool SaveMars(const Mars& model, const std::string& path);
+  friend bool SaveMarsV3(const Mars& model, const std::string& path);
   friend std::unique_ptr<Mars> LoadMars(const std::string& path);
+  friend std::unique_ptr<Mars> LoadMarsMapped(const std::string& path);
 
   MultiFacetConfig config_;
   MarsOptions mars_options_;
@@ -97,6 +106,9 @@ class Mars : public Recommender {
   Matrix theta_logits_;     // N×K
   std::vector<float> radii_;         // K sphere radii (learn_radius)
   std::vector<float> margins_;
+  // Backing storage of mapped (borrowed) facet tensors — the MappedFile of
+  // LoadMarsMapped. Null for ordinary owned models.
+  std::shared_ptr<const void> storage_keepalive_;
 };
 
 }  // namespace mars

@@ -165,6 +165,42 @@ void TopKServer::InvalidateAll() {
   lru_.clear();
 }
 
+bool TopKServer::Prime(UserId u, std::vector<ItemId> items,
+                       std::vector<float> scores) {
+  const size_t cap = std::min(options_.k, num_items_);
+  if (u >= num_users_ || items.size() != scores.size() ||
+      items.size() > cap || options_.max_cached_users == 0) {
+    return false;
+  }
+  for (const ItemId v : items) {
+    if (v >= num_items_) return false;
+  }
+  const auto it = cache_.find(u);
+  if (it != cache_.end()) {
+    lru_.erase(it->second.lru_pos);
+    cache_.erase(it);
+  }
+  CacheEntry entry;
+  entry.items = std::move(items);
+  entry.scores = std::move(scores);
+  lru_.push_front(u);
+  entry.lru_pos = lru_.begin();
+  cache_.emplace(u, std::move(entry));
+  ++stats_.primed;
+  EvictIfOverCap();
+  return true;
+}
+
+void TopKServer::ForEachCached(
+    const std::function<void(UserId, const std::vector<ItemId>&,
+                             const std::vector<float>&)>& fn) const {
+  for (const UserId u : lru_) {
+    const auto it = cache_.find(u);
+    MARS_DCHECK(it != cache_.end());
+    fn(u, it->second.items, it->second.scores);
+  }
+}
+
 void TopKServer::EvictIfOverCap() {
   while (cache_.size() > options_.max_cached_users) {
     const UserId victim = lru_.back();

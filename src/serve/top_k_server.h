@@ -22,12 +22,19 @@
 //
 // Threading contract: the model must be quiescent (no concurrent training
 // writes) whenever TopK or AbsorbWrites runs — serve a snapshot, not the
-// live tables (see ReplaceModel). TopK itself is not re-entrant: one query
-// at a time, though each query fans its sweep across the pool.
+// live tables (see ReplaceModel). The snapshot may equally be an immutable
+// *mapped* model (core/persistence.h LoadMarsMapped): an mmap'd format-v3
+// file whose score kernels read the mapping directly — quiescent by
+// construction, swapped in through the same ReplaceModel contract, and
+// typically warm-started from a persisted sidecar
+// (serve/top_k_sidecar.h) instead of paying cold full-catalog sweeps.
+// TopK itself is not re-entrant: one query at a time, though each query
+// fans its sweep across the pool.
 #ifndef MARS_SERVE_TOP_K_SERVER_H_
 #define MARS_SERVE_TOP_K_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +76,7 @@ struct TopKServerStats {
   uint64_t misses = 0;
   uint64_t invalidated = 0;  // cached entries dropped by AbsorbWrites
   uint64_t evictions = 0;    // entries dropped by the LRU bound
+  uint64_t primed = 0;       // entries inserted by Prime (sidecar warm-up)
   size_t cached_users = 0;
 };
 
@@ -100,6 +108,21 @@ class TopKServer {
 
   /// Drops every cached entry (e.g. after a model swap of unknown delta).
   void InvalidateAll();
+
+  /// Inserts a precomputed ranking for `u` as if a sweep had produced it
+  /// (the warm-start path of serve/top_k_sidecar.h). The list must be
+  /// ranked best-first with parallel scores, at most min(k, num_items)
+  /// long, with every id inside the catalog; an existing entry for `u` is
+  /// replaced. Counts as neither hit nor miss; the LRU bound still
+  /// applies. Returns false (no insert) on out-of-range user or item,
+  /// mismatched lengths, or an over-long list.
+  bool Prime(UserId u, std::vector<ItemId> items, std::vector<float> scores);
+
+  /// Visits every cached entry, most recently used first. Quiesced-side
+  /// only, like AbsorbWrites (used to persist the cache as a sidecar).
+  void ForEachCached(
+      const std::function<void(UserId, const std::vector<ItemId>&,
+                               const std::vector<float>&)>& fn) const;
 
   TopKServerStats stats() const;
 

@@ -1,0 +1,168 @@
+#include "common/mapped_store.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+/// Writes an owned store's raw (padded) buffer to `path`, preceded by
+/// `header_bytes` zero bytes — a minimal stand-in for the v3 payload
+/// region.
+void WriteStoreFile(const FacetStore& store, const std::string& path,
+                    size_t header_bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const std::vector<char> header(header_bytes, 0);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(store.EntityBlock(0)),
+            static_cast<std::streamsize>(store.num_entities() *
+                                         store.entity_stride() *
+                                         sizeof(float)));
+}
+
+struct MappedStoreFixture : public ::testing::Test {
+  void SetUp() override {
+    // 7 entities × 2 facets of dim 12 → padded stride (16 floats).
+    store_ = FacetStore(7, 2, 12);
+    float x = 0.5f;
+    for (size_t e = 0; e < 7; ++e) {
+      for (size_t k = 0; k < 2; ++k) {
+        float* row = store_.Row(e, k);
+        for (size_t i = 0; i < 12; ++i) row[i] = x += 0.25f;
+      }
+    }
+    // Unique per test: ctest runs tests of one binary as parallel
+    // processes, and a shared path would race.
+    path_ = ::testing::TempDir() + "/mapped_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    WriteStoreFile(store_, path_, /*header_bytes=*/128);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  FacetStore store_;
+  std::string path_;
+};
+
+TEST_F(MappedStoreFixture, RowStrideForMatchesOwnedStores) {
+  EXPECT_EQ(FacetStore::RowStrideFor(12), store_.row_stride());
+  EXPECT_EQ(FacetStore::RowStrideFor(16), 16u);
+  EXPECT_EQ(FacetStore::RowStrideFor(17), 32u);
+  EXPECT_EQ(FacetStore::RowStrideFor(1), 16u);
+}
+
+TEST_F(MappedStoreFixture, MapsEveryRowBitExactly) {
+  auto file = MappedFile::Open(path_);
+  ASSERT_NE(file, nullptr);
+  auto mapped = MappedFacetStore::Create(file, 128, 7, 2, 12,
+                                         store_.row_stride());
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_EQ(mapped->num_entities(), 7u);
+  EXPECT_EQ(mapped->row_stride(), store_.row_stride());
+  EXPECT_TRUE(mapped->store().borrowed());
+  for (size_t e = 0; e < 7; ++e) {
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(std::memcmp(mapped->Row(e, k), store_.Row(e, k),
+                            12 * sizeof(float)),
+                0)
+          << "e=" << e << " k=" << k;
+    }
+  }
+  // The mapped base is cache-line aligned, like an owned allocation.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(mapped->EntityBlock(0)) %
+                FacetStore::kRowAlignBytes,
+            0u);
+}
+
+TEST_F(MappedStoreFixture, ConstShardViewsTileTheMapping) {
+  auto file = MappedFile::Open(path_);
+  ASSERT_NE(file, nullptr);
+  auto mapped = MappedFacetStore::Create(file, 128, 7, 2, 12,
+                                         store_.row_stride());
+  ASSERT_NE(mapped, nullptr);
+  size_t covered = 0;
+  for (size_t s = 0; s < 3; ++s) {
+    const FacetStore::ConstShardView view = mapped->ConstShard(s, 3);
+    EXPECT_EQ(view.entity_begin(), covered);
+    covered = view.entity_end();
+    if (view.empty()) continue;
+    // Shard bases stay 64-byte aligned (whole-row-stride blocks).
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(view.data()) %
+                  FacetStore::kRowAlignBytes,
+              0u);
+    for (size_t e = view.entity_begin(); e < view.entity_end(); ++e) {
+      EXPECT_EQ(view.EntityBlock(e), mapped->EntityBlock(e));
+    }
+  }
+  EXPECT_EQ(covered, 7u);
+  // Owned stores expose the identical const surface.
+  const FacetStore::ConstShardView owned_view = store_.ConstShard(0, 3);
+  EXPECT_EQ(owned_view.num_entities(), mapped->ConstShard(0, 3).num_entities());
+}
+
+TEST_F(MappedStoreFixture, RejectsMisalignedOffset) {
+  auto file = MappedFile::Open(path_);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(MappedFacetStore::Create(file, 132, 7, 2, 12,
+                                     store_.row_stride()),
+            nullptr);
+  EXPECT_EQ(MappedFacetStore::Create(file, 4, 7, 2, 12,
+                                     store_.row_stride()),
+            nullptr);
+}
+
+TEST_F(MappedStoreFixture, RejectsWrongStride) {
+  auto file = MappedFile::Open(path_);
+  ASSERT_NE(file, nullptr);
+  // 32 is a legal stride for some dim, but not the aligned stride for 12.
+  EXPECT_EQ(MappedFacetStore::Create(file, 128, 7, 2, 12, 32), nullptr);
+  // Unaligned stride.
+  EXPECT_EQ(MappedFacetStore::Create(file, 128, 7, 2, 12, 12), nullptr);
+}
+
+TEST_F(MappedStoreFixture, RejectsRegionOverrunningTheFile) {
+  auto file = MappedFile::Open(path_);
+  ASSERT_NE(file, nullptr);
+  // One entity too many for the bytes actually present.
+  EXPECT_EQ(MappedFacetStore::Create(file, 128, 8, 2, 12,
+                                     store_.row_stride()),
+            nullptr);
+  // Offset past EOF.
+  EXPECT_EQ(MappedFacetStore::Create(file, file->size() + 64, 1, 2, 12,
+                                     store_.row_stride()),
+            nullptr);
+  // Entity count crafted to overflow size computations.
+  EXPECT_EQ(MappedFacetStore::Create(file, 128, ~0ull / 4, 2, 12,
+                                     store_.row_stride()),
+            nullptr);
+}
+
+TEST_F(MappedStoreFixture, OpenRejectsMissingFile) {
+  EXPECT_EQ(MappedFile::Open("/no/such/mapped_store.bin"), nullptr);
+}
+
+TEST_F(MappedStoreFixture, SharedFileOutlivesTheStoreHandle) {
+  // Two stores over one file; dropping one (and the local file ref) must
+  // not unmap the other's pages.
+  auto file = MappedFile::Open(path_);
+  ASSERT_NE(file, nullptr);
+  auto a = MappedFacetStore::Create(file, 128, 7, 2, 12,
+                                    store_.row_stride());
+  auto b = MappedFacetStore::Create(file, 128, 3, 2, 12,
+                                    store_.row_stride());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  file.reset();
+  a.reset();
+  EXPECT_EQ(std::memcmp(b->Row(2, 1), store_.Row(2, 1), 12 * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace mars

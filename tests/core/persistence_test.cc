@@ -1,8 +1,10 @@
 #include "core/persistence.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -31,7 +33,11 @@ struct PersistenceFixture : public ::testing::Test {
     opts.epochs = 4;
     opts.learning_rate = 0.2;
     model_->Fit(*split_.train, opts);
-    path_ = ::testing::TempDir() + "/mars_model.bin";
+    // Unique per test: ctest runs tests of one binary as parallel
+    // processes, and a shared path would race.
+    path_ = ::testing::TempDir() + "/mars_model_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 
@@ -199,6 +205,242 @@ TEST_F(PersistenceFixture, LoadRejectsOverflowingEntityCounts) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   EXPECT_EQ(LoadMars(path_), nullptr);
+}
+
+// --- Format v3: aligned-stride snapshots + zero-copy mmap loading --------
+
+/// Reads a whole file into a string (v3 byte-surgery helper).
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(PersistenceFixture, V3HeaderLayoutIsPinned) {
+  // The v3 header is an on-disk contract (docs/FORMAT.md): magic at 0,
+  // version 3 at 4, shape at 8..40, flags at 40..48, stride and the three
+  // region offsets at 48..80, payload at the 128-byte boundary.
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  const std::string bytes = Slurp(path_);
+  ASSERT_GE(bytes.size(), 128u);
+  auto u32 = [&](size_t off) {
+    uint32_t v;
+    std::memcpy(&v, bytes.data() + off, 4);
+    return v;
+  };
+  auto u64 = [&](size_t off) {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + off, 8);
+    return v;
+  };
+  EXPECT_EQ(u32(0), 0x4D415253u);  // "MARS"
+  EXPECT_EQ(u32(4), 3u);
+  EXPECT_EQ(u64(8), 3u);    // num_facets
+  EXPECT_EQ(u64(16), 12u);  // dim
+  EXPECT_EQ(u64(24), 80u);  // users
+  EXPECT_EQ(u64(32), 120u);  // items
+  const uint64_t stride = u64(48);
+  EXPECT_EQ(stride, FacetStore::RowStrideFor(12));
+  EXPECT_EQ(u64(56), 128u);  // user tensor at the padded header boundary
+  EXPECT_EQ(u64(56) % 64, 0u);
+  EXPECT_EQ(u64(64), 128u + 80u * 3u * stride * 4u);
+  EXPECT_EQ(u64(64) % 64, 0u);
+  EXPECT_EQ(u64(72), u64(64) + 120u * 3u * stride * 4u);
+}
+
+TEST_F(PersistenceFixture, V3CopyLoadRoundTrips) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  const auto loaded = LoadMars(path_);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_FALSE(loaded->mapped());
+  for (UserId u = 0; u < 20; ++u) {
+    for (ItemId v = 0; v < 20; ++v) {
+      EXPECT_EQ(loaded->Score(u, v), model_->Score(u, v));
+    }
+  }
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_FLOAT_EQ(loaded->MarginOf(u), model_->MarginOf(u));
+  }
+}
+
+TEST_F(PersistenceFixture, V3MappedServesBitIdenticalScores) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  const auto mapped = LoadMarsMapped(path_);
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_FALSE(model_->mapped());
+  // The mapping holds the exact bytes of the owned tensors, and the score
+  // kernels are shared, so every score is bit-identical — EXPECT_EQ, not
+  // NEAR.
+  for (UserId u = 0; u < 20; ++u) {
+    for (ItemId v = 0; v < 20; ++v) {
+      EXPECT_EQ(mapped->Score(u, v), model_->Score(u, v));
+    }
+  }
+  // The serving adapter the TopKServer sweeps with, across the catalog.
+  const size_t n_items = 120;
+  std::vector<float> owned_scores(n_items), mapped_scores(n_items);
+  for (UserId u : {0u, 7u, 79u}) {
+    model_->ScoreItemRange(u, 0, n_items, owned_scores.data());
+    mapped->ScoreItemRange(u, 0, n_items, mapped_scores.data());
+    for (size_t v = 0; v < n_items; ++v) {
+      EXPECT_EQ(mapped_scores[v], owned_scores[v]) << "u=" << u << " v=" << v;
+    }
+  }
+  // Metadata tails are materialized, not mapped, but must match too.
+  for (UserId u = 0; u < 10; ++u) {
+    EXPECT_EQ(mapped->MarginOf(u), model_->MarginOf(u));
+    const auto a = mapped->FacetWeights(u);
+    const auto b = model_->FacetWeights(u);
+    for (size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST_F(PersistenceFixture, V3MappedOutlivesTheLoadCall) {
+  // The model must keep the mapping alive itself (keepalive member) — use
+  // after the unique_ptr is the only reference.
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  auto mapped = LoadMarsMapped(path_);
+  ASSERT_NE(mapped, nullptr);
+  const float expected = model_->Score(3, 5);
+  std::remove(path_.c_str());  // mapping survives unlink
+  EXPECT_EQ(mapped->Score(3, 5), expected);
+}
+
+TEST_F(PersistenceFixture, MappedLoadRejectsV2Files) {
+  ASSERT_TRUE(SaveMars(*model_, path_));  // v2
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+  // ... but the copy loader takes it, per the compatibility matrix.
+  EXPECT_NE(LoadMars(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, V3LoadersRejectTruncatedPayload) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  const std::string bytes = Slurp(path_);
+  // Cut inside the item tensor: header parses, payload doesn't.
+  Spit(path_, bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(LoadMars(path_), nullptr);
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+  // Cut inside the header.
+  Spit(path_, bytes.substr(0, 60));
+  EXPECT_EQ(LoadMars(path_), nullptr);
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+  // Cut inside the tail (mapped loader materializes it with bounds checks).
+  Spit(path_, bytes.substr(0, bytes.size() - 16));
+  EXPECT_EQ(LoadMars(path_), nullptr);
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, V3LoadersRejectWrongStride) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  std::string bytes = Slurp(path_);
+  uint64_t stride;
+  std::memcpy(&stride, bytes.data() + 48, 8);
+  const uint64_t wrong = stride + 16;  // aligned, but not the stride for d
+  std::memcpy(bytes.data() + 48, &wrong, 8);
+  Spit(path_, bytes);
+  EXPECT_EQ(LoadMars(path_), nullptr);
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, V3LoadersRejectMisalignedOffsets) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  std::string bytes = Slurp(path_);
+  // Shift all three region offsets by 4: self-consistent spacing, but the
+  // tensors no longer start on the padded 64-byte boundaries.
+  for (const size_t field : {56u, 64u, 72u}) {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + field, 8);
+    v += 4;
+    std::memcpy(bytes.data() + field, &v, 8);
+  }
+  Spit(path_, bytes);
+  EXPECT_EQ(LoadMars(path_), nullptr);
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, LoadersRejectHugeShapeOnTinyFile) {
+  // A crafted header whose shape passes the plausibility bounds but
+  // implies hundreds of GB must be rejected against the actual file size
+  // — cleanly, before any allocation is sized to header fields.
+  for (const bool v3 : {false, true}) {
+    ASSERT_TRUE(v3 ? SaveMarsV3(*model_, path_) : SaveMars(*model_, path_));
+    std::string bytes = Slurp(path_);
+    const uint64_t huge_users = 1ull << 30;  // plausible (< 2^31), enormous
+    std::memcpy(bytes.data() + 24, &huge_users, 8);
+    Spit(path_, bytes);
+    EXPECT_EQ(LoadMars(path_), nullptr) << "v3=" << v3;
+    if (v3) EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+  }
+}
+
+TEST_F(PersistenceFixture, V3LoadersRejectImplausibleShape) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  std::string bytes = Slurp(path_);
+  const uint64_t huge = ~0ull;
+  std::memcpy(bytes.data() + 24, &huge, 8);  // n_users
+  Spit(path_, bytes);
+  EXPECT_EQ(LoadMars(path_), nullptr);
+  EXPECT_EQ(LoadMarsMapped(path_), nullptr);
+}
+
+TEST_F(PersistenceFixture, V3RoundTripsPaddedAndUnpaddedDims) {
+  // dim 16 → stride 16 (no padding); dim 12 → stride 16 (padded rows).
+  // Both must mmap-serve identically to their owned originals.
+  for (const size_t dim : {12u, 16u}) {
+    MultiFacetConfig cfg;
+    cfg.dim = dim;
+    cfg.num_facets = 2;
+    cfg.theta_nmf_iterations = 3;
+    Mars m(cfg);
+    TrainOptions opts;
+    opts.epochs = 2;
+    opts.learning_rate = 0.2;
+    m.Fit(*split_.train, opts);
+    ASSERT_TRUE(SaveMarsV3(m, path_));
+    const auto mapped = LoadMarsMapped(path_);
+    ASSERT_NE(mapped, nullptr) << "dim=" << dim;
+    for (UserId u = 0; u < 10; ++u) {
+      for (ItemId v = 0; v < 10; ++v) {
+        EXPECT_EQ(mapped->Score(u, v), m.Score(u, v)) << "dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST_F(PersistenceFixture, V3RadiiSurviveMappedLoad) {
+  MultiFacetConfig cfg;
+  cfg.dim = 12;
+  cfg.num_facets = 2;
+  cfg.theta_nmf_iterations = 3;
+  MarsOptions mopts;
+  mopts.learn_radius = true;
+  Mars radius_model(cfg, mopts);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.learning_rate = 0.2;
+  radius_model.Fit(*split_.train, opts);
+  ASSERT_TRUE(SaveMarsV3(radius_model, path_));
+  const auto mapped = LoadMarsMapped(path_);
+  ASSERT_NE(mapped, nullptr);
+  ASSERT_EQ(mapped->FacetRadii().size(), 2u);
+  EXPECT_EQ(mapped->FacetRadii()[0], radius_model.FacetRadii()[0]);
+  EXPECT_EQ(mapped->FacetRadii()[1], radius_model.FacetRadii()[1]);
+  EXPECT_TRUE(mapped->mars_options().learn_radius);
+}
+
+TEST_F(PersistenceFixture, MappedModelRefusesToTrain) {
+  ASSERT_TRUE(SaveMarsV3(*model_, path_));
+  const auto mapped = LoadMarsMapped(path_);
+  ASSERT_NE(mapped, nullptr);
+  TrainOptions opts;
+  opts.epochs = 1;
+  EXPECT_DEATH(mapped->Fit(*split_.train, opts), "mapped");
 }
 
 TEST_F(PersistenceFixture, RadiiSurviveRoundTrip) {
