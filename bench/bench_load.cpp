@@ -19,6 +19,7 @@
 // Emits machine-readable JSON (BENCH_load.json via scripts/bench.sh or the
 // ci.sh --bench stage). Single-threaded on purpose, like bench_serve:
 // scripts/check_bench.py compares these numbers across machines/runs.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -47,6 +48,11 @@ struct LoadResult {
   double speedup_warm = 0.0;       // v2_total / v3_warm_total (headline)
 };
 
+/// first ? store : running min — the repeat aggregation (see below).
+void MinInto(double* slot, bool first, double value) {
+  *slot = first ? value : std::min(*slot, value);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,7 +66,11 @@ int main(int argc, char** argv) {
            : std::vector<size_t>{2000, 10000, 50000};
   const size_t kUsers = fast ? 300 : 1000;
   const size_t kTopK = 10;
-  const size_t kRepeats = fast ? 3 : 5;
+  // The sub-ms rows (small catalogs, and the µs-scale warm lifecycle) are
+  // jitter-bound on shared hosts; enough repeats to keep identical-code
+  // reruns inside the regression gate's 25% band.
+  const size_t kRepeats = fast ? 3 : 11;
+  const size_t kWarmInnerRepeats = 8;  // see the v3+sidecar block
 
   bench::Banner(
       "bench_load — v2 copy-load vs v3 mmap-load to first served query");
@@ -121,6 +131,12 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Every metric is the *minimum* over repeats: these lifecycles are
+    // dominated by syscalls and page faults, so their mean tracks the
+    // machine's page-cache state (a CI run right after a large build can
+    // read 2x an idle run of identical code). The min is the steady
+    // warm-state cost — the stable code-regression signal the bench gate
+    // needs; the v2-vs-v3 comparison is unchanged by the choice.
     LoadResult r;
     r.num_items = num_items;
     for (size_t rep = 0; rep < kRepeats; ++rep) {
@@ -136,9 +152,9 @@ int main(int argc, char** argv) {
         Timer query_timer;
         server.TopK(0);
         const double query_ms = query_timer.ElapsedMillis();
-        r.v2_load_ms += load_ms;
-        r.v2_first_query_ms += query_ms;
-        r.v2_total_ms += load_timer.ElapsedMillis();
+        MinInto(&r.v2_load_ms, rep == 0, load_ms);
+        MinInto(&r.v2_first_query_ms, rep == 0, query_ms);
+        MinInto(&r.v2_total_ms, rep == 0, load_timer.ElapsedMillis());
       }
       // v3: mmap, then sweep straight over the mapping (page faults and
       // all — that is the honest first-query cost).
@@ -153,13 +169,16 @@ int main(int argc, char** argv) {
         Timer query_timer;
         server.TopK(0);
         const double query_ms = query_timer.ElapsedMillis();
-        r.v3_load_ms += load_ms;
-        r.v3_first_query_ms += query_ms;
-        r.v3_cold_total_ms += load_timer.ElapsedMillis();
+        MinInto(&r.v3_load_ms, rep == 0, load_ms);
+        MinInto(&r.v3_first_query_ms, rep == 0, query_ms);
+        MinInto(&r.v3_cold_total_ms, rep == 0, load_timer.ElapsedMillis());
       }
       // v3 + sidecar: the full restart lifecycle — mmap, warm the cache
       // from the sidecar, answer the first hot-user query from cache.
-      {
+      // This path is tens of microseconds end to end (syscall-dominated),
+      // so it runs extra inner repeats: at kRepeats samples its
+      // run-to-run jitter would exceed the regression gate's threshold.
+      for (size_t w = 0; w < kWarmInnerRepeats; ++w) {
         Timer total_timer;
         const auto mapped = LoadMarsMapped(v3_path);
         if (mapped == nullptr) return 1;
@@ -168,16 +187,10 @@ int main(int argc, char** argv) {
         TopKServer server(mapped.get(), kUsers, num_items, opts);
         if (WarmFromSidecar(&server, sidecar_path) == 0) return 1;
         server.TopK(0);
-        r.v3_warm_total_ms += total_timer.ElapsedMillis();
+        MinInto(&r.v3_warm_total_ms, rep == 0 && w == 0,
+                total_timer.ElapsedMillis());
       }
     }
-    r.v2_load_ms /= kRepeats;
-    r.v2_first_query_ms /= kRepeats;
-    r.v2_total_ms /= kRepeats;
-    r.v3_load_ms /= kRepeats;
-    r.v3_first_query_ms /= kRepeats;
-    r.v3_cold_total_ms /= kRepeats;
-    r.v3_warm_total_ms /= kRepeats;
     r.speedup_cold =
         r.v3_cold_total_ms > 0.0 ? r.v2_total_ms / r.v3_cold_total_ms : 0.0;
     r.speedup_warm =

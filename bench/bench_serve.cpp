@@ -1,29 +1,44 @@
 // Serving-throughput bench: cold full-catalog sweeps vs cached hot-user
-// queries through the TopKServer, at several catalog sizes. Emits
-// machine-readable JSON (BENCH_serve.json via scripts/bench.sh or the
-// ci.sh --bench stage) so serving perf regressions are diffable.
+// queries through the TopKServer, at several catalog sizes, plus the two
+// concurrency measurements the serving roadmap gates on:
+//
+//  * multi-threaded QPS — 1/2/4/8 frontend threads hammering one server
+//    with a 90/10 hot/cold mix while a background maintenance thread
+//    keeps publishing epochs (ReplaceModel + incremental AbsorbWrites),
+//    i.e. the striped-cache read path under realistic churn;
+//  * incremental re-sweep cost — with 1/8 of the item shards dirty, the
+//    per-entry refresh done by AbsorbWrites must cost ≤ 1/4 of a cold
+//    full-catalog sweep (the mostly-clean-epoch warm-cache bar).
+//
+// Emits machine-readable JSON (BENCH_serve.json via scripts/bench.sh or
+// the ci.sh --bench stage) so serving perf regressions are diffable;
+// scripts/check_bench.py enforces the invariants and skips the
+// multi-thread *scaling* comparison when host_cpus == 1 (a 1-core
+// container serializes the frontends, so MT numbers measure overhead).
 //
 // The model is BPR (DotBatch sweep — the cheapest per-item kernel, which
 // makes the *server* overhead the subject rather than the model), trained
 // just enough to have non-degenerate embeddings. "Cold" queries distinct
 // never-cached users, so every query pays the full sweep + heap merge;
 // "cached" re-queries the same users, so every query is an LRU hit. The
-// acceptance bar from the serving roadmap: cached ≥ 5x cold at ≥ 10k items.
-//
-// Single-threaded on purpose (no sweep pool): scripts/check_bench.py
-// compares these numbers across machines/runs, and single-thread timings
-// are the only ones comparable on a 1-core CI container (host_cpus is
-// recorded for the same reason as bench_train).
+// acceptance bar from the serving roadmap: cached ≥ 5x cold at ≥ 10k
+// items. Single-thread sections stay single-threaded on purpose: they are
+// the only timings comparable on a 1-core CI container.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/snapshot_handle.h"
 #include "common/timer.h"
 #include "data/synthetic.h"
 #include "models/bpr.h"
 #include "serve/top_k_server.h"
+#include "serve/write_tracker.h"
 
 namespace {
 
@@ -32,6 +47,23 @@ struct ServeResult {
   double cold_ms = 0.0;    // per query, full-catalog sweep
   double cached_ms = 0.0;  // per query, LRU hit
   double speedup = 0.0;
+};
+
+struct MtResult {
+  size_t threads = 0;
+  double qps = 0.0;
+  double speedup_vs_1 = 0.0;
+  unsigned long long served = 0;
+};
+
+struct IncrementalResult {
+  size_t num_items = 0;
+  size_t dirty_shards = 0;
+  size_t total_shards = 0;
+  size_t entries = 0;
+  double refresh_ms_per_entry = 0.0;
+  double cold_ms_per_query = 0.0;
+  double refresh_vs_cold = 0.0;
 };
 
 }  // namespace
@@ -48,12 +80,17 @@ int main(int argc, char** argv) {
   const size_t kUsers = fast ? 300 : 1000;
   const size_t kTopK = 10;
 
-  bench::Banner("bench_serve — TopKServer cold sweep vs cached hot users");
+  bench::Banner(
+      "bench_serve — TopKServer cold/cached, MT QPS, incremental refresh");
   const unsigned host_cpus = std::thread::hardware_concurrency();
   std::printf("host cpus: %u  k=%zu  users=%zu\n\n", host_cpus, kTopK,
               kUsers);
 
   std::vector<ServeResult> results;
+  std::vector<IncrementalResult> incremental;
+  std::vector<MtResult> mt_results;
+  size_t mt_items = 0;
+
   for (const size_t num_items : catalog_sizes) {
     SyntheticConfig data_cfg;
     data_cfg.num_users = kUsers;
@@ -76,21 +113,35 @@ int main(int argc, char** argv) {
     opts.max_cached_users = kUsers;
     TopKServer server(&model, kUsers, num_items, opts);
 
-    // Cold: each query is a distinct user → guaranteed cache miss.
+    // Cold: each query is a distinct user → guaranteed cache miss. Best
+    // of several bursts (disjoint user ranges, so every query stays a
+    // miss): on hosts with invisible neighbor contention a single burst
+    // can read 2x slow, and the regression gate needs the code's cost,
+    // not the host's mood. Same policy for the cached and incremental
+    // sections below (and bench_load does the same).
     const size_t cold_queries = fast ? 50 : 200;
-    Timer cold_timer;
-    for (size_t q = 0; q < cold_queries; ++q) {
-      server.TopK(static_cast<UserId>(q % kUsers));
+    const size_t kBursts = 3;
+    double cold_ms = 0.0;
+    for (size_t b = 0; b < kBursts; ++b) {
+      Timer cold_timer;
+      for (size_t q = 0; q < cold_queries; ++q) {
+        server.TopK(static_cast<UserId>((b * cold_queries + q) % kUsers));
+      }
+      const double ms = cold_timer.ElapsedMillis() / cold_queries;
+      cold_ms = b == 0 ? ms : std::min(cold_ms, ms);
     }
-    const double cold_ms = cold_timer.ElapsedMillis() / cold_queries;
 
     // Cached: the same users again, repeatedly → every query an LRU hit.
     const size_t hot_queries = fast ? 5000 : 20000;
-    Timer hot_timer;
-    for (size_t q = 0; q < hot_queries; ++q) {
-      server.TopK(static_cast<UserId>(q % cold_queries));
+    double cached_ms = 0.0;
+    for (size_t b = 0; b < kBursts; ++b) {
+      Timer hot_timer;
+      for (size_t q = 0; q < hot_queries; ++q) {
+        server.TopK(static_cast<UserId>(q % cold_queries));
+      }
+      const double ms = hot_timer.ElapsedMillis() / hot_queries;
+      cached_ms = b == 0 ? ms : std::min(cached_ms, ms);
     }
-    const double cached_ms = hot_timer.ElapsedMillis() / hot_queries;
 
     const auto stats = server.stats();
     ServeResult r;
@@ -105,6 +156,124 @@ int main(int argc, char** argv) {
         num_items, cold_ms, 1e3 / cold_ms, cached_ms, 1e3 / cached_ms,
         r.speedup, static_cast<unsigned long long>(stats.hits),
         static_cast<unsigned long long>(stats.misses));
+
+    // --- Incremental re-sweep: AbsorbWrites with 1/8 of the item shards
+    // dirty against a warm cache, measured per refreshed entry. ----------
+    {
+      TopKServer warm(&model, kUsers, num_items, opts);
+      const size_t entries = fast ? 100 : 200;
+      for (size_t u = 0; u < entries; ++u) {
+        warm.TopK(static_cast<UserId>(u));
+      }
+      WriteTracker tracker(kUsers, num_items);
+      const size_t total_shards = warm.num_item_shards();
+      const size_t dirty_shards = (total_shards + 7) / 8;  // ≈ 1/8
+      // Several publish rounds, best-of — a single round is one timed
+      // call and too jitter-prone for the regression gate. Each round
+      // re-marks the same shards; the model is unchanged, so every round
+      // refreshes every entry through the exact-merge path.
+      const size_t rounds = fast ? 3 : 7;
+      double refresh_best = 0.0;
+      for (size_t round = 0; round < rounds; ++round) {
+        size_t marked = 0;
+        for (ItemId v = 0; v < num_items && marked < dirty_shards; ++v) {
+          if (tracker.ItemShardOf(v) == marked) {
+            tracker.MarkItem(v);
+            ++marked;
+          }
+        }
+        Timer refresh_timer;
+        warm.PublishEpoch(UnownedSnapshot<ItemScorer>(&model), &tracker);
+        const double ms = refresh_timer.ElapsedMillis();
+        refresh_best = round == 0 ? ms : std::min(refresh_best, ms);
+      }
+      const auto warm_stats = warm.stats();
+
+      IncrementalResult inc;
+      inc.num_items = num_items;
+      inc.dirty_shards = dirty_shards;
+      inc.total_shards = total_shards;
+      inc.entries = entries;
+      inc.refresh_ms_per_entry = refresh_best / entries;
+      inc.cold_ms_per_query = cold_ms;
+      inc.refresh_vs_cold =
+          cold_ms > 0.0 ? inc.refresh_ms_per_entry / cold_ms : 0.0;
+      incremental.push_back(inc);
+      std::printf(
+          "             incremental refresh: %zu/%zu shards dirty, "
+          "%8.4f ms/entry (%llu refreshed) = %.3fx of a cold sweep\n",
+          dirty_shards, total_shards, inc.refresh_ms_per_entry,
+          static_cast<unsigned long long>(warm_stats.refreshed),
+          inc.refresh_vs_cold);
+    }
+
+    // --- Multi-threaded QPS at the 10k catalog: hot/cold mix, racing a
+    // background publisher that keeps absorbing a 1/8-dirty tracker. ----
+    if (num_items == 10000) {
+      mt_items = num_items;
+      const size_t kHotSet = 64;
+      for (const size_t threads : {1u, 2u, 4u, 8u}) {
+        TopKServerOptions mt_opts;
+        mt_opts.k = kTopK;
+        mt_opts.max_cached_users = 256;  // cold tail evicts constantly
+        TopKServer mt_server(&model, kUsers, num_items, mt_opts);
+        for (UserId u = 0; u < kHotSet; ++u) mt_server.TopK(u);  // pre-warm
+
+        std::atomic<bool> stop{false};
+        std::thread publisher([&] {
+          WriteTracker tracker(kUsers, num_items);
+          while (!stop.load(std::memory_order_acquire)) {
+            size_t marked = 0;
+            const size_t total_shards = mt_server.num_item_shards();
+            const size_t dirty = (total_shards + 7) / 8;
+            for (ItemId v = 0; v < num_items && marked < dirty; ++v) {
+              if (tracker.ItemShardOf(v) == marked) {
+                tracker.MarkItem(v);
+                ++marked;
+              }
+            }
+            mt_server.PublishEpoch(UnownedSnapshot<ItemScorer>(&model),
+                                   &tracker);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        });
+
+        const size_t queries_per_thread = fast ? 20000 : 50000;
+        std::vector<std::thread> frontends;
+        Timer mt_timer;
+        for (size_t t = 0; t < threads; ++t) {
+          frontends.emplace_back([&, t] {
+            for (size_t q = 0; q < queries_per_thread; ++q) {
+              // 90% hot working set (hits), 10% cold tail (miss+evict).
+              const UserId u =
+                  q % 10 != 0
+                      ? static_cast<UserId>((q * 7 + t * 13) % kHotSet)
+                      : static_cast<UserId>(
+                            kHotSet + (q * 11 + t * 17) %
+                                          (kUsers - kHotSet));
+              mt_server.TopK(u);
+            }
+          });
+        }
+        for (auto& th : frontends) th.join();
+        const double elapsed_ms = mt_timer.ElapsedMillis();
+        stop.store(true, std::memory_order_release);
+        publisher.join();
+
+        MtResult mr;
+        mr.threads = threads;
+        mr.served = static_cast<unsigned long long>(threads) *
+                    queries_per_thread;
+        mr.qps = elapsed_ms > 0.0 ? mr.served / (elapsed_ms / 1e3) : 0.0;
+        mr.speedup_vs_1 =
+            mt_results.empty() ? 1.0 : mr.qps / mt_results.front().qps;
+        mt_results.push_back(mr);
+        std::printf(
+            "             mt qps @%zu threads: %10.0f q/s (%.2fx vs 1 "
+            "thread, %llu served, publisher churning)\n",
+            threads, mr.qps, mr.speedup_vs_1, mr.served);
+      }
+    }
   }
 
   FILE* out = std::fopen(out_path.c_str(), "w");
@@ -127,7 +296,32 @@ int main(int argc, char** argv) {
                  r.num_items, r.cold_ms, r.cached_ms, r.speedup,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"incremental\": [\n");
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    const IncrementalResult& r = incremental[i];
+    std::fprintf(
+        out,
+        "    {\"num_items\": %zu, \"dirty_shards\": %zu, "
+        "\"total_shards\": %zu, \"entries\": %zu, "
+        "\"refresh_ms_per_entry\": %.6f, \"cold_ms_per_query\": %.6f, "
+        "\"refresh_vs_cold\": %.4f}%s\n",
+        r.num_items, r.dirty_shards, r.total_shards, r.entries,
+        r.refresh_ms_per_entry, r.cold_ms_per_query, r.refresh_vs_cold,
+        i + 1 < incremental.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"mt\": {\"num_items\": %zu, \"results\": [\n",
+               mt_items);
+  for (size_t i = 0; i < mt_results.size(); ++i) {
+    const MtResult& r = mt_results[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"qps\": %.1f, "
+                 "\"speedup_vs_1\": %.3f, \"served\": %llu}%s\n",
+                 r.threads, r.qps, r.speedup_vs_1, r.served,
+                 i + 1 < mt_results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]}\n}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

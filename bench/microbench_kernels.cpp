@@ -6,6 +6,7 @@
 
 #include "common/facet_store.h"
 #include "common/kernels.h"
+#include "common/kernels_detail.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/vec.h"
@@ -167,6 +168,159 @@ void BM_CosineBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatchRows * d);
 }
 BENCHMARK(BM_CosineBatch)->Arg(32)->Arg(128);
+
+// --- Autovectorized vs AVX2-intrinsic row reductions -----------------------
+// The ROADMAP "SIMD-explicit kernels" comparison: the generic 8-wide
+// accumulator forms (vectorized at the build's baseline ISA — plain SSE2
+// here, no -march flags) against the explicit AVX2+FMA twins in
+// common/kernels_detail.h, over the serving batch shape. The public
+// kernels dispatch at runtime, so these explicit pairs are what keeps the
+// measurement honest after adoption.
+
+void BM_DotBatchGeneric(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 20);
+  const auto block = RandomBlock(kBatchRows, d, 21);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      out[r] = kernels_detail::DotRowGeneric(u.data(), block.data() + r * d, d);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_DotBatchGeneric)->Arg(32)->Arg(128);
+
+void BM_SquaredDistanceBatchGeneric(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 24);
+  const auto block = RandomBlock(kBatchRows, d, 25);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      out[r] = kernels_detail::SquaredDistanceRowGeneric(
+          u.data(), block.data() + r * d, d);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_SquaredDistanceBatchGeneric)->Arg(32)->Arg(128);
+
+void BM_WeightedFacetDotBatchGeneric(benchmark::State& state) {
+  constexpr size_t kf = 4;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomBlock(kf, d, 26);
+  const auto blocks = RandomBlock(kBatchRows * kf, d, 27);
+  const std::vector<float> w = {0.1f, 0.4f, 0.2f, 0.3f};
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      float score = 0.0f;
+      for (size_t k = 0; k < kf; ++k) {
+        score += w[k] * kernels_detail::DotRowGeneric(
+                            u.data() + k * d,
+                            blocks.data() + (r * kf + k) * d, d);
+      }
+      out[r] = score;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * kf * d);
+}
+BENCHMARK(BM_WeightedFacetDotBatchGeneric)->Arg(32);
+
+#if MARS_KERNELS_HAVE_AVX2
+
+MARS_AVX2_FN void DotBatchAvx2Loop(const float* u, const float* rows,
+                                   size_t count, size_t stride, size_t n,
+                                   float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = kernels_detail::DotRowAvx2(u, rows + r * stride, n);
+  }
+}
+
+MARS_AVX2_FN void SquaredDistanceBatchAvx2Loop(const float* u,
+                                               const float* rows,
+                                               size_t count, size_t stride,
+                                               size_t n, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = kernels_detail::SquaredDistanceRowAvx2(u, rows + r * stride, n);
+  }
+}
+
+MARS_AVX2_FN void WeightedFacetDotBatchAvx2Loop(const float* u,
+                                                const float* blocks,
+                                                size_t kf, size_t count,
+                                                size_t n, const float* w,
+                                                float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    float score = 0.0f;
+    for (size_t k = 0; k < kf; ++k) {
+      score += w[k] * kernels_detail::DotRowAvx2(
+                          u + k * n, blocks + (r * kf + k) * n, n);
+    }
+    out[r] = score;
+  }
+}
+
+void BM_DotBatchAvx2(benchmark::State& state) {
+  if (!kernels_detail::HasAvx2Fma()) {
+    state.SkipWithError("host has no AVX2+FMA");
+    return;
+  }
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 20);
+  const auto block = RandomBlock(kBatchRows, d, 21);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    DotBatchAvx2Loop(u.data(), block.data(), kBatchRows, d, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_DotBatchAvx2)->Arg(32)->Arg(128);
+
+void BM_SquaredDistanceBatchAvx2(benchmark::State& state) {
+  if (!kernels_detail::HasAvx2Fma()) {
+    state.SkipWithError("host has no AVX2+FMA");
+    return;
+  }
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomVec(d, 24);
+  const auto block = RandomBlock(kBatchRows, d, 25);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    SquaredDistanceBatchAvx2Loop(u.data(), block.data(), kBatchRows, d, d,
+                                 out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * d);
+}
+BENCHMARK(BM_SquaredDistanceBatchAvx2)->Arg(32)->Arg(128);
+
+void BM_WeightedFacetDotBatchAvx2(benchmark::State& state) {
+  if (!kernels_detail::HasAvx2Fma()) {
+    state.SkipWithError("host has no AVX2+FMA");
+    return;
+  }
+  constexpr size_t kf = 4;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto u = RandomBlock(kf, d, 26);
+  const auto blocks = RandomBlock(kBatchRows * kf, d, 27);
+  const std::vector<float> w = {0.1f, 0.4f, 0.2f, 0.3f};
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    WeightedFacetDotBatchAvx2Loop(u.data(), blocks.data(), kf, kBatchRows,
+                                  d, w.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows * kf * d);
+}
+BENCHMARK(BM_WeightedFacetDotBatchAvx2)->Arg(32);
+
+#endif  // MARS_KERNELS_HAVE_AVX2
 
 // --- Scattered-vs-contiguous multi-facet scoring ---------------------------
 // The MARS score Σ_k θ_k <u_k, v_k> over K=4 facets at D=32: K separate

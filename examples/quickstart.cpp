@@ -10,9 +10,18 @@
 //      (full-catalog batched sweep + per-user cache),
 //   6. persist the model as a format-v3 snapshot plus a top-k sidecar,
 //      mmap it back zero-copy, and serve from the mapping — the restart /
-//      model-swap path (docs/FORMAT.md).
+//      model-swap path (docs/FORMAT.md),
+//   7. serve *concurrently while training*: a background run keeps
+//      training and publishes a fresh snapshot at every epoch boundary
+//      (TrainOptions::epoch_callback → TopKServer::PublishEpoch) while
+//      several frontend threads query the same server — every response is
+//      then verified to match one of the published snapshots exactly.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "core/mars.h"
 #include "core/persistence.h"
@@ -21,6 +30,7 @@
 #include "eval/evaluator.h"
 #include "serve/top_k_server.h"
 #include "serve/top_k_sidecar.h"
+#include "serve/write_tracker.h"
 
 int main(int argc, char** argv) {
   using namespace mars;
@@ -130,6 +140,97 @@ int main(int argc, char** argv) {
   std::printf("%s\n", identical ? "identical to pre-restart ranking"
                                 : "MISMATCH vs pre-restart ranking");
   if (!identical || !after_restart.from_cache) return 1;
+
+  // 7. Concurrent serving during live training. A second training run
+  //    keeps improving the model in the background; its epoch_callback
+  //    fires at each quiesced epoch boundary, takes an owned frozen copy
+  //    (ServingSnapshot) and publishes it — swap first, then absorb the
+  //    tracker's dirty shards (PublishEpoch does both in order). Frontend
+  //    threads keep querying throughout: each query pins whichever
+  //    snapshot is current and never blocks on the swap. Afterwards every
+  //    recorded response must be bit-identical to one published epoch —
+  //    a mid-swap query may serve the older or the newer model, never a
+  //    blend of the two.
+  WriteTracker tracker(dataset->num_users(), dataset->num_items());
+  std::shared_ptr<const Mars> epoch0 = model.ServingSnapshot();
+  // Only the training thread (the epoch_callback below) appends here,
+  // and it is read after the frontends join — no locking needed.
+  std::vector<std::shared_ptr<const ItemScorer>> published = {epoch0};
+  TopKServer live(epoch0, dataset->num_users(), dataset->num_items(),
+                  serve_opts);
+
+  TrainOptions more = train;
+  more.epochs = arg_epochs >= 3 ? 3 : arg_epochs;
+  more.dev_evaluator = nullptr;  // keep the background run simple
+  more.write_tracker = &tracker;
+  more.epoch_callback = [&](size_t) {
+    std::shared_ptr<const Mars> snap = model.ServingSnapshot();
+    published.push_back(snap);
+    live.PublishEpoch(snap, &tracker);
+  };
+
+  const size_t kQueryThreads = 3, kProbeUsers = 6;
+  struct Response {
+    UserId user;
+    std::vector<ItemId> items;
+    std::vector<float> scores;
+  };
+  std::vector<std::vector<Response>> responses(kQueryThreads);
+  std::atomic<bool> training_done{false};
+  std::vector<std::thread> frontends;
+  for (size_t t = 0; t < kQueryThreads; ++t) {
+    frontends.emplace_back([&, t] {
+      size_t q = 0;
+      // Query throughout the background training, and a fixed minimum in
+      // case training finishes first. Only a bounded sample is kept for
+      // verification — queries continue past it to keep the race hot.
+      const size_t kKeep = 2000;
+      while (!training_done.load(std::memory_order_acquire) || q < 30) {
+        const UserId u = static_cast<UserId>((q * 3 + t) % kProbeUsers);
+        TopKResult r = live.TopK(u);
+        if (responses[t].size() < kKeep) {
+          responses[t].push_back(
+              {u, std::move(r.items), std::move(r.scores)});
+        }
+        ++q;
+      }
+    });
+  }
+  model.Fit(*split.train, more);  // retrains + publishes per epoch
+  training_done.store(true, std::memory_order_release);
+  for (auto& th : frontends) th.join();
+
+  // Verify: reference rankings per published epoch come from a fresh
+  // cold-sweeping server over that snapshot (same kernels, bit-exact).
+  size_t checked = 0, unmatched = 0;
+  std::vector<std::vector<TopKResult>> reference(published.size());
+  for (size_t g = 0; g < published.size(); ++g) {
+    TopKServer ref(published[g], dataset->num_users(), dataset->num_items(),
+                   serve_opts);
+    for (UserId u = 0; u < kProbeUsers; ++u) {
+      reference[g].push_back(ref.TopK(u));
+    }
+  }
+  for (const auto& thread_responses : responses) {
+    for (const Response& r : thread_responses) {
+      bool matched = false;
+      for (size_t g = 0; g < published.size() && !matched; ++g) {
+        matched = r.items == reference[g][r.user].items &&
+                  r.scores == reference[g][r.user].scores;
+      }
+      ++checked;
+      if (!matched) ++unmatched;
+    }
+  }
+  std::printf(
+      "live serving: %zu concurrent responses across %zu threads, "
+      "%zu published epochs, %zu unmatched\n",
+      checked, kQueryThreads, published.size(), unmatched);
+  if (unmatched != 0) {
+    std::fprintf(stderr,
+                 "FATAL: a response matched no published snapshot\n");
+    return 1;
+  }
 
   // Bonus: the user's learned facet mixture.
   std::printf("facet weights of user %u:", user);

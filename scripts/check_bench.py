@@ -109,6 +109,61 @@ def check_serve(base, fresh, threshold):
                 fail(f"serve cached_speedup @{m} items: {speedup:.1f}x < 5x")
             else:
                 ok(f"serve cached_speedup @{m} items: {speedup:.1f}x >= 5x")
+    check_serve_incremental(base, fresh, threshold)
+    check_serve_mt(base, fresh, threshold)
+
+
+def check_serve_incremental(base, fresh, threshold):
+    """AbsorbWrites incremental-refresh cost vs a cold sweep."""
+    if "incremental" not in fresh:
+        fail("topk_serve: fresh run has no 'incremental' section")
+        return
+    base_by_m = {r["num_items"]: r for r in base.get("incremental", [])}
+    for r in fresh["incremental"]:
+        m = r["num_items"]
+        if m in base_by_m:
+            check_slower(f"serve refresh_ms_per_entry @{m} items",
+                         base_by_m[m]["refresh_ms_per_entry"],
+                         r["refresh_ms_per_entry"], threshold)
+        # Acceptance invariant (serving roadmap): with <= 1/8 of the item
+        # shards dirty, refreshing a cached entry must cost <= 1/4 of a
+        # cold full-catalog sweep at >= 10k items.
+        if m >= 10000 and r["dirty_shards"] * 8 <= r["total_shards"]:
+            ratio = r["refresh_vs_cold"]
+            if ratio > 0.25:
+                fail(f"serve refresh_vs_cold @{m} items: {ratio:.3f} > 0.25 "
+                     f"({r['dirty_shards']}/{r['total_shards']} shards dirty)")
+            else:
+                ok(f"serve refresh_vs_cold @{m} items: {ratio:.3f} <= 0.25")
+
+
+def check_serve_mt(base, fresh, threshold):
+    """Multi-threaded QPS under a churning publisher."""
+    if "mt" not in fresh:
+        fail("topk_serve: fresh run has no 'mt' section")
+        return
+    fresh_rows = {r["threads"]: r for r in fresh["mt"]["results"]}
+    for t, r in sorted(fresh_rows.items()):
+        # Invariant at any core count: the concurrent read front actually
+        # served every query (qps computes over the full count).
+        if r["qps"] <= 0:
+            fail(f"serve mt qps @{t} threads is {r['qps']}")
+    if base.get("host_cpus", 1) <= 1 or fresh.get("host_cpus", 1) <= 1:
+        skip("serve mt scaling: host_cpus == 1 on at least one side "
+             "(serialized frontends measure overhead, not scaling)")
+        return
+    base_rows = {r["threads"]: r for r in base.get("mt", {}).get("results", [])}
+    for t in sorted(set(base_rows) & set(fresh_rows)):
+        if t == 1:
+            continue
+        base_s = base_rows[t]["speedup_vs_1"]
+        fresh_s = fresh_rows[t]["speedup_vs_1"]
+        if base_s > 0 and fresh_s < base_s * (1.0 - threshold):
+            fail(f"serve mt speedup @{t} threads: {fresh_s:.2f}x vs "
+                 f"baseline {base_s:.2f}x")
+        else:
+            ok(f"serve mt speedup @{t} threads: {fresh_s:.2f}x vs "
+               f"{base_s:.2f}x")
 
 
 def check_load(base, fresh, threshold):

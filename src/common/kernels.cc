@@ -2,86 +2,149 @@
 
 #include <cmath>
 
+#include "common/kernels_detail.h"
 #include "common/vec.h"
 
 namespace mars {
 
 namespace {
 
-// Row primitives for the batch loops: 8-wide accumulator arrays vectorize
-// to two full SIMD chains under -O2/-O3, measurably ahead of the 4-scalar
-// unroll in vec.cc when amortized over a block of candidate rows (the
-// scalar kernels keep their layout for bit-stable single-call results).
+using kernels_detail::DotAndNormRowGeneric;
+using kernels_detail::DotRowGeneric;
+using kernels_detail::HasAvx2Fma;
+using kernels_detail::SquaredDistanceRowGeneric;
 
-inline float DotRow(const float* a, const float* b, size_t n) {
-  float acc[8] = {0.0f};
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    for (size_t j = 0; j < 8; ++j) acc[j] += a[i + j] * b[i + j];
+// Each public kernel dispatches once per *call* (not per row) between the
+// generic autovectorized loop and an AVX2+FMA twin whose row primitives
+// inline into a target-annotated batch loop. Families share row
+// primitives on both paths, so gather and batch forms stay bit-identical
+// to each other whichever path the host takes — see kernels_detail.h for
+// the measured wins (1.3-1.7x on this shape) and the rounding contract.
+
+#if MARS_KERNELS_HAVE_AVX2
+
+using kernels_detail::DotAndNormRowAvx2;
+using kernels_detail::DotRowAvx2;
+using kernels_detail::SquaredDistanceRowAvx2;
+
+MARS_AVX2_FN void DotBatchAvx2(const float* u, const float* rows,
+                               size_t count, size_t stride, size_t n,
+                               float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = DotRowAvx2(u, rows + r * stride, n);
   }
-  float s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-            ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-  for (; i < n; ++i) s += a[i] * b[i];
-  return s;
 }
 
-inline float SquaredDistanceRow(const float* a, const float* b, size_t n) {
-  float acc[8] = {0.0f};
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    for (size_t j = 0; j < 8; ++j) {
-      const float dlt = a[i + j] - b[i + j];
-      acc[j] += dlt * dlt;
-    }
+MARS_AVX2_FN void SquaredDistanceBatchAvx2(const float* u, const float* rows,
+                                           size_t count, size_t stride,
+                                           size_t n, float* out,
+                                           float sign) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = sign * SquaredDistanceRowAvx2(u, rows + r * stride, n);
   }
-  float s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-            ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-  for (; i < n; ++i) {
-    const float dlt = a[i] - b[i];
-    s += dlt * dlt;
-  }
-  return s;
 }
 
-/// Fused dot(a,b) and ||b||² in one traversal — the per-candidate piece of
-/// CosineBatch (||a|| is hoisted by the caller).
-inline void DotAndNormRow(const float* a, const float* b, size_t n,
-                          float* dot, float* bnorm2) {
-  float acc_d[8] = {0.0f};
-  float acc_q[8] = {0.0f};
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    for (size_t j = 0; j < 8; ++j) {
-      const float bj = b[i + j];
-      acc_d[j] += a[i + j] * bj;
-      acc_q[j] += bj * bj;
-    }
+MARS_AVX2_FN void DotGatherAvx2(const float* u, const float* base,
+                                size_t stride, const uint32_t* ids,
+                                size_t count, size_t n, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = DotRowAvx2(u, base + ids[r] * stride, n);
   }
-  float d = ((acc_d[0] + acc_d[1]) + (acc_d[2] + acc_d[3])) +
-            ((acc_d[4] + acc_d[5]) + (acc_d[6] + acc_d[7]));
-  float q = ((acc_q[0] + acc_q[1]) + (acc_q[2] + acc_q[3])) +
-            ((acc_q[4] + acc_q[5]) + (acc_q[6] + acc_q[7]));
-  for (; i < n; ++i) {
-    d += a[i] * b[i];
-    q += b[i] * b[i];
-  }
-  *dot = d;
-  *bnorm2 = q;
 }
+
+MARS_AVX2_FN void SquaredDistanceGatherAvx2(const float* u, const float* base,
+                                            size_t stride,
+                                            const uint32_t* ids, size_t count,
+                                            size_t n, float* out,
+                                            float sign) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = sign * SquaredDistanceRowAvx2(u, base + ids[r] * stride, n);
+  }
+}
+
+MARS_AVX2_FN void CosineBatchAvx2(const float* u, const float* rows,
+                                  size_t count, size_t stride, size_t n,
+                                  float inv_nu, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    float dot, nr2;
+    DotAndNormRowAvx2(u, rows + r * stride, n, &dot, &nr2);
+    const float nr = std::sqrt(nr2);
+    out[r] = nr < 1e-12f ? 0.0f : dot * inv_nu / nr;
+  }
+}
+
+MARS_AVX2_FN float WeightedFacetDotAvx2(const float* u, size_t u_stride,
+                                        const float* v, size_t v_stride,
+                                        const float* w, size_t num_facets,
+                                        size_t n) {
+  float score = 0.0f;
+  for (size_t k = 0; k < num_facets; ++k) {
+    score += w[k] * DotRowAvx2(u + k * u_stride, v + k * v_stride, n);
+  }
+  return score;
+}
+
+MARS_AVX2_FN float WeightedFacetSquaredDistanceAvx2(
+    const float* u, size_t u_stride, const float* v, size_t v_stride,
+    const float* w, size_t num_facets, size_t n) {
+  float score = 0.0f;
+  for (size_t k = 0; k < num_facets; ++k) {
+    score +=
+        w[k] * SquaredDistanceRowAvx2(u + k * u_stride, v + k * v_stride, n);
+  }
+  return score;
+}
+
+MARS_AVX2_FN void WeightedFacetDotBatchAvx2(const float* u, size_t u_stride,
+                                            const float* blocks,
+                                            size_t block_stride,
+                                            size_t row_stride, const float* w,
+                                            size_t num_facets, size_t count,
+                                            size_t n, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = WeightedFacetDotAvx2(u, u_stride, blocks + r * block_stride,
+                                  row_stride, w, num_facets, n);
+  }
+}
+
+MARS_AVX2_FN void WeightedFacetSquaredDistanceBatchAvx2(
+    const float* u, size_t u_stride, const float* blocks, size_t block_stride,
+    size_t row_stride, const float* w, size_t num_facets, size_t count,
+    size_t n, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = WeightedFacetSquaredDistanceAvx2(u, u_stride,
+                                              blocks + r * block_stride,
+                                              row_stride, w, num_facets, n);
+  }
+}
+
+#endif  // MARS_KERNELS_HAVE_AVX2
 
 }  // namespace
 
 void DotBatch(const float* u, const float* rows, size_t count, size_t stride,
               size_t n, float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    DotBatchAvx2(u, rows, count, stride, n, out);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = DotRow(u, rows + r * stride, n);
+    out[r] = DotRowGeneric(u, rows + r * stride, n);
   }
 }
 
 void SquaredDistanceBatch(const float* u, const float* rows, size_t count,
                           size_t stride, size_t n, float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    SquaredDistanceBatchAvx2(u, rows, count, stride, n, out, 1.0f);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = SquaredDistanceRow(u, rows + r * stride, n);
+    out[r] = SquaredDistanceRowGeneric(u, rows + r * stride, n);
   }
 }
 
@@ -93,9 +156,15 @@ void CosineBatch(const float* u, const float* rows, size_t count,
     return;
   }
   const float inv_nu = 1.0f / nu;
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    CosineBatchAvx2(u, rows, count, stride, n, inv_nu, out);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
     float dot, nr2;
-    DotAndNormRow(u, rows + r * stride, n, &dot, &nr2);
+    DotAndNormRowGeneric(u, rows + r * stride, n, &dot, &nr2);
     const float nr = std::sqrt(nr2);
     out[r] = nr < 1e-12f ? 0.0f : dot * inv_nu / nr;
   }
@@ -103,33 +172,56 @@ void CosineBatch(const float* u, const float* rows, size_t count,
 
 void DotGather(const float* u, const float* base, size_t stride,
                const uint32_t* ids, size_t count, size_t n, float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    DotGatherAvx2(u, base, stride, ids, count, n, out);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = DotRow(u, base + ids[r] * stride, n);
+    out[r] = DotRowGeneric(u, base + ids[r] * stride, n);
   }
 }
 
 void SquaredDistanceGather(const float* u, const float* base, size_t stride,
                            const uint32_t* ids, size_t count, size_t n,
                            float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    SquaredDistanceGatherAvx2(u, base, stride, ids, count, n, out, 1.0f);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = SquaredDistanceRow(u, base + ids[r] * stride, n);
+    out[r] = SquaredDistanceRowGeneric(u, base + ids[r] * stride, n);
   }
 }
 
 void NegatedSquaredDistanceGather(const float* u, const float* base,
                                   size_t stride, const uint32_t* ids,
                                   size_t count, size_t n, float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    SquaredDistanceGatherAvx2(u, base, stride, ids, count, n, out, -1.0f);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = -SquaredDistanceRow(u, base + ids[r] * stride, n);
+    out[r] = -SquaredDistanceRowGeneric(u, base + ids[r] * stride, n);
   }
 }
 
 float WeightedFacetDot(const float* u, size_t u_stride, const float* v,
                        size_t v_stride, const float* w, size_t num_facets,
                        size_t n) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    return WeightedFacetDotAvx2(u, u_stride, v, v_stride, w, num_facets, n);
+  }
+#endif
   float score = 0.0f;
   for (size_t k = 0; k < num_facets; ++k) {
-    score += w[k] * DotRow(u + k * u_stride, v + k * v_stride, n);
+    score += w[k] * DotRowGeneric(u + k * u_stride, v + k * v_stride, n);
   }
   return score;
 }
@@ -138,9 +230,16 @@ float WeightedFacetSquaredDistance(const float* u, size_t u_stride,
                                    const float* v, size_t v_stride,
                                    const float* w, size_t num_facets,
                                    size_t n) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    return WeightedFacetSquaredDistanceAvx2(u, u_stride, v, v_stride, w,
+                                            num_facets, n);
+  }
+#endif
   float score = 0.0f;
   for (size_t k = 0; k < num_facets; ++k) {
-    score += w[k] * SquaredDistanceRow(u + k * u_stride, v + k * v_stride, n);
+    score += w[k] * SquaredDistanceRowGeneric(u + k * u_stride,
+                                              v + k * v_stride, n);
   }
   return score;
 }
@@ -148,8 +247,14 @@ float WeightedFacetSquaredDistance(const float* u, size_t u_stride,
 void NegatedSquaredDistanceBatch(const float* u, const float* rows,
                                  size_t count, size_t stride, size_t n,
                                  float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    SquaredDistanceBatchAvx2(u, rows, count, stride, n, out, -1.0f);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = -SquaredDistanceRow(u, rows + r * stride, n);
+    out[r] = -SquaredDistanceRowGeneric(u, rows + r * stride, n);
   }
 }
 
@@ -158,9 +263,21 @@ void WeightedFacetDotBatch(const float* u, size_t u_stride,
                            size_t row_stride, const float* w,
                            size_t num_facets, size_t count, size_t n,
                            float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    WeightedFacetDotBatchAvx2(u, u_stride, blocks, block_stride, row_stride,
+                              w, num_facets, count, n, out);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = WeightedFacetDot(u, u_stride, blocks + r * block_stride,
-                              row_stride, w, num_facets, n);
+    const float* block = blocks + r * block_stride;
+    float score = 0.0f;
+    for (size_t k = 0; k < num_facets; ++k) {
+      score += w[k] * DotRowGeneric(u + k * u_stride, block + k * row_stride,
+                                    n);
+    }
+    out[r] = score;
   }
 }
 
@@ -169,10 +286,22 @@ void WeightedFacetSquaredDistanceBatch(const float* u, size_t u_stride,
                                        size_t block_stride, size_t row_stride,
                                        const float* w, size_t num_facets,
                                        size_t count, size_t n, float* out) {
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    WeightedFacetSquaredDistanceBatchAvx2(u, u_stride, blocks, block_stride,
+                                          row_stride, w, num_facets, count, n,
+                                          out);
+    return;
+  }
+#endif
   for (size_t r = 0; r < count; ++r) {
-    out[r] = WeightedFacetSquaredDistance(u, u_stride,
-                                          blocks + r * block_stride,
-                                          row_stride, w, num_facets, n);
+    const float* block = blocks + r * block_stride;
+    float score = 0.0f;
+    for (size_t k = 0; k < num_facets; ++k) {
+      score += w[k] * SquaredDistanceRowGeneric(u + k * u_stride,
+                                                block + k * row_stride, n);
+    }
+    out[r] = score;
   }
 }
 

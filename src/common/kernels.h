@@ -7,10 +7,14 @@
 // explicit `stride` (in floats) between consecutive rows so they work both
 // on tightly packed Matrix rows (stride == n) and on the aligned, padded
 // rows of FacetStore (stride >= n, see common/facet_store.h). Row
-// accumulation is 8-wide (two independent 4-lane chains), which the
-// compiler turns into dual SIMD reduction chains — measurably faster than
-// the scalar 4-wide unroll when amortized over a candidate block; see
-// bench/microbench_kernels.cpp before changing the shapes.
+// accumulation dispatches once per call between a generic 8-wide
+// accumulator form (autovectorized at the build's baseline ISA) and an
+// explicit AVX2+FMA twin when the host supports it — measured 1.3-1.7x on
+// the 1024-row serving shape (see kernels_detail.h for the rounding
+// contract and bench/microbench_kernels.cpp for the comparison; measure
+// before changing the shapes). Within one process, the gather and batch
+// forms of a family always share a row primitive, so ScoreItems and
+// ScoreItemRange rank bit-identically.
 #ifndef MARS_COMMON_KERNELS_H_
 #define MARS_COMMON_KERNELS_H_
 

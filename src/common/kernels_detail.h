@@ -1,0 +1,194 @@
+// Internal kernel row primitives: the autovectorized generic forms and
+// their AVX2+FMA intrinsic twins, plus the runtime CPU check that picks
+// between them. Shared between common/kernels.cc (which dispatches) and
+// bench/microbench_kernels.cpp (which A/B-times both paths — the ROADMAP
+// "SIMD-explicit kernels" item is measure-first, so the comparison has to
+// stay runnable after adoption).
+//
+// Numerical contract: within one build, every batch/gather/facet kernel
+// of a scoring family reduces rows with the *same* primitive, so
+// ScoreItems (gather) and ScoreItemRange (batch) stay bit-identical —
+// the equivalence the serving tests pin. The AVX2 forms use one fused
+// 8-lane FMA chain per accumulator instead of the generic two 4-lane
+// chains, so results differ from the generic path in final-bit rounding;
+// that is fine *across* paths (a host either has AVX2 or does not) but
+// means the two paths must never be mixed inside one family at runtime —
+// which the single HasAvx2Fma() branch point guarantees.
+//
+// x86-only by construction; every other architecture compiles the
+// generic forms alone and HasAvx2Fma() constant-folds to false.
+#ifndef MARS_COMMON_KERNELS_DETAIL_H_
+#define MARS_COMMON_KERNELS_DETAIL_H_
+
+#include <cstddef>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MARS_KERNELS_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define MARS_KERNELS_HAVE_AVX2 0
+#endif
+
+namespace mars {
+namespace kernels_detail {
+
+// --- Generic forms: 8-wide accumulator arrays the compiler turns into
+// two independent SIMD reduction chains at the build's baseline ISA. ----
+
+inline float DotRowGeneric(const float* a, const float* b, size_t n) {
+  float acc[8] = {0.0f};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) acc[j] += a[i + j] * b[i + j];
+  }
+  float s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+            ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline float SquaredDistanceRowGeneric(const float* a, const float* b,
+                                       size_t n) {
+  float acc[8] = {0.0f};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const float dlt = a[i + j] - b[i + j];
+      acc[j] += dlt * dlt;
+    }
+  }
+  float s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+            ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+  for (; i < n; ++i) {
+    const float dlt = a[i] - b[i];
+    s += dlt * dlt;
+  }
+  return s;
+}
+
+/// Fused dot(a,b) and ||b||² in one traversal — the per-candidate piece
+/// of CosineBatch (||a|| is hoisted by the caller).
+inline void DotAndNormRowGeneric(const float* a, const float* b, size_t n,
+                                 float* dot, float* bnorm2) {
+  float acc_d[8] = {0.0f};
+  float acc_q[8] = {0.0f};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const float bj = b[i + j];
+      acc_d[j] += a[i + j] * bj;
+      acc_q[j] += bj * bj;
+    }
+  }
+  float d = ((acc_d[0] + acc_d[1]) + (acc_d[2] + acc_d[3])) +
+            ((acc_d[4] + acc_d[5]) + (acc_d[6] + acc_d[7]));
+  float q = ((acc_q[0] + acc_q[1]) + (acc_q[2] + acc_q[3])) +
+            ((acc_q[4] + acc_q[5]) + (acc_q[6] + acc_q[7]));
+  for (; i < n; ++i) {
+    d += a[i] * b[i];
+    q += b[i] * b[i];
+  }
+  *dot = d;
+  *bnorm2 = q;
+}
+
+#if MARS_KERNELS_HAVE_AVX2
+
+#define MARS_AVX2_FN __attribute__((target("avx2,fma")))
+
+/// True when the running CPU supports the avx2+fma code paths. One check,
+/// cached — all dispatch flows through here so a process never mixes the
+/// two rounding behaviors within a kernel family.
+inline bool HasAvx2Fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+MARS_AVX2_FN inline float Hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+MARS_AVX2_FN inline float DotRowAvx2(const float* a, const float* b,
+                                     size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float s = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+MARS_AVX2_FN inline float SquaredDistanceRowAvx2(const float* a,
+                                                 const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                    _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+  }
+  float s = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    const float dlt = a[i] - b[i];
+    s += dlt * dlt;
+  }
+  return s;
+}
+
+MARS_AVX2_FN inline void DotAndNormRowAvx2(const float* a, const float* b,
+                                           size_t n, float* dot,
+                                           float* bnorm2) {
+  __m256 acc_d = _mm256_setzero_ps();
+  __m256 acc_q = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);
+    const __m256 bv = _mm256_loadu_ps(b + i);
+    acc_d = _mm256_fmadd_ps(av, bv, acc_d);
+    acc_q = _mm256_fmadd_ps(bv, bv, acc_q);
+  }
+  float d = Hsum256(acc_d);
+  float q = Hsum256(acc_q);
+  for (; i < n; ++i) {
+    d += a[i] * b[i];
+    q += b[i] * b[i];
+  }
+  *dot = d;
+  *bnorm2 = q;
+}
+
+#else  // !MARS_KERNELS_HAVE_AVX2
+
+inline bool HasAvx2Fma() { return false; }
+
+#endif  // MARS_KERNELS_HAVE_AVX2
+
+}  // namespace kernels_detail
+}  // namespace mars
+
+#endif  // MARS_COMMON_KERNELS_DETAIL_H_

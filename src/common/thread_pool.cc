@@ -51,17 +51,42 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  MARS_CHECK_MSG(!IsWorkerThread(),
+                 "ThreadPool::RunBatch called from a pool task "
+                 "(re-entrant use)");
+  // Batch-scoped completion state, independent of the pool-global
+  // in-flight count: concurrent batch owners only wait for their own
+  // indices. Stack-allocated — the final wait keeps it alive past the
+  // last task's notify.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  } batch;
+  batch.remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    Submit([i, &fn, &batch] {
+      fn(i);
+      std::unique_lock<std::mutex> lock(batch.mu);
+      if (--batch.remaining == 0) batch.done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const size_t num_chunks = std::min(n, workers_.size() * 4);
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (size_t start = 0; start < n; start += chunk) {
+  const size_t batches = (n + chunk - 1) / chunk;
+  RunBatch(batches, [n, chunk, &fn](size_t b) {
+    const size_t start = b * chunk;
     const size_t end = std::min(n, start + chunk);
-    Submit([start, end, &fn] {
-      for (size_t i = start; i < end; ++i) fn(i);
-    });
-  }
-  Wait();
+    for (size_t i = start; i < end; ++i) fn(i);
+  });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -39,6 +39,15 @@ class ThreadPool {
   /// from a task on this pool — that would wait for itself forever.
   void Wait();
 
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until *this
+  /// batch* — not the whole queue — has finished. Unlike Submit+Wait,
+  /// which waits on the pool-global in-flight count, each RunBatch call
+  /// tracks its own completion, so several non-worker threads can fan out
+  /// batches concurrently without waiting on one another's work (the
+  /// concurrent top-k sweep path). Tasks are still serviced by the shared
+  /// worker queue; the same re-entrancy rule applies (never from a worker).
+  void RunBatch(size_t n, const std::function<void(size_t)>& fn);
+
   size_t num_threads() const { return workers_.size(); }
 
   /// True when the calling thread is one of this pool's workers, i.e. the

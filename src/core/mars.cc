@@ -359,4 +359,14 @@ float Mars::MarginOf(UserId u) const {
   return margins_[u];
 }
 
+std::unique_ptr<Mars> Mars::ServingSnapshot(ThreadPool* pool) const {
+  auto snap = std::make_unique<Mars>(config_, mars_options_);
+  SnapshotFacetStore(user_facets_, &snap->user_facets_, pool);
+  SnapshotFacetStore(item_facets_, &snap->item_facets_, pool);
+  snap->theta_logits_ = theta_logits_;
+  snap->radii_ = radii_;
+  snap->margins_ = margins_;
+  return snap;
+}
+
 }  // namespace mars

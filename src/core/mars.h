@@ -92,6 +92,14 @@ class Mars : public Recommender {
   /// trainer to it (Fit) aborts.
   bool mapped() const { return user_facets_.borrowed(); }
 
+  /// Owned frozen copy of the current weights — the unit a serving epoch
+  /// publishes (TopKServer::PublishEpoch / common/snapshot_handle.h).
+  /// Call only while training is quiesced: between Fit calls, or from a
+  /// TrainOptions::epoch_callback at an epoch boundary (the same contract
+  /// as the overlapped-eval snapshot). With a non-null idle `pool` the
+  /// facet stores are copied one shard per worker.
+  std::unique_ptr<Mars> ServingSnapshot(ThreadPool* pool = nullptr) const;
+
  private:
   friend bool SaveMars(const Mars& model, const std::string& path);
   friend bool SaveMarsV3(const Mars& model, const std::string& path);

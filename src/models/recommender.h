@@ -10,6 +10,7 @@
 #define MARS_MODELS_RECOMMENDER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "data/dataset.h"
@@ -56,6 +57,16 @@ struct TrainOptions {
   /// catalog. TopKServer::AbsorbWrites consumes the flags at a quiesced
   /// epoch boundary.
   WriteTracker* write_tracker = nullptr;
+
+  /// Optional epoch-boundary hook, invoked after each epoch's steps while
+  /// the trainer pool is quiesced — the one moment model tables may be
+  /// read or copied (the snapshot/quiesce contract). The serving
+  /// integration publishes from here: take an owned frozen copy (e.g.
+  /// Mars::ServingSnapshot) and hand it with the write tracker to
+  /// TopKServer::PublishEpoch, which swaps the serving epoch without
+  /// blocking in-flight queries. Keep the callback bounded: the next
+  /// epoch does not start until it returns.
+  std::function<void(size_t epoch)> epoch_callback = nullptr;
 
   /// Log per-epoch progress.
   bool verbose = false;

@@ -25,6 +25,10 @@ size_t RunSynchronous(const TrainOptions& options, const ItemScorer& scorer,
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     run_epoch(epoch, schedule.At(epoch));
     ++epochs_run;
+    // Quiesced boundary: the epoch's steps are done and no worker is
+    // running, so the callback may read/copy the model tables (the
+    // serving layer publishes its next epoch from here).
+    if (options.epoch_callback) options.epoch_callback(epoch);
     const bool last_epoch = (epoch + 1 == options.epochs);
     if (options.dev_evaluator != nullptr && options.eval_every > 0 &&
         ((epoch + 1) % options.eval_every == 0) && !last_epoch) {
@@ -65,6 +69,10 @@ size_t RunOverlapped(const TrainOptions& options,
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     run_epoch(epoch, schedule.At(epoch));
     ++epochs_run;
+    // Same quiesced-boundary hook as the synchronous path: the trainer
+    // pool is idle here (RunEpoch joined its workers); only the previous
+    // eval may still be running, and it reads its own frozen snapshot.
+    if (options.epoch_callback) options.epoch_callback(epoch);
     if (has_pending) {
       eval_thread.join();
       has_pending = false;

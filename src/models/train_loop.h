@@ -12,6 +12,11 @@
 //    next epoch trains. The eval is joined after that epoch, before the
 //    early-stop decision, so a stop triggers at most one epoch later than
 //    the synchronous protocol but eval wall-clock is hidden entirely.
+//
+// Both protocols invoke options.epoch_callback right after each epoch's
+// steps, with the trainer pool quiesced — the hook the serving layer uses
+// to publish a fresh epoch (snapshot + TopKServer::PublishEpoch) without
+// stopping either training or in-flight queries.
 #ifndef MARS_MODELS_TRAIN_LOOP_H_
 #define MARS_MODELS_TRAIN_LOOP_H_
 

@@ -18,151 +18,379 @@ inline bool RanksBetter(const std::pair<float, ItemId>& a,
   return a.first > b.first || (a.first == b.first && a.second < b.second);
 }
 
-/// Pushes (score, v) into `heap`, a worst-on-top heap bounded at `k`.
-inline void PushTopK(std::vector<std::pair<float, ItemId>>* heap, size_t k,
-                     float score, ItemId v) {
-  if (k == 0) return;
-  const std::pair<float, ItemId> cand{score, v};
-  if (heap->size() < k) {
-    heap->push_back(cand);
-    std::push_heap(heap->begin(), heap->end(), RanksBetter);
+/// Shrinks `buf` to its k best entries by RanksBetter (unsorted).
+inline void CompactTopK(std::vector<std::pair<float, ItemId>>* buf,
+                        size_t k) {
+  if (k == 0) {
+    buf->clear();
     return;
   }
-  if (!RanksBetter(cand, heap->front())) return;
-  std::pop_heap(heap->begin(), heap->end(), RanksBetter);
-  heap->back() = cand;
-  std::push_heap(heap->begin(), heap->end(), RanksBetter);
+  if (buf->size() <= k) return;
+  std::nth_element(buf->begin(), buf->begin() + (k - 1), buf->end(),
+                   RanksBetter);
+  buf->resize(k);
+}
+
+/// Appends the top-k (unsorted) of items [begin, end) to `out`, given
+/// their scores in `scores[0 .. end-begin)`. Selection is threshold +
+/// bounded append + rare nth_element compaction: the steady state is one
+/// comparison per item.
+void SelectRangeTopK(const float* scores, ItemId begin, ItemId end,
+                     UserId u, size_t k, const ImplicitDataset* exclude,
+                     std::vector<std::pair<float, ItemId>>* out) {
+  if (k == 0) return;
+  // thread_local so concurrent sweeps don't share it but repeated sweeps
+  // on one thread reuse the allocation (same pattern as the evaluator's
+  // per-thread ranking scratch).
+  static thread_local std::vector<std::pair<float, ItemId>> buf;
+  buf.clear();
+  // Anything not beating the current k-th best can never make the top-k;
+  // the threshold only tightens at compactions, which is fine — it is
+  // always a *sound* rejector, never an over-eager one.
+  std::pair<float, ItemId> threshold{};
+  bool has_threshold = false;
+  const size_t buf_cap = 4 * k;
+  buf.reserve(buf_cap);
+  for (ItemId v = begin; v < end; ++v) {
+    if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
+    const std::pair<float, ItemId> cand{scores[v - begin], v};
+    if (has_threshold && !RanksBetter(cand, threshold)) continue;
+    buf.push_back(cand);
+    if (buf.size() >= buf_cap) {
+      CompactTopK(&buf, k);
+      threshold = buf[k - 1];
+      has_threshold = true;
+    }
+  }
+  CompactTopK(&buf, k);
+  out->insert(out->end(), buf.begin(), buf.end());
+}
+
+/// Sorts a candidate pool's k best into the final ranked (items, scores).
+void RankCandidates(std::vector<std::pair<float, ItemId>>* pool, size_t k,
+                    std::vector<ItemId>* items, std::vector<float>* scores) {
+  CompactTopK(pool, k);
+  std::sort(pool->begin(), pool->end(), RanksBetter);
+  items->resize(pool->size());
+  scores->resize(pool->size());
+  for (size_t i = 0; i < pool->size(); ++i) {
+    (*items)[i] = (*pool)[i].second;
+    (*scores)[i] = (*pool)[i].first;
+  }
+}
+
+size_t ResolveStripeCount(const TopKServerOptions& options,
+                          size_t num_users) {
+  size_t stripes = options.cache_stripes > 0 ? options.cache_stripes : 16;
+  if (options.max_cached_users > 0) {
+    stripes = std::min(stripes, options.max_cached_users);
+  }
+  stripes = std::min(stripes, std::max<size_t>(1, num_users));
+  return std::max<size_t>(1, stripes);
 }
 
 }  // namespace
 
-TopKServer::TopKServer(const ItemScorer* model, size_t num_users,
-                       size_t num_items, TopKServerOptions options)
-    : model_(model),
+TopKServer::TopKServer(std::shared_ptr<const ItemScorer> model,
+                       size_t num_users, size_t num_items,
+                       TopKServerOptions options)
+    : model_(std::move(model)),
       num_users_(num_users),
       num_items_(num_items),
-      options_(options) {
-  MARS_CHECK(model != nullptr);
+      item_shards_(
+          WriteTracker::ClampedShardCount(num_items, options.item_shards)),
+      options_(options),
+      stripes_(ResolveStripeCount(options, num_users)) {
+  MARS_CHECK(model_.Acquire() != nullptr);
   MARS_CHECK(num_items >= 1);
+  MARS_CHECK(options.item_shards >= 1);
+  // Distribute the cache bound exactly: stripe i takes an extra slot
+  // until the remainder is used up, so the capacities sum to the bound.
+  const size_t n = stripes_.size();
+  for (size_t i = 0; i < n; ++i) {
+    stripes_[i].capacity =
+        options_.max_cached_users / n + (i < options_.max_cached_users % n);
+  }
+}
+
+TopKServer::TopKServer(const ItemScorer* model, size_t num_users,
+                       size_t num_items, TopKServerOptions options)
+    : TopKServer(UnownedSnapshot(model), num_users, num_items, options) {}
+
+size_t TopKServer::StripeOf(UserId u) const {
+  return FacetStore::ShardOf(num_users_, u, stripes_.size());
 }
 
 TopKResult TopKServer::TopK(UserId u) {
   MARS_CHECK(u < num_users_);
-  const auto it = cache_.find(u);
-  if (it != cache_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    TopKResult result;
-    result.items = it->second.items;
-    result.scores = it->second.scores;
-    result.from_cache = true;
-    return result;
+  Stripe& stripe = stripes_[StripeOf(u)];
+  {
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    const auto it = stripe.map.find(u);
+    if (it != stripe.map.end()) {
+      ++stripe.hits;
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_pos);
+      TopKResult result;
+      result.items = it->second.items;
+      result.scores = it->second.scores;
+      result.from_cache = true;
+      result.epoch = it->second.epoch;
+      return result;
+    }
   }
 
-  ++stats_.misses;
+  // Miss: pin the current epoch and sweep it outside every lock — the
+  // maintenance side may publish the next epoch mid-sweep without
+  // blocking us, and other stripes keep serving hits meanwhile. Snapshot
+  // and epoch come from one Acquire, so the result's label is always the
+  // epoch actually ranked.
+  uint64_t pinned_epoch = 0;
+  const std::shared_ptr<const ItemScorer> snapshot =
+      model_.Acquire(&pinned_epoch);
   TopKResult result;
-  Sweep(u, &result.items, &result.scores);
-  if (options_.max_cached_users > 0) {
-    CacheEntry entry;
-    entry.items = result.items;
-    entry.scores = result.scores;
-    lru_.push_front(u);
-    entry.lru_pos = lru_.begin();
-    cache_.emplace(u, std::move(entry));
-    EvictIfOverCap();
+  result.epoch = pinned_epoch;
+  Sweep(*snapshot, u, &result.items, &result.scores);
+
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  ++stripe.misses;
+  // Cache only when this is still the current epoch (checked under the
+  // stripe lock — see the publish-order note in the file comment): if a
+  // swap landed mid-sweep, either AbsorbWrites will still scan this
+  // stripe after our insert (and repair the entry from the tracker
+  // flags), or the epoch moved before we got here and we must not
+  // publish a ranking of a superseded snapshot into the cache.
+  if (stripe.capacity > 0 && model_.epoch() == pinned_epoch) {
+    auto [it, inserted] = stripe.map.try_emplace(u);
+    if (!inserted) {
+      // A concurrent miss for the same user beat us here; replace its
+      // payload (identical unless epochs differ) and reuse its LRU slot.
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_pos);
+    } else {
+      stripe.lru.push_front(u);
+      it->second.lru_pos = stripe.lru.begin();
+    }
+    it->second.items = result.items;
+    it->second.scores = result.scores;
+    it->second.epoch = pinned_epoch;
+    EvictIfOverCap(&stripe);
   }
   return result;
 }
 
-void TopKServer::Sweep(UserId u, std::vector<ItemId>* items,
+void TopKServer::Sweep(const ItemScorer& model, UserId u,
+                       std::vector<ItemId>* items,
                        std::vector<float>* scores) {
-  const size_t pool_threads =
-      options_.pool != nullptr ? options_.pool->num_threads() : 1;
-  const size_t shards = std::max<size_t>(
-      1, options_.sweep_shards > 0 ? options_.sweep_shards : pool_threads);
   const size_t k = std::min(options_.k, num_items_);
   const ImplicitDataset* exclude = options_.exclude_interactions;
-  sweep_scratch_.resize(shards);
 
-  // Each worker scans one contiguous ShardRange — the item blocks inside it
-  // are sequential in memory — and keeps a bounded local top-k.
-  const auto scan_shard = [&, k](size_t s) {
-    const auto [begin, end] = FacetStore::ShardRange(num_items_, s, shards);
-    ShardScratch& scratch = sweep_scratch_[s];
-    scratch.candidates.clear();
+  const bool parallel_ok = options_.pool != nullptr && model.thread_safe() &&
+                           !options_.pool->IsWorkerThread();
+  const size_t chunks = std::min(
+      num_items_,
+      std::max<size_t>(1, !parallel_ok ? 1
+                          : options_.sweep_shards > 0
+                              ? options_.sweep_shards
+                              : options_.pool->num_threads()));
+
+  // Each chunk scans one contiguous ShardRange — the item blocks inside
+  // it are sequential in memory — and keeps a bounded local top-k.
+  std::vector<std::vector<std::pair<float, ItemId>>> per_chunk(chunks);
+  const auto scan_chunk = [&, k](size_t c) {
+    const auto [begin, end] = FacetStore::ShardRange(num_items_, c, chunks);
     if (begin == end) return;
-    scratch.scores.resize(end - begin);
-    model_->ScoreItemRange(u, begin, end, scratch.scores.data());
-    for (ItemId v = begin; v < end; ++v) {
-      if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
-      PushTopK(&scratch.candidates, k, scratch.scores[v - begin], v);
-    }
+    // Per-thread score buffer: misses on one thread (or successive chunks
+    // on one pool worker) reuse the allocation instead of paying a
+    // catalog-sized malloc per sweep.
+    static thread_local std::vector<float> chunk_scores;
+    chunk_scores.resize(end - begin);
+    model.ScoreItemRange(u, begin, end, chunk_scores.data());
+    SelectRangeTopK(chunk_scores.data(), begin, end, u, k, exclude,
+                    &per_chunk[c]);
   };
 
-  // Serial fallback for models whose scoring reuses internal scratch
-  // (thread_safe() == false) — same guard the evaluator applies.
-  if (options_.pool != nullptr && shards > 1 && model_->thread_safe()) {
-    for (size_t s = 0; s < shards; ++s) {
-      options_.pool->Submit([&scan_shard, s] { scan_shard(s); });
-    }
-    options_.pool->Wait();
+  if (chunks > 1) {
+    options_.pool->RunBatch(chunks, scan_chunk);
+  } else if (!model.thread_safe()) {
+    // A model with shared internal scoring scratch cannot even be swept
+    // serially from two frontend threads at once.
+    std::unique_lock<std::mutex> lock(serial_model_mu_);
+    scan_chunk(0);
   } else {
-    for (size_t s = 0; s < shards; ++s) scan_shard(s);
+    scan_chunk(0);
   }
 
-  // Merge the per-shard winners (≤ k each) into the final ranking.
+  // Merge the per-chunk winners (≤ k each) into the final ranking.
   std::vector<std::pair<float, ItemId>> merged;
-  merged.reserve(shards * k);
-  for (const ShardScratch& scratch : sweep_scratch_) {
-    merged.insert(merged.end(), scratch.candidates.begin(),
-                  scratch.candidates.end());
+  merged.reserve(chunks * k);
+  for (const auto& chunk : per_chunk) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
   }
-  std::sort(merged.begin(), merged.end(), RanksBetter);
-  const size_t n = std::min(k, merged.size());
-  items->resize(n);
-  scores->resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    (*items)[i] = merged[i].second;
-    (*scores)[i] = merged[i].first;
-  }
+  RankCandidates(&merged, k, items, scores);
 }
 
 void TopKServer::AbsorbWrites(WriteTracker* tracker) {
   MARS_CHECK(tracker != nullptr);
   MARS_CHECK(tracker->num_users() == num_users_);
   MARS_CHECK(tracker->num_items() == num_items_);
+  MARS_CHECK_MSG(tracker->num_item_shards() == item_shards_,
+                 "WriteTracker item-shard count must match the server's "
+                 "(TopKServerOptions::item_shards)");
 
-  // Any dirty item shard invalidates every entry: a cached heap ranks the
-  // full catalog, so all item shards contribute to it.
-  bool items_dirty = false;
-  for (size_t s = 0; s < tracker->num_item_shards() && !items_dirty; ++s) {
-    items_dirty = tracker->ItemShardDirty(s);
+  std::vector<size_t> dirty_items;
+  for (size_t s = 0; s < item_shards_; ++s) {
+    if (tracker->ItemShardDirty(s)) dirty_items.push_back(s);
   }
+  // Refreshing every shard costs what the cold sweep it replaces would;
+  // drop instead and let the next query pay one miss lazily.
+  const bool all_items_dirty = dirty_items.size() == item_shards_;
 
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    const bool stale =
-        items_dirty ||
-        tracker->UserShardDirty(tracker->UserShardOf(it->first));
-    if (stale) {
-      ++stats_.invalidated;
-      lru_.erase(it->second.lru_pos);
-      it = cache_.erase(it);
-    } else {
-      ++it;
+  uint64_t current_epoch = 0;
+  const std::shared_ptr<const ItemScorer> snapshot =
+      model_.Acquire(&current_epoch);
+  RefreshScratch scratch;
+  for (Stripe& stripe : stripes_) {
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.map.begin(); it != stripe.map.end();) {
+      CacheEntry& entry = it->second;
+      const bool user_dirty =
+          tracker->UserShardDirty(tracker->UserShardOf(it->first));
+      bool drop = user_dirty || all_items_dirty;
+      if (!drop && !dirty_items.empty()) {
+        if (RefreshEntry(*snapshot, it->first, dirty_items, &scratch,
+                         &entry)) {
+          entry.epoch = current_epoch;
+          ++stripe.refreshed;
+        } else {
+          // The k-th-rank cutoff dropped: exactness is unprovable by the
+          // cheap merge. Drop and let the next query pay one lazy miss —
+          // same bounded-stall policy as the all-dirty case above.
+          drop = true;
+          ++stripe.refresh_drops;
+        }
+      }
+      if (drop) {
+        ++stripe.invalidated;
+        stripe.lru.erase(entry.lru_pos);
+        it = stripe.map.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   tracker->Clear();
 }
 
+bool TopKServer::RefreshEntry(const ItemScorer& model, UserId u,
+                              const std::vector<size_t>& dirty,
+                              RefreshScratch* scratch, CacheEntry* entry) {
+  const size_t k = std::min(options_.k, num_items_);
+  if (k == 0) return true;  // nothing cached at k == 0; trivially exact
+  const ImplicitDataset* exclude = options_.exclude_interactions;
+
+  // Old k-th rank — the exactness cutoff. An entry shorter than k listed
+  // the whole eligible catalog, so its merge is exhaustive and exact.
+  const bool old_full = entry->items.size() >= k;
+  const std::pair<float, ItemId> old_kth =
+      old_full ? std::pair<float, ItemId>{entry->scores.back(),
+                                          entry->items.back()}
+               : std::pair<float, ItemId>{};
+
+  // Survivors: cached rows outside every dirty shard (their scores are
+  // byte-identical across the swap by the tracker contract). `dirty` is
+  // sorted, so membership is a binary search.
+  std::vector<std::pair<float, ItemId>>& candidates = scratch->candidates;
+  candidates.clear();
+  for (size_t i = 0; i < entry->items.size(); ++i) {
+    const size_t s =
+        FacetStore::ShardOf(num_items_, entry->items[i], item_shards_);
+    if (!std::binary_search(dirty.begin(), dirty.end(), s)) {
+      candidates.emplace_back(entry->scores[i], entry->items[i]);
+    }
+  }
+
+  // Re-score the dirty shards against the current snapshot, accepting
+  // into one shared buffer. The acceptance threshold starts at the *old*
+  // k-th rank: a dirty item strictly worse than it can only enter the
+  // new top-k if the cutoff drops — and a dropped cutoff fails the
+  // exactness check below and re-sweeps anyway, so rejecting early loses
+  // nothing. This keeps the refresh at ~one comparison per dirty item
+  // (the old per-shard top-k selection dominated refresh cost at mid
+  // catalog sizes). The threshold only tightens when accepts pile up.
+  std::pair<float, ItemId> threshold = old_kth;
+  bool has_threshold = old_full;
+  const size_t buf_cap = candidates.size() + 4 * k;
+  {
+    // Same guard as Sweep: a model with shared internal scoring scratch
+    // must not be scored here while a frontend miss sweeps it.
+    std::unique_lock<std::mutex> model_lock(serial_model_mu_,
+                                            std::defer_lock);
+    if (!model.thread_safe()) model_lock.lock();
+    for (const size_t s : dirty) {
+      const auto [begin, end] =
+          FacetStore::ShardRange(num_items_, s, item_shards_);
+      if (begin >= end) continue;
+      scratch->scores.resize(end - begin);
+      model.ScoreItemRange(u, begin, end, scratch->scores.data());
+      for (ItemId v = begin; v < end; ++v) {
+        if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
+        const std::pair<float, ItemId> cand{scratch->scores[v - begin], v};
+        // Reject only what is *strictly* worse than the threshold — the
+        // old k-th member itself must survive its shard being dirtied.
+        if (has_threshold && RanksBetter(threshold, cand)) continue;
+        candidates.push_back(cand);
+        if (candidates.size() >= buf_cap) {
+          CompactTopK(&candidates, k);
+          threshold = candidates[k - 1];
+          has_threshold = true;
+        }
+      }
+    }
+  }
+
+  std::vector<ItemId>& merged_items = scratch->merged_items;
+  std::vector<float>& merged_scores = scratch->merged_scores;
+  RankCandidates(&candidates, k, &merged_items, &merged_scores);
+
+  // Exactness: with the new cutoff no worse than the old one, a clean
+  // item that was below the old cutoff (and therefore not cached) still
+  // cannot reach the new top-k. Otherwise the cutoff dropped and an
+  // uncached clean item might now qualify — only a full sweep could
+  // tell, and that is the caller's cue to drop the entry instead.
+  const bool exact =
+      !old_full ||
+      (merged_items.size() == k &&
+       !RanksBetter(old_kth, {merged_scores.back(), merged_items.back()}));
+  if (!exact) return false;
+  // Swap, not move: the entry's old buffers go back into the scratch for
+  // the next refresh.
+  entry->items.swap(merged_items);
+  entry->scores.swap(merged_scores);
+  return true;
+}
+
+void TopKServer::ReplaceModel(std::shared_ptr<const ItemScorer> model) {
+  MARS_CHECK(model != nullptr);
+  model_.Publish(std::move(model));
+}
+
 void TopKServer::ReplaceModel(const ItemScorer* model) {
   MARS_CHECK(model != nullptr);
-  model_ = model;
+  model_.Publish(UnownedSnapshot(model));
+}
+
+void TopKServer::PublishEpoch(std::shared_ptr<const ItemScorer> model,
+                              WriteTracker* tracker) {
+  ReplaceModel(std::move(model));
+  if (tracker != nullptr) AbsorbWrites(tracker);
 }
 
 void TopKServer::InvalidateAll() {
-  stats_.invalidated += cache_.size();
-  cache_.clear();
-  lru_.clear();
+  for (Stripe& stripe : stripes_) {
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    stripe.invalidated += stripe.map.size();
+    stripe.map.clear();
+    stripe.lru.clear();
+  }
 }
 
 bool TopKServer::Prime(UserId u, std::vector<ItemId> items,
@@ -175,44 +403,60 @@ bool TopKServer::Prime(UserId u, std::vector<ItemId> items,
   for (const ItemId v : items) {
     if (v >= num_items_) return false;
   }
-  const auto it = cache_.find(u);
-  if (it != cache_.end()) {
-    lru_.erase(it->second.lru_pos);
-    cache_.erase(it);
+  Stripe& stripe = stripes_[StripeOf(u)];
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  const auto it = stripe.map.find(u);
+  if (it != stripe.map.end()) {
+    stripe.lru.erase(it->second.lru_pos);
+    stripe.map.erase(it);
   }
   CacheEntry entry;
   entry.items = std::move(items);
   entry.scores = std::move(scores);
-  lru_.push_front(u);
-  entry.lru_pos = lru_.begin();
-  cache_.emplace(u, std::move(entry));
-  ++stats_.primed;
-  EvictIfOverCap();
+  entry.epoch = model_.epoch();
+  stripe.lru.push_front(u);
+  entry.lru_pos = stripe.lru.begin();
+  stripe.map.emplace(u, std::move(entry));
+  ++stripe.primed;
+  EvictIfOverCap(&stripe);
   return true;
 }
 
 void TopKServer::ForEachCached(
     const std::function<void(UserId, const std::vector<ItemId>&,
                              const std::vector<float>&)>& fn) const {
-  for (const UserId u : lru_) {
-    const auto it = cache_.find(u);
-    MARS_DCHECK(it != cache_.end());
-    fn(u, it->second.items, it->second.scores);
+  for (const Stripe& stripe : stripes_) {
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    for (const UserId u : stripe.lru) {
+      const auto it = stripe.map.find(u);
+      MARS_DCHECK(it != stripe.map.end());
+      fn(u, it->second.items, it->second.scores);
+    }
   }
 }
 
-void TopKServer::EvictIfOverCap() {
-  while (cache_.size() > options_.max_cached_users) {
-    const UserId victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim);
-    ++stats_.evictions;
+void TopKServer::EvictIfOverCap(Stripe* stripe) {
+  while (stripe->map.size() > stripe->capacity) {
+    const UserId victim = stripe->lru.back();
+    stripe->lru.pop_back();
+    stripe->map.erase(victim);
+    ++stripe->evictions;
   }
 }
 
 TopKServerStats TopKServer::stats() const {
-  TopKServerStats s = stats_;
-  s.cached_users = cache_.size();
+  TopKServerStats s;
+  for (const Stripe& stripe : stripes_) {
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    s.hits += stripe.hits;
+    s.misses += stripe.misses;
+    s.invalidated += stripe.invalidated;
+    s.refreshed += stripe.refreshed;
+    s.refresh_drops += stripe.refresh_drops;
+    s.evictions += stripe.evictions;
+    s.primed += stripe.primed;
+    s.cached_users += stripe.map.size();
+  }
   return s;
 }
 

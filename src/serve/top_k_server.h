@@ -1,44 +1,80 @@
-// Top-k serving over a quiesced model: full-catalog sweep + bounded cache.
+// Concurrent top-k serving over epoch-swapped model snapshots.
 //
 // TopKServer answers "top-k items for user u" by sweeping the *entire*
 // catalog with the model's ScoreItemRange (the contiguous-block serving
 // adapter every model overrides with its batch kernel — DotBatch for
 // dot-product models, SquaredDistanceBatch for metric models, the fused
 // WeightedFacetDot path for MARS/MAR), then keeps the ranked top-k per user
-// in a bounded LRU cache so hot users are answered without touching the
-// embedding tables at all.
+// in a bounded, mutex-striped LRU cache so hot users are answered without
+// touching the embedding tables at all.
 //
-// The sweep partitions [0, num_items) into the same balanced, cache-line-
-// aligned contiguous ranges FacetStore::ShardRange hands to training
-// shards; with a ThreadPool each worker scans one range sequentially in
-// memory and keeps a local top-k, and the per-shard winners are merged.
+// The server is split into two roles with different concurrency rights:
 //
-// Invalidation is shard-granular: training steps mark dirtied rows in a
-// WriteTracker (serve/write_tracker.h), and AbsorbWrites() — called at a
-// quiesced epoch boundary, the same contract under which overlapped eval
-// snapshots the model — drops every cached entry whose user row shard was
-// touched, and *all* entries when any item shard was touched (a cached heap
-// ranks the full catalog, so every item shard contributes to it).
+//  * Read front — TopK(). Any number of frontend threads may call it
+//    concurrently. Each query pins the current model snapshot through a
+//    SnapshotHandle (common/snapshot_handle.h) for its whole duration, so
+//    a query always ranks exactly one published epoch even while the
+//    maintenance side swaps in the next. The cache is sharded into
+//    mutex-striped segments keyed by user shard; queries for users in
+//    different stripes never contend, and a cache miss runs its sweep
+//    entirely outside any stripe lock (fanned over the pool through
+//    ThreadPool::RunBatch, whose batch-scoped completion lets concurrent
+//    misses share the pool without waiting on each other's work).
+//    Concurrent misses for the same user may sweep redundantly (last
+//    insert wins) — wasted work, never wrong answers.
 //
-// Threading contract: the model must be quiescent (no concurrent training
-// writes) whenever TopK or AbsorbWrites runs — serve a snapshot, not the
-// live tables (see ReplaceModel). The snapshot may equally be an immutable
-// *mapped* model (core/persistence.h LoadMarsMapped): an mmap'd format-v3
-// file whose score kernels read the mapping directly — quiescent by
-// construction, swapped in through the same ReplaceModel contract, and
-// typically warm-started from a persisted sidecar
-// (serve/top_k_sidecar.h) instead of paying cold full-catalog sweeps.
-// TopK itself is not re-entrant: one query at a time, though each query
-// fans its sweep across the pool.
+//  * Maintenance path — ReplaceModel / AbsorbWrites / PublishEpoch /
+//    Prime / InvalidateAll / ForEachCached. Single-caller, run at a
+//    quiesced epoch boundary (trainer pool idle) exactly like the
+//    overlapped-eval snapshot; it may race freely with the read front but
+//    not with itself. Publish order matters: swap the model first, then
+//    absorb the tracker flags (PublishEpoch does both in order) — the
+//    epoch bump is what stops in-flight queries from caching results of
+//    the superseded snapshot after the absorb scan has passed.
+//
+// Invalidation is shard-granular and *incremental*: training steps mark
+// dirtied rows in a WriteTracker (serve/write_tracker.h), and
+// AbsorbWrites
+//  - drops entries whose *user* shard was dirtied (the user row moved, so
+//    every score of that user is stale),
+//  - refreshes surviving entries in place when item shards dirtied:
+//    cached entries lying in dirty shards are discarded (stale scores),
+//    only the dirty shards are re-scored against the current snapshot,
+//    and the k best of (surviving old entries + re-scored dirty
+//    candidates) become the new ranking. The merge is exact whenever the
+//    new k-th rank is no worse than the old one — clean entries below
+//    the old cutoff still cannot reach the new cutoff. When the cutoff
+//    *drops* (dirty shards held top items whose scores fell), the merge
+//    alone cannot prove exactness and the entry is dropped instead
+//    (counted in stats().refresh_drops) — its next query re-sweeps
+//    lazily, the same bounded-stall policy as the all-dirty case, so an
+//    absorb never holds a stripe lock longer than the cheap refreshes.
+//    Mostly-clean epochs therefore keep the cache warm at a fraction of
+//    the cold-sweep cost (bench/bench_serve.cpp measures the ratio;
+//    scripts/check_bench.py gates it),
+//  - falls back to dropping everything when every item shard is dirty (a
+//    full re-sweep per entry costs the same as the cold miss it would
+//    save — let the next query pay it lazily).
+//
+// The snapshot may equally be an immutable *mapped* model
+// (core/persistence.h LoadMarsMapped): an mmap'd format-v3 file whose
+// score kernels read the mapping directly — quiescent by construction,
+// published through the same ReplaceModel contract, and typically
+// warm-started from a persisted sidecar (serve/top_k_sidecar.h) instead
+// of paying cold full-catalog sweeps.
 #ifndef MARS_SERVE_TOP_K_SERVER_H_
 #define MARS_SERVE_TOP_K_SERVER_H_
 
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/snapshot_handle.h"
 #include "data/dataset.h"
 #include "eval/scorer.h"
 #include "serve/write_tracker.h"
@@ -53,14 +89,30 @@ struct TopKServerOptions {
   /// fewer than k come back when the catalog (minus exclusions) is smaller.
   size_t k = 10;
   /// Bounded cache: least-recently-queried users are evicted beyond this.
+  /// The bound is distributed across the cache stripes (each stripe runs
+  /// its own LRU over its share), so it holds globally by summation.
   size_t max_cached_users = 4096;
-  /// Sweep partitions; 0 means one per pool thread (or 1 serial).
+  /// Sweep fan-out chunks; 0 means one per pool thread (or 1 serial).
   size_t sweep_shards = 0;
   /// Pool for the parallel sweep (may be null → serial sweep). Models
-  /// whose thread_safe() is false are swept serially regardless.
+  /// whose thread_safe() is false are swept serially regardless, and the
+  /// server serializes their sweeps across frontend threads too.
   ThreadPool* pool = nullptr;
   /// When set, items the user already interacted with are not recommended.
   const ImplicitDataset* exclude_interactions = nullptr;
+  /// Item-shard granularity of incremental refresh — must match the
+  /// WriteTracker handed to AbsorbWrites (both sides clamp to the
+  /// catalog size the same way).
+  size_t item_shards = WriteTracker::kDefaultShards;
+  /// Mutex stripes of the cache, keyed by user shard — contiguous user-id
+  /// ranges, matching the tracker's shard geometry. 0 means auto (16,
+  /// clamped to the cache bound and user count); 1 gives a single global
+  /// LRU — the exact pre-concurrency eviction semantics. Each stripe runs
+  /// its own LRU over a 1/N share of max_cached_users, so a hot set
+  /// clustered in one id range competes for that stripe's share only;
+  /// raise max_cached_users (or lower cache_stripes) if hot users are
+  /// known to be id-contiguous rather than spread.
+  size_t cache_stripes = 0;
 };
 
 /// One answered query.
@@ -68,6 +120,8 @@ struct TopKResult {
   std::vector<ItemId> items;  // ranked best-first
   std::vector<float> scores;  // parallel to items
   bool from_cache = false;
+  /// Model epoch the ranking was computed (or last refreshed) against.
+  uint64_t epoch = 0;
 };
 
 /// Serving-side counters (cumulative since construction).
@@ -75,36 +129,70 @@ struct TopKServerStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t invalidated = 0;  // cached entries dropped by AbsorbWrites
+  uint64_t refreshed = 0;    // entries incrementally refreshed in place
+  uint64_t refresh_drops = 0;  // refresh candidates dropped instead (the
+                               // k-th-rank cutoff dropped; see file doc —
+                               // also counted in `invalidated`)
   uint64_t evictions = 0;    // entries dropped by the LRU bound
   uint64_t primed = 0;       // entries inserted by Prime (sidecar warm-up)
   size_t cached_users = 0;
 };
 
-/// Full-catalog top-k server with shard-invalidated per-user cache.
+/// Full-catalog top-k server: concurrent read front over a striped cache,
+/// epoch-swapped snapshots, incremental shard-granular invalidation.
 class TopKServer {
  public:
   /// `model` scores the catalog [0, num_items) for users [0, num_users);
-  /// it must outlive the server (swap snapshots with ReplaceModel).
+  /// the server shares ownership, so the snapshot stays alive for as long
+  /// as any in-flight query has it pinned.
+  TopKServer(std::shared_ptr<const ItemScorer> model, size_t num_users,
+             size_t num_items, TopKServerOptions options = {});
+
+  /// Legacy non-owning form: `model` must outlive the server and every
+  /// in-flight query (callers that own the model by value or unique_ptr).
   TopKServer(const ItemScorer* model, size_t num_users, size_t num_items,
              TopKServerOptions options = {});
 
   size_t num_users() const { return num_users_; }
   size_t num_items() const { return num_items_; }
+  size_t num_item_shards() const { return item_shards_; }
+  size_t num_cache_stripes() const { return stripes_.size(); }
   const TopKServerOptions& options() const { return options_; }
+  /// Number of model epochs published so far (ReplaceModel calls).
+  uint64_t epoch() const { return model_.epoch(); }
 
-  /// Top-k for `u`: cache hit, or a full-catalog sweep that fills the cache.
+  /// Top-k for `u`: cache hit, or a full-catalog sweep of the pinned
+  /// snapshot that fills the cache. Safe to call concurrently from any
+  /// number of threads, including while the maintenance path publishes.
   TopKResult TopK(UserId u);
 
-  /// Consumes the tracker's dirty flags (and clears them): entries of users
-  /// in dirtied user shards are invalidated, and any dirty item shard
-  /// invalidates every entry. Call only at a quiesced epoch boundary,
-  /// typically right after snapshotting the model for serving.
+  // --- Maintenance path: single caller, quiesced epoch boundary. ----------
+
+  /// Publishes a fresh quiesced snapshot of the same shape as the new
+  /// serving epoch. In-flight queries keep the snapshot they pinned; new
+  /// queries see this one. Does not invalidate by itself — pair with
+  /// AbsorbWrites (after, not before), which knows what actually changed,
+  /// or call InvalidateAll for a swap of unknown delta.
+  void ReplaceModel(std::shared_ptr<const ItemScorer> model);
+  /// Non-owning overload (see the legacy constructor's lifetime note).
+  void ReplaceModel(const ItemScorer* model);
+
+  /// Consumes the tracker's dirty flags (and clears them): entries of
+  /// users in dirtied user shards are dropped; surviving entries are
+  /// incrementally refreshed against the *current* snapshot when item
+  /// shards dirtied (see file comment — call ReplaceModel first). The
+  /// tracker's shard counts must match the server's (same defaults, same
+  /// clamping). Each stripe is refreshed under its own lock, so hits for
+  /// that stripe's users stall for its refresh (≤ 1/4 of a cold sweep
+  /// per entry on a mostly-clean epoch) while every other stripe keeps
+  /// serving.
   void AbsorbWrites(WriteTracker* tracker);
 
-  /// Points the server at a fresh quiesced snapshot of the same shape.
-  /// Does not invalidate by itself — pair with AbsorbWrites, which knows
-  /// what actually changed.
-  void ReplaceModel(const ItemScorer* model);
+  /// The epoch-boundary hook: ReplaceModel followed by AbsorbWrites, in
+  /// the order the concurrency contract requires. `tracker` may be null
+  /// when no write tracking is wired (then this is just ReplaceModel).
+  void PublishEpoch(std::shared_ptr<const ItemScorer> model,
+                    WriteTracker* tracker);
 
   /// Drops every cached entry (e.g. after a model swap of unknown delta).
   void InvalidateAll();
@@ -113,13 +201,20 @@ class TopKServer {
   /// (the warm-start path of serve/top_k_sidecar.h). The list must be
   /// ranked best-first with parallel scores, at most min(k, num_items)
   /// long, with every id inside the catalog; an existing entry for `u` is
-  /// replaced. Counts as neither hit nor miss; the LRU bound still
-  /// applies. Returns false (no insert) on out-of-range user or item,
-  /// mismatched lengths, or an over-long list.
+  /// replaced. Counts as neither hit nor miss; the stripe's LRU bound
+  /// still applies. A primed entry refreshes like a swept one — provided
+  /// it really was the current snapshot's top-k, which is the sidecar
+  /// pairing contract. Returns false (no insert) on out-of-range user or
+  /// item, mismatched lengths, or an over-long list.
   bool Prime(UserId u, std::vector<ItemId> items, std::vector<float> scores);
 
-  /// Visits every cached entry, most recently used first. Quiesced-side
-  /// only, like AbsorbWrites (used to persist the cache as a sidecar).
+  /// Visits every cached entry, most recently used first *within each
+  /// stripe* (stripes are visited in user-shard order; there is no global
+  /// recency order across stripes — configure cache_stripes = 1 when one
+  /// is required). Maintenance-side only, like AbsorbWrites (used to
+  /// persist the cache as a sidecar). The callback runs under the
+  /// stripe's lock: it must not call back into this server (TopK, stats,
+  /// Prime, … would self-deadlock on the non-recursive stripe mutex).
   void ForEachCached(
       const std::function<void(UserId, const std::vector<ItemId>&,
                                const std::vector<float>&)>& fn) const;
@@ -130,34 +225,68 @@ class TopKServer {
   struct CacheEntry {
     std::vector<ItemId> items;  // ranked best-first
     std::vector<float> scores;
+    uint64_t epoch = 0;  // epoch the entry was computed/refreshed against
     std::list<UserId>::iterator lru_pos;
   };
 
-  /// Full-catalog sweep for `u`; fills `items`/`scores` ranked best-first.
-  void Sweep(UserId u, std::vector<ItemId>* items,
+  /// One cache segment: its own lock, map, LRU, capacity share, counters.
+  /// Counters live here (not in one global struct) so the hot path never
+  /// touches a cross-stripe cache line; stats() sums them.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<UserId, CacheEntry> map;
+    std::list<UserId> lru;  // front = most recently used
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidated = 0;
+    uint64_t refreshed = 0;
+    uint64_t refresh_drops = 0;
+    uint64_t evictions = 0;
+    uint64_t primed = 0;
+  };
+
+  /// Buffers reused across RefreshEntry calls within one AbsorbWrites
+  /// pass — refreshes run under a stripe lock, so per-entry allocation
+  /// churn there directly lengthens read-front stalls.
+  struct RefreshScratch {
+    std::vector<float> scores;
+    std::vector<std::pair<float, ItemId>> candidates;
+    std::vector<ItemId> merged_items;
+    std::vector<float> merged_scores;
+  };
+
+  size_t StripeOf(UserId u) const;
+
+  /// Full-catalog sweep of `model` for `u` into a ranked top-k. Runs
+  /// outside every stripe lock; fans out over the pool when the model
+  /// allows it and the calling thread is not itself a pool worker.
+  void Sweep(const ItemScorer& model, UserId u, std::vector<ItemId>* items,
              std::vector<float>* scores);
 
-  void EvictIfOverCap();
+  /// Incremental refresh: re-scores exactly the `dirty` item shards
+  /// (sorted ids) and merges with the entry's surviving rows. Returns
+  /// false when the merge cannot prove exactness (the k-th-rank cutoff
+  /// dropped) — the caller drops the entry and its next query re-sweeps
+  /// lazily, keeping the per-entry stripe-lock hold bounded.
+  bool RefreshEntry(const ItemScorer& model, UserId u,
+                    const std::vector<size_t>& dirty,
+                    RefreshScratch* scratch, CacheEntry* entry);
 
-  const ItemScorer* model_;
+  void EvictIfOverCap(Stripe* stripe);
+
+  SnapshotHandle<ItemScorer> model_;
   size_t num_users_;
   size_t num_items_;
+  size_t item_shards_;
   TopKServerOptions options_;
 
-  // The cache is bounded, so AbsorbWrites invalidates *eagerly*: it scans
-  // the (≤ max_cached_users) entries once and erases the stale ones, which
-  // keeps lookups a plain hash find with no staleness check.
-  std::unordered_map<UserId, CacheEntry> cache_;
-  std::list<UserId> lru_;  // front = most recently used
+  std::vector<Stripe> stripes_;
 
-  // Reused per-query sweep scratch (one slot per sweep shard).
-  struct ShardScratch {
-    std::vector<float> scores;                         // range-sized buffer
-    std::vector<std::pair<float, ItemId>> candidates;  // local top-k
-  };
-  std::vector<ShardScratch> sweep_scratch_;
-
-  TopKServerStats stats_;
+  /// Serializes sweeps of models whose thread_safe() is false (shared
+  /// internal scoring scratch): concurrent queries would race it even on
+  /// the serial sweep path.
+  std::mutex serial_model_mu_;
 };
 
 }  // namespace mars

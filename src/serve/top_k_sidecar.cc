@@ -29,21 +29,35 @@ bool SaveTopKSidecar(const TopKServer& server, const std::string& path) {
     MARS_LOG(ERROR) << "SaveTopKSidecar: cannot open " << path;
     return false;
   }
+  // Collect in one ForEachCached traversal, then write the header with
+  // the count actually collected: reading the count and the entries in
+  // separate passes could disagree when frontend queries race the save
+  // (the server's read front is allowed to run during maintenance), and
+  // a mismatched count makes the loader reject the whole sidecar.
+  struct Entry {
+    UserId user;
+    std::vector<ItemId> items;
+    std::vector<float> scores;
+  };
+  std::vector<Entry> entries;
+  server.ForEachCached([&entries](UserId u, const std::vector<ItemId>& items,
+                                  const std::vector<float>& scores) {
+    entries.push_back({u, items, scores});
+  });
   WriteU32(out, kSidecarMagic);
   WriteU32(out, kSidecarVersion);
   WriteU64(out, server.options().k);
   WriteU64(out, server.num_users());
   WriteU64(out, server.num_items());
-  WriteU64(out, server.stats().cached_users);
-  server.ForEachCached([&out](UserId u, const std::vector<ItemId>& items,
-                              const std::vector<float>& scores) {
-    WriteU32(out, u);
-    WriteU32(out, static_cast<uint32_t>(items.size()));
-    WriteFloats(out, scores.data(), scores.size());
+  WriteU64(out, entries.size());
+  for (const Entry& e : entries) {
+    WriteU32(out, e.user);
+    WriteU32(out, static_cast<uint32_t>(e.items.size()));
+    WriteFloats(out, e.scores.data(), e.scores.size());
     // Entries are tiny (<= k ids), so per-element writes through the
     // shared helper beat a raw byte dump that would bypass it.
-    for (const ItemId v : items) WriteU32(out, v);
-  });
+    for (const ItemId v : e.items) WriteU32(out, v);
+  }
   return out.good();
 }
 

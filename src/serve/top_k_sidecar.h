@@ -6,8 +6,12 @@
 // cold full-catalog sweep before the >1000x cached path kicks in. The
 // sidecar closes that gap: SaveTopKSidecar dumps the server's cached
 // rankings next to the model snapshot, and WarmFromSidecar primes a new
-// server with them, preserving the LRU order, so the first query of a
-// previously-hot user is a cache hit.
+// server with them, preserving the LRU order (per cache stripe — a
+// striped server has no global recency order; configure cache_stripes=1
+// when the exact global order matters), so the first query of a
+// previously-hot user is a cache hit. Primed entries participate in
+// incremental AbsorbWrites refreshes like swept ones, so a warmed cache
+// also stays warm across mostly-clean training epochs.
 //
 // Pairing contract: a sidecar stores rankings, not parameters, so it is
 // only meaningful next to the exact model snapshot it was generated

@@ -7,21 +7,18 @@
 
 namespace mars {
 
-namespace {
-
-size_t ClampShards(size_t num_entities, size_t num_shards) {
+size_t WriteTracker::ClampedShardCount(size_t num_entities,
+                                       size_t num_shards) {
   return std::max<size_t>(1, std::min(num_shards, std::max<size_t>(
                                                       1, num_entities)));
 }
-
-}  // namespace
 
 WriteTracker::WriteTracker(size_t num_users, size_t num_items,
                            size_t num_shards)
     : num_users_(num_users),
       num_items_(num_items),
-      user_dirty_(ClampShards(num_users, num_shards)),
-      item_dirty_(ClampShards(num_items, num_shards)) {
+      user_dirty_(ClampedShardCount(num_users, num_shards)),
+      item_dirty_(ClampedShardCount(num_items, num_shards)) {
   MARS_CHECK(num_shards >= 1);
 }
 

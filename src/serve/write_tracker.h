@@ -37,6 +37,11 @@ class WriteTracker {
   WriteTracker(size_t num_users, size_t num_items,
                size_t num_shards = kDefaultShards);
 
+  /// The shard count a tracker over `num_entities` rows actually uses for
+  /// a requested `num_shards` — shared with TopKServer so the server's
+  /// per-item-shard candidate lists line up with the tracker's flags.
+  static size_t ClampedShardCount(size_t num_entities, size_t num_shards);
+
   size_t num_users() const { return num_users_; }
   size_t num_items() const { return num_items_; }
   size_t num_user_shards() const { return user_dirty_.size(); }

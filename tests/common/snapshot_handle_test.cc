@@ -1,0 +1,108 @@
+#include "common/snapshot_handle.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+/// A snapshot whose two fields must always agree — a reader observing
+/// value_a != value_b has seen torn state.
+struct PairedState {
+  explicit PairedState(int v) : value_a(v), value_b(v) {}
+  int value_a;
+  int value_b;
+};
+
+TEST(SnapshotHandleTest, AcquireReturnsTheInitialSnapshot) {
+  SnapshotHandle<int> handle(std::make_shared<const int>(42));
+  EXPECT_EQ(*handle.Acquire(), 42);
+  EXPECT_EQ(handle.epoch(), 0u);
+}
+
+TEST(SnapshotHandleTest, PublishSwapsAndReturnsThePrevious) {
+  SnapshotHandle<int> handle(std::make_shared<const int>(1));
+  const auto prev = handle.Publish(std::make_shared<const int>(2));
+  EXPECT_EQ(*prev, 1);
+  EXPECT_EQ(*handle.Acquire(), 2);
+  EXPECT_EQ(handle.epoch(), 1u);
+}
+
+TEST(SnapshotHandleTest, PinnedReadersOutliveTheSwap) {
+  SnapshotHandle<int> handle(std::make_shared<const int>(7));
+  const auto pinned = handle.Acquire();
+  handle.Publish(std::make_shared<const int>(8));
+  handle.Publish(std::make_shared<const int>(9));
+  EXPECT_EQ(*pinned, 7);  // still alive and unchanged
+  EXPECT_EQ(*handle.Acquire(), 9);
+  EXPECT_EQ(handle.epoch(), 2u);
+}
+
+TEST(SnapshotHandleTest, RetiredSnapshotsAreDestroyed) {
+  struct Counted {
+    explicit Counted(std::atomic<int>* n) : alive(n) { ++*alive; }
+    ~Counted() { --*alive; }
+    std::atomic<int>* alive;
+  };
+  std::atomic<int> alive{0};
+  SnapshotHandle<Counted> handle(std::make_shared<const Counted>(&alive));
+  EXPECT_EQ(alive.load(), 1);
+  {
+    const auto pinned = handle.Acquire();
+    handle.Publish(std::make_shared<const Counted>(&alive));
+    EXPECT_EQ(alive.load(), 2);  // old epoch pinned, both alive
+  }
+  EXPECT_EQ(alive.load(), 1);  // pin dropped → old epoch retired
+}
+
+TEST(SnapshotHandleTest, UnownedSnapshotDoesNotDelete) {
+  int value = 5;
+  {
+    const auto unowned = UnownedSnapshot(&value);
+    EXPECT_EQ(*unowned, 5);
+    SnapshotHandle<int> handle(UnownedSnapshot(&value));
+    handle.Publish(std::make_shared<const int>(6));
+  }
+  EXPECT_EQ(value, 5);  // still valid — nothing deleted it
+}
+
+TEST(SnapshotHandleTest, ConcurrentReadersNeverSeeTornOrDanglingState) {
+  // One publisher swapping a stream of epochs against many readers
+  // pinning and dereferencing: every observed snapshot must be
+  // internally consistent and alive for as long as it is pinned. Run
+  // under TSAN in CI (no suppressions apply to this code).
+  SnapshotHandle<PairedState> handle(std::make_shared<const PairedState>(0));
+  std::atomic<bool> done{false};
+  std::atomic<size_t> torn{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = handle.Acquire();
+        if (snap->value_a != snap->value_b) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const int kEpochs = 2000;
+  for (int e = 1; e <= kEpochs; ++e) {
+    handle.Publish(std::make_shared<const PairedState>(e));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(handle.epoch(), static_cast<uint64_t>(kEpochs));
+  const auto final_snap = handle.Acquire();
+  EXPECT_EQ(final_snap->value_a, kEpochs);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -93,6 +94,43 @@ TEST(ThreadPoolTest, IsWorkerThreadIdentifiesPoolTasks) {
   pool.Wait();
   EXPECT_EQ(inside.load(), 8);
   EXPECT_EQ(outside_other.load(), 8);
+}
+
+TEST(ThreadPoolTest, RunBatchCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hit(64);
+  pool.RunBatch(64, [&](size_t i) { hit[i].fetch_add(1); });
+  for (size_t i = 0; i < hit.size(); ++i) {
+    EXPECT_EQ(hit[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, RunBatchZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.RunBatch(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ConcurrentRunBatchOwnersOnlyWaitForTheirOwnBatch) {
+  // Two frontend threads fan out batches on one shared pool (the
+  // concurrent top-k sweep shape). Each RunBatch call must return as
+  // soon as *its* indices are done — it must not hang on, or steal
+  // completions from, the other owner's batch. The check: every batch
+  // observes its own counter complete at return, many times in a row,
+  // from both owners concurrently, raced under TSAN in CI.
+  ThreadPool pool(3);
+  std::atomic<int> mismatches{0};
+  const auto owner = [&](int salt) {
+    for (int round = 0; round < 50; ++round) {
+      std::atomic<int> done{0};
+      const size_t n = 1 + static_cast<size_t>((round + salt) % 7);
+      pool.RunBatch(n, [&done](size_t) { done.fetch_add(1); });
+      if (done.load() != static_cast<int>(n)) mismatches.fetch_add(1);
+    }
+  };
+  std::thread a(owner, 0), b(owner, 3);
+  a.join();
+  b.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -178,6 +178,56 @@ TEST(TrainLoopTest, OverlappedPathRequiresSnapshot) {
   EXPECT_GE(run, 4u);
 }
 
+TEST(TrainLoopTest, EpochCallbackFiresOncePerEpochSynchronous) {
+  LoopFixture f;
+  ControlledScorer scorer(f.split.dev_item, 100);
+  TrainOptions opts;
+  opts.epochs = 5;
+  std::vector<size_t> seen;
+  opts.epoch_callback = [&](size_t epoch) { seen.push_back(epoch); };
+  const size_t run =
+      RunTrainingLoop(opts, scorer, "test", [&](size_t, double) {});
+  EXPECT_EQ(run, 5u);
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TrainLoopTest, EpochCallbackFiresAtQuiescedBoundaryOverlapped) {
+  // The serving publish hook: in the overlapped protocol the callback
+  // must fire after each epoch's steps with the trainer quiesced, i.e.
+  // strictly interleaved with run_epoch — never concurrently (the
+  // callback snapshots model tables). Interleaving is pinned by counter:
+  // at callback time, exactly epoch+1 run_epoch calls have completed.
+  LoopFixture f;
+  Evaluator dev(*f.split.train, f.split.dev_item, EvalProtocol{});
+  SnapshotableScorer scorer(f.split.dev_item, 100);
+  TrainOptions opts;
+  opts.epochs = 6;
+  opts.eval_every = 2;
+  opts.dev_evaluator = &dev;
+  opts.num_threads = 2;  // engages the overlapped path
+
+  size_t epochs_done = 0;
+  size_t callbacks = 0;
+  bool interleaved = true;
+  opts.epoch_callback = [&](size_t epoch) {
+    ++callbacks;
+    interleaved = interleaved && (epochs_done == epoch + 1);
+  };
+  std::unique_ptr<SnapshotableScorer> snap;
+  const size_t run = RunTrainingLoop(
+      opts, scorer, "test",
+      [&](size_t, double) {
+        scorer.Advance();
+        ++epochs_done;
+      },
+      [&]() -> const ItemScorer* {
+        snap = std::make_unique<SnapshotableScorer>(scorer);
+        return snap.get();
+      });
+  EXPECT_EQ(callbacks, run);
+  EXPECT_TRUE(interleaved);
+}
+
 TEST(TrainLoopTest, NoEarlyStopOnFinalEpoch) {
   // Even with an evaluator, the loop runs at most `epochs` epochs and the
   // final epoch does not trigger a redundant dev evaluation crash.

@@ -46,6 +46,10 @@ struct SidecarFixture : public ::testing::Test {
   TopKServer MakeServer() const {
     TopKServerOptions opts;
     opts.k = 10;
+    // One stripe = one global LRU: sidecar order round-trips exactly (the
+    // recency-order assertions below depend on it; striped servers only
+    // order within each stripe).
+    opts.cache_stripes = 1;
     return TopKServer(model_.get(), dataset_->num_users(),
                       dataset_->num_items(), opts);
   }
@@ -90,6 +94,7 @@ TEST_F(SidecarFixture, WarmStartPreservesLruOrder) {
   TopKServerOptions opts;
   opts.k = 10;
   opts.max_cached_users = 2;
+  opts.cache_stripes = 1;
   TopKServer tiny(model_.get(), dataset_->num_users(), dataset_->num_items(),
                   opts);
   WarmFromSidecar(&tiny, path_);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/facet_store.h"
 #include "common/thread_pool.h"
 #include "core/mar.h"
 #include "core/mars.h"
@@ -316,6 +317,7 @@ TEST(TopKServerTest, LruEvictionBoundsTheCache) {
   TopKServerOptions opts;
   opts.k = 3;
   opts.max_cached_users = 2;
+  opts.cache_stripes = 1;  // one global LRU — the legacy eviction order
   TopKServer server(&scorer, 20, 30, opts);
   server.TopK(0);
   server.TopK(1);
@@ -325,6 +327,26 @@ TEST(TopKServerTest, LruEvictionBoundsTheCache) {
   EXPECT_TRUE(server.TopK(2).from_cache);
   EXPECT_TRUE(server.TopK(1).from_cache);
   EXPECT_FALSE(server.TopK(0).from_cache);  // was evicted
+}
+
+TEST(TopKServerTest, StripedCacheDistributesTheBoundByUserShard) {
+  // 4 stripes over 40 users: users 0-9 → stripe 0, 10-19 → stripe 1, …
+  // Each stripe runs its own LRU over its share of the global bound, so
+  // hammering one stripe never evicts another stripe's users.
+  ToyScorer scorer;
+  TopKServerOptions opts;
+  opts.k = 3;
+  opts.max_cached_users = 4;
+  opts.cache_stripes = 4;
+  TopKServer server(&scorer, 40, 30, opts);
+  ASSERT_EQ(server.num_cache_stripes(), 4u);
+  server.TopK(35);  // stripe 3
+  server.TopK(0);   // stripe 0
+  server.TopK(1);   // stripe 0 — evicts user 0 (stripe 0's share is 1)
+  EXPECT_EQ(server.stats().evictions, 1u);
+  EXPECT_TRUE(server.TopK(35).from_cache);  // other stripe untouched
+  EXPECT_TRUE(server.TopK(1).from_cache);
+  EXPECT_FALSE(server.TopK(0).from_cache);
 }
 
 TEST(TopKServerTest, ZeroCapacityDisablesCaching) {
@@ -344,6 +366,7 @@ TEST(TopKServerInvalidation, UserShardInvalidatesOnlyItsUsers) {
   WriteTracker tracker(users, 30, /*num_shards=*/8);
   TopKServerOptions opts;
   opts.k = 3;
+  opts.item_shards = 8;  // candidate lists must match the tracker's shards
   TopKServer server(&scorer, users, 30, opts);
 
   const UserId a = 0, b = 63;  // first and last shard
@@ -361,22 +384,82 @@ TEST(TopKServerInvalidation, UserShardInvalidatesOnlyItsUsers) {
   EXPECT_FALSE(tracker.AnyDirty());
 }
 
-TEST(TopKServerInvalidation, DirtyItemShardInvalidatesEveryEntry) {
-  // Cached heaps rank the full catalog, so dirtying a single item shard —
-  // with *no* user row touched — must drop every cached entry.
+TEST(TopKServerInvalidation, DirtyItemShardRefreshesEntriesInPlace) {
+  // A dirty item shard no longer drops cached entries: each surviving
+  // entry re-scores just that shard and re-merges. With an unchanged
+  // model the refreshed ranking must be identical, and the entries stay
+  // warm (hits, not misses).
   ToyScorer scorer;
   WriteTracker tracker(64, 30, /*num_shards=*/8);
   TopKServerOptions opts;
   opts.k = 3;
+  opts.item_shards = 8;
+  TopKServer server(&scorer, 64, 30, opts);
+  const TopKResult before0 = server.TopK(0);
+  const TopKResult before63 = server.TopK(63);
+
+  tracker.MarkItem(17);
+  server.AbsorbWrites(&tracker);
+  EXPECT_EQ(server.stats().invalidated, 0u);
+  EXPECT_EQ(server.stats().refreshed, 2u);
+  // The cheap merge proved exactness (the model didn't change, so the
+  // k-th rank held) — no entry was dropped for an unprovable merge.
+  EXPECT_EQ(server.stats().refresh_drops, 0u);
+  const TopKResult after0 = server.TopK(0);
+  EXPECT_TRUE(after0.from_cache);
+  EXPECT_EQ(after0.items, before0.items);
+  EXPECT_EQ(after0.scores, before0.scores);
+  const TopKResult after63 = server.TopK(63);
+  EXPECT_TRUE(after63.from_cache);
+  EXPECT_EQ(after63.items, before63.items);
+}
+
+TEST(TopKServerInvalidation, EveryItemShardDirtyDropsInsteadOfRefreshing) {
+  // Refreshing every shard costs the same as the cold sweep it would
+  // save, so a fully dirty catalog (global-table writers MarkAllItems)
+  // falls back to dropping and re-sweeping lazily.
+  ToyScorer scorer;
+  WriteTracker tracker(64, 30, /*num_shards=*/8);
+  TopKServerOptions opts;
+  opts.k = 3;
+  opts.item_shards = 8;
   TopKServer server(&scorer, 64, 30, opts);
   server.TopK(0);
   server.TopK(63);
 
-  tracker.MarkItem(17);
+  tracker.MarkAllItems();
   server.AbsorbWrites(&tracker);
   EXPECT_EQ(server.stats().invalidated, 2u);
+  EXPECT_EQ(server.stats().refreshed, 0u);
   EXPECT_FALSE(server.TopK(0).from_cache);
   EXPECT_FALSE(server.TopK(63).from_cache);
+}
+
+TEST(TopKServerInvalidation, PrimedEntriesRefreshLikeSweptOnes) {
+  // A primed entry that honors the sidecar pairing contract (it *is* the
+  // current snapshot's top-k) refreshes in place exactly like one a sweep
+  // produced — warm restarts stay warm across mostly-clean epochs.
+  ToyScorer scorer;
+  WriteTracker tracker(64, 30, /*num_shards=*/8);
+  TopKServerOptions opts;
+  opts.k = 3;
+  opts.item_shards = 8;
+  TopKServer server(&scorer, 64, 30, opts);
+  TopKServer reference(&scorer, 64, 30, opts);
+  const TopKResult truth = reference.TopK(5);
+  ASSERT_TRUE(server.Prime(5, truth.items, truth.scores));
+  const TopKResult swept = server.TopK(40);  // real sweep alongside
+  tracker.MarkItem(17);
+  server.AbsorbWrites(&tracker);
+  EXPECT_EQ(server.stats().invalidated, 0u);
+  EXPECT_EQ(server.stats().refreshed, 2u);
+  const TopKResult primed_after = server.TopK(5);
+  EXPECT_TRUE(primed_after.from_cache);
+  EXPECT_EQ(primed_after.items, truth.items);
+  EXPECT_EQ(primed_after.scores, truth.scores);
+  const TopKResult after = server.TopK(40);
+  EXPECT_TRUE(after.from_cache);
+  EXPECT_EQ(after.items, swept.items);
 }
 
 TEST(TopKServerInvalidation, CleanTrackerInvalidatesNothing) {
@@ -384,10 +467,12 @@ TEST(TopKServerInvalidation, CleanTrackerInvalidatesNothing) {
   WriteTracker tracker(64, 30, 8);
   TopKServerOptions opts;
   opts.k = 3;
+  opts.item_shards = 8;
   TopKServer server(&scorer, 64, 30, opts);
   server.TopK(7);
   server.AbsorbWrites(&tracker);
   EXPECT_EQ(server.stats().invalidated, 0u);
+  EXPECT_EQ(server.stats().refreshed, 0u);
   EXPECT_TRUE(server.TopK(7).from_cache);
 }
 
@@ -424,13 +509,212 @@ TEST(TopKServerInvalidation, SnapshotVsLiveDivergenceAfterTrainingEpoch) {
       BruteForceTopK(after, u, data->num_items(), 10);
   EXPECT_NE(stale.scores, live_scores);  // genuine divergence
 
-  // Refresh: absorb the epoch's writes and swap to the new snapshot.
-  server.AbsorbWrites(&tracker);
+  // Publish: swap to the new snapshot *then* absorb the epoch's writes
+  // (the epoch contract — refreshes must re-score against the new model).
+  // Whether u's entry was dropped (its user shard dirty) or incrementally
+  // refreshed, the served ranking must now be the new model's.
   server.ReplaceModel(&after);
+  server.AbsorbWrites(&tracker);
+  EXPECT_EQ(server.epoch(), 1u);
   const TopKResult fresh = server.TopK(u);
-  EXPECT_FALSE(fresh.from_cache);
   EXPECT_EQ(fresh.items, live_items);
   EXPECT_EQ(fresh.scores, live_scores);
+}
+
+/// Wraps a frozen model and shifts the scores of items inside chosen item
+/// ranges by a deterministic per-item amount (mixed signs) — a controlled
+/// "epoch" whose score changes are confined to exactly those ranges, so a
+/// tracker marking just their shards tells the truth. Shifts ride on top
+/// of the wrapped model's own batch kernels, keeping the bit-equality
+/// between ScoreItems (brute force) and ScoreItemRange (server sweep).
+class ShardShiftScorer : public ItemScorer {
+ public:
+  ShardShiftScorer(const ItemScorer* base, float delta,
+                   std::vector<std::pair<ItemId, ItemId>> ranges)
+      : base_(base), delta_(delta), ranges_(std::move(ranges)) {}
+
+  float Score(UserId u, ItemId v) const override {
+    return base_->Score(u, v) + Shift(v);
+  }
+  void ScoreItems(UserId u, std::span<const ItemId> items,
+                  float* out) const override {
+    base_->ScoreItems(u, items, out);
+    for (size_t i = 0; i < items.size(); ++i) out[i] += Shift(items[i]);
+  }
+  void ScoreItemRange(UserId u, ItemId begin, ItemId end,
+                      float* out) const override {
+    base_->ScoreItemRange(u, begin, end, out);
+    for (ItemId v = begin; v < end; ++v) out[v - begin] += Shift(v);
+  }
+  bool thread_safe() const override { return base_->thread_safe(); }
+
+ private:
+  float Shift(ItemId v) const {
+    for (const auto& [lo, hi] : ranges_) {
+      if (v >= lo && v < hi) {
+        return delta_ * static_cast<float>(static_cast<int>(v % 5) - 2);
+      }
+    }
+    return 0.0f;
+  }
+
+  const ItemScorer* base_;
+  float delta_;
+  std::vector<std::pair<ItemId, ItemId>> ranges_;
+};
+
+/// The incremental-absorb contract: an epoch that dirties a strict subset
+/// of item shards must leave every surviving cache entry *refreshed* —
+/// bit-identical to what a cold sweep of the new snapshot would produce —
+/// without dropping it.
+void ExpectIncrementalAbsorbMatchesColdSweep(Recommender* model,
+                                             const ImplicitDataset& data) {
+  const size_t kShards = 8;
+  const size_t k = 7;
+  const size_t users = data.num_users(), items = data.num_items();
+  WriteTracker tracker(users, items, kShards);
+  ASSERT_EQ(tracker.num_item_shards(), kShards);
+
+  TopKServerOptions opts;
+  opts.k = k;
+  opts.item_shards = kShards;
+  opts.exclude_interactions = &data;
+  ShardShiftScorer old_epoch(model, 0.0f, {});
+  TopKServer server(&old_epoch, users, items, opts);
+  const size_t probe_users = 10;
+  std::vector<TopKResult> before(probe_users);
+  for (UserId u = 0; u < probe_users; ++u) before[u] = server.TopK(u);
+
+  // New epoch: shift scores inside item shards {1, 2, 5} only (a strict
+  // subset), scaled to the model's own score spread so rankings actually
+  // move. Mark exactly those shards dirty.
+  const std::vector<size_t> dirty = {1, 2, 5};
+  std::vector<std::pair<ItemId, ItemId>> ranges;
+  for (const size_t s : dirty) {
+    const auto [lo, hi] = FacetStore::ShardRange(items, s, kShards);
+    ranges.emplace_back(static_cast<ItemId>(lo), static_cast<ItemId>(hi));
+    tracker.MarkItem(static_cast<ItemId>(lo));
+  }
+  const float spread = before[0].scores.empty()
+                           ? 1.0f
+                           : before[0].scores.front() -
+                                 before[0].scores.back() + 0.1f;
+  ShardShiftScorer new_epoch(model, spread, std::move(ranges));
+
+  server.ReplaceModel(&new_epoch);
+  server.AbsorbWrites(&tracker);
+  // Every entry was either refreshed in place (exact merge) or dropped
+  // because its k-th-rank cutoff fell (drops also count as invalidated);
+  // no user-shard drops occurred.
+  const TopKServerStats after_stats = server.stats();
+  EXPECT_EQ(after_stats.refreshed + after_stats.refresh_drops, probe_users)
+      << model->name();
+  EXPECT_EQ(after_stats.invalidated, after_stats.refresh_drops)
+      << model->name();
+
+  // The reference is a full *cold sweep* of the new snapshot (a fresh
+  // server), which shares the refresh path's ScoreItemRange kernels —
+  // served rankings must be bit-identical to it whether the entry was
+  // refreshed in place (cache hit) or dropped and re-swept (miss).
+  TopKServer cold(&new_epoch, users, items, opts);
+  bool any_moved = false;
+  for (UserId u = 0; u < probe_users; ++u) {
+    const TopKResult got = server.TopK(u);
+    const TopKResult want = cold.TopK(u);
+    EXPECT_FALSE(want.from_cache);
+    EXPECT_EQ(got.items, want.items) << model->name() << " user " << u;
+    EXPECT_EQ(got.scores, want.scores) << model->name() << " user " << u;
+    any_moved = any_moved || got.items != before[u].items;
+  }
+  // The shift is scaled to reorder: a refresh that never changes any
+  // ranking would be vacuous.
+  EXPECT_TRUE(any_moved) << model->name();
+}
+
+TEST(TopKServerIncrementalAbsorb, Mars) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 4;
+  cfg.theta_init_nmf = false;
+  Mars model(cfg);
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, MarsSingleFacet) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 1;
+  cfg.theta_init_nmf = false;
+  Mars model(cfg);
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, MarFree) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 3;
+  cfg.theta_init_nmf = false;
+  Mar model(cfg, FacetParam::kFree);
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, MarProjected) {
+  const auto data = SmallDataset();
+  MultiFacetConfig cfg;
+  cfg.dim = 16;
+  cfg.num_facets = 3;
+  cfg.theta_init_nmf = false;
+  Mar model(cfg, FacetParam::kProjected);
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, Bpr) {
+  const auto data = SmallDataset();
+  Bpr model(BprConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, Cml) {
+  const auto data = SmallDataset();
+  Cml model(CmlConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, Sml) {
+  const auto data = SmallDataset();
+  Sml model(SmlConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, MetricF) {
+  const auto data = SmallDataset();
+  MetricF model(MetricFConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, TransCf) {
+  const auto data = SmallDataset();
+  TransCf model(TransCfConfig{.dim = 16});
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
+}
+
+TEST(TopKServerIncrementalAbsorb, Lrml) {
+  const auto data = SmallDataset();
+  Lrml model(LrmlConfig{.dim = 16, .memory_slots = 4});
+  model.Fit(*data, QuickTrain());
+  ExpectIncrementalAbsorbMatchesColdSweep(&model, *data);
 }
 
 TEST(TopKServerInvalidation, InvalidateAllDropsEverything) {
