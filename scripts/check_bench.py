@@ -109,8 +109,66 @@ def check_serve(base, fresh, threshold):
                 fail(f"serve cached_speedup @{m} items: {speedup:.1f}x < 5x")
             else:
                 ok(f"serve cached_speedup @{m} items: {speedup:.1f}x >= 5x")
+    check_serve_ann(base, fresh, threshold)
     check_serve_incremental(base, fresh, threshold)
     check_serve_mt(base, fresh, threshold)
+
+
+def check_serve_ann(base, fresh, threshold):
+    """ANN probe-then-rerank: recall/latency at the committed default nprobe.
+
+    Regression diff on ms_per_query per (num_items, nprobe) point, plus the
+    retrieval-tier acceptance invariants: the default operating point must
+    keep recall@10 >= 0.95, and must beat the cold exact sweep >= 3x at
+    >= 50k items. Both invariants are full-mode only: fast mode shrinks the
+    training set below what gives the embeddings ANN-friendly structure, so
+    its recall measures the shrunken dataset, not the index.
+    """
+    if "ann" not in fresh:
+        fail("topk_serve: fresh run has no 'ann' section")
+        return
+    invariants = not fresh.get("fast_mode")
+    if not invariants:
+        skip("serve ann invariants: fast mode (recall reflects the "
+             "shrunken training set, not the index)")
+    base_by_m = {r["num_items"]: r for r in base.get("ann", [])}
+    if not base_by_m:
+        skip("serve ann diff: baseline has no 'ann' section "
+             "(pre-ANN baseline; invariants still checked)")
+    for r in fresh["ann"]:
+        m = r["num_items"]
+        b = base_by_m.get(m)
+        if b is not None:
+            check_slower(f"serve ann default ms_per_query @{m} items",
+                         b["default"]["ms_per_query"],
+                         r["default"]["ms_per_query"], threshold)
+            base_sweep = {p["nprobe"]: p for p in b.get("sweep", [])}
+            for p in r.get("sweep", []):
+                bp = base_sweep.get(p["nprobe"])
+                if bp is not None:
+                    check_slower(
+                        f"serve ann ms_per_query @{m} items nprobe="
+                        f"{p['nprobe']}", bp["ms_per_query"],
+                        p["ms_per_query"], threshold)
+        # Acceptance invariants (retrieval-tier roadmap): the committed
+        # default nprobe must hold recall@10 >= 0.95, and at >= 50k items
+        # the ANN miss path must beat the cold exact sweep >= 3x.
+        if not invariants:
+            continue
+        recall = r["default"]["recall_at_10"]
+        if recall < 0.95:
+            fail(f"serve ann recall@10 @{m} items: {recall:.3f} < 0.95 "
+                 f"(default nprobe={r['default']['nprobe']})")
+        else:
+            ok(f"serve ann recall@10 @{m} items: {recall:.3f} >= 0.95")
+        if m >= 50000:
+            speedup = r["default"]["speedup_vs_cold"]
+            if speedup < 3.0:
+                fail(f"serve ann speedup_vs_cold @{m} items: "
+                     f"{speedup:.2f}x < 3x")
+            else:
+                ok(f"serve ann speedup_vs_cold @{m} items: "
+                   f"{speedup:.2f}x >= 3x")
 
 
 def check_serve_incremental(base, fresh, threshold):

@@ -74,12 +74,15 @@ if [ -n "$SANITIZER" ]; then
   # The concurrency surface: shard stress, Hogwild trainer, snapshotting,
   # the serving cache (trackers are marked from concurrent workers), and
   # the concurrent read front — snapshot-handle epoch swaps, the striped
-  # LRU, RunBatch — raced by the SnapshotHandle*/ThreadPool suites. The
+  # LRU, RunBatch — raced by the SnapshotHandle*/ThreadPool suites
+  # (TopKServer*/SnapshotHandle* include the ANN probe-then-rerank path
+  # and queries racing index swaps). The ANN index suites ride along:
+  # parallel builds fan subtree/assignment work over RunBatch. The
   # serve-layer races have NO suppressions (tsan.supp is scoped to model
   # Fit lambdas); any report from these tests is a real bug.
   FILTER='ShardViewTest.*:ParallelTrainerTest.*:SnapshotFacetStoreTest.*'
   FILTER="$FILTER:WriteTrackerTest.*:TopKServer*:SnapshotHandle*"
-  FILTER="$FILTER:ThreadPoolTest.*"
+  FILTER="$FILTER:ThreadPoolTest.*:SphericalIvfIndex*:VpTreeIndex*"
   if [ "$SANITIZER" = address ]; then
     # mmap'd serving is a classic lifetime-bug nest (views into unmapped
     # pages, keepalive ordering): run the persistence/mapped-store/sidecar

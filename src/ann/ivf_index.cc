@@ -1,0 +1,239 @@
+#include "ann/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "common/facet_store.h"
+#include "common/kernels.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/vec.h"
+
+namespace mars {
+
+namespace {
+
+/// RunBatch is not re-entrant; a build triggered from a pool task (e.g. an
+/// epoch callback running on a worker) falls back to the serial path.
+bool CanFanOut(ThreadPool* pool) {
+  return pool != nullptr && !pool->IsWorkerThread();
+}
+
+/// Reads items [begin, end) through the model's index-vector surface and
+/// assigns each to its max-dot centroid. The copy buffer is per-thread:
+/// chunks re-use it across RunBatch tasks instead of paying a
+/// chunk-sized allocation each.
+void AssignRange(const ItemScorer& model, ItemId begin, ItemId end,
+                 const std::vector<float>& centroids, size_t num_centroids,
+                 size_t dim, uint32_t* assign) {
+  if (begin >= end) return;
+  static thread_local std::vector<float> rows;
+  rows.resize((end - begin) * dim);
+  model.CopyIndexVectors(begin, end, rows.data());
+  NearestCentroidDotBatch(rows.data(), end - begin, dim, centroids.data(),
+                          num_centroids, dim, dim, assign + begin);
+}
+
+/// Full-catalog assignment, fanned over balanced contiguous chunks.
+void AssignAll(const ItemScorer& model, size_t num_items,
+               const std::vector<float>& centroids, size_t num_centroids,
+               size_t dim, ThreadPool* pool, uint32_t* assign) {
+  const size_t chunks =
+      CanFanOut(pool)
+          ? std::max<size_t>(1, std::min(num_items, 4 * pool->num_threads()))
+          : 1;
+  const auto assign_chunk = [&](size_t c) {
+    const auto [begin, end] = FacetStore::ShardRange(num_items, c, chunks);
+    AssignRange(model, begin, end, centroids, num_centroids, dim, assign);
+  };
+  if (chunks > 1) {
+    pool->RunBatch(chunks, assign_chunk);
+  } else {
+    assign_chunk(0);
+  }
+}
+
+/// Unit-normalizes a centroid row; degenerate rows become e_0 so every
+/// centroid stays a valid unit vector.
+void NormalizeCentroid(float* row, size_t dim) {
+  if (!NormalizeInPlace(row, dim)) {
+    Fill(0.0f, row, dim);
+    row[0] = 1.0f;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::Build(
+    const ItemScorer& model, size_t num_items, const AnnIndexOptions& options,
+    ThreadPool* pool) {
+  MARS_CHECK(num_items >= 1);
+  MARS_CHECK_MSG(model.index_geometry() == IndexGeometry::kDot,
+                 "SphericalIvfIndex requires a dot-geometry model");
+  const size_t dim = model.index_dim();
+  MARS_CHECK(dim >= 1);
+
+  auto index = std::unique_ptr<SphericalIvfIndex>(new SphericalIvfIndex());
+  index->num_items_ = num_items;
+  index->dim_ = dim;
+
+  // Auto centroid count ~ 4·sqrt(N) (the FAISS-recommended IVF range):
+  // finer lists cost a slightly longer centroid scan but waste far fewer
+  // re-ranked candidates per probed list, which is what the recall-vs-
+  // speedup gate actually trades. Measured on the bench workload at 50k
+  // items, 4·sqrt(N) with nprobe = ncent/32 holds recall@10 ≈ 0.97 while
+  // re-ranking ~3% of the catalog; sqrt(N) centroids need >1/4 of the
+  // catalog for the same recall.
+  size_t ncent =
+      options.num_centroids > 0
+          ? options.num_centroids
+          : std::max<size_t>(
+                8, 4 * static_cast<size_t>(std::lround(
+                           std::sqrt(static_cast<double>(num_items)))));
+  ncent = std::min(ncent, num_items);
+  ncent = std::max<size_t>(1, ncent);
+  index->num_centroids_ = ncent;
+  index->nprobe_ = options.nprobe > 0
+                       ? std::min(options.nprobe, ncent)
+                       : std::min(ncent, std::max<size_t>(2, ncent / 32));
+
+  // K-means trains on a deterministic strided sample (assignment of the
+  // *full* catalog to the final centroids happens below regardless).
+  const size_t sample_count =
+      std::min(num_items, std::max(options.kmeans_sample, ncent));
+  std::vector<float> sample(sample_count * dim);
+  std::vector<ItemId> sample_ids(sample_count);
+  for (size_t i = 0; i < sample_count; ++i) {
+    sample_ids[i] = static_cast<ItemId>(i * num_items / sample_count);
+    model.CopyIndexVectors(sample_ids[i], sample_ids[i] + 1,
+                           sample.data() + i * dim);
+  }
+
+  // Init: ncent distinct sample rows, seeded shuffle.
+  std::vector<size_t> perm(sample_count);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Rng rng(options.seed);
+  rng.Shuffle(&perm);
+  index->centroids_.resize(ncent * dim);
+  for (size_t c = 0; c < ncent; ++c) {
+    Copy(sample.data() + perm[c] * dim, index->centroids_.data() + c * dim,
+         dim);
+    NormalizeCentroid(index->centroids_.data() + c * dim, dim);
+  }
+
+  // Lloyd iterations with the spherical mean-direction update.
+  std::vector<uint32_t> sample_assign(sample_count);
+  std::vector<float> sums(ncent * dim);
+  std::vector<uint32_t> counts(ncent);
+  for (size_t iter = 0; iter < options.kmeans_iters; ++iter) {
+    NearestCentroidDotBatch(sample.data(), sample_count, dim,
+                            index->centroids_.data(), ncent, dim, dim,
+                            sample_assign.data());
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < sample_count; ++i) {
+      Axpy(1.0f, sample.data() + i * dim,
+           sums.data() + sample_assign[i] * dim, dim);
+      ++counts[sample_assign[i]];
+    }
+    for (size_t c = 0; c < ncent; ++c) {
+      float* row = index->centroids_.data() + c * dim;
+      if (counts[c] == 0) {
+        // Empty cluster: reseed deterministically from the sample so the
+        // centroid count never silently shrinks.
+        const size_t r = (iter * 2654435761u + c) % sample_count;
+        Copy(sample.data() + r * dim, row, dim);
+      } else {
+        Copy(sums.data() + c * dim, row, dim);
+      }
+      NormalizeCentroid(row, dim);
+    }
+  }
+
+  index->assign_.resize(num_items);
+  AssignAll(model, num_items, index->centroids_, ncent, dim, pool,
+            index->assign_.data());
+  index->RebuildLists();
+  return index;
+}
+
+void SphericalIvfIndex::RebuildLists() {
+  offsets_.assign(num_centroids_ + 1, 0);
+  for (const uint32_t c : assign_) ++offsets_[c + 1];
+  for (size_t c = 0; c < num_centroids_; ++c) offsets_[c + 1] += offsets_[c];
+  list_ids_.resize(num_items_);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t v = 0; v < num_items_; ++v) {
+    list_ids_[cursor[assign_[v]]++] = static_cast<ItemId>(v);
+  }
+}
+
+void SphericalIvfIndex::Probe(const float* query, size_t want,
+                              std::vector<ItemId>* out) const {
+  if (want >= num_items_) {
+    const size_t base = out->size();
+    out->resize(base + num_items_);
+    for (size_t v = 0; v < num_items_; ++v) {
+      (*out)[base + v] = static_cast<ItemId>(v);
+    }
+    return;
+  }
+  static thread_local std::vector<float> cdots;
+  static thread_local std::vector<uint32_t> order;
+  cdots.resize(num_centroids_);
+  DotBatch(query, centroids_.data(), num_centroids_, dim_, dim_,
+           cdots.data());
+  order.resize(num_centroids_);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return cdots[a] > cdots[b] || (cdots[a] == cdots[b] && a < b);
+  });
+  // nprobe lists minimum; keep extending into next-best lists until the
+  // requested candidate count is met (lists are disjoint, so appended ids
+  // stay unique).
+  size_t appended = 0;
+  for (size_t i = 0; i < num_centroids_; ++i) {
+    if (i >= nprobe_ && appended >= want) break;
+    const auto list = List(order[i]);
+    out->insert(out->end(), list.begin(), list.end());
+    appended += list.size();
+  }
+}
+
+std::unique_ptr<CandidateIndex> SphericalIvfIndex::Rebuilt(
+    const ItemScorer& model, const std::vector<size_t>& dirty_shards,
+    size_t num_shards, ThreadPool* pool) const {
+  MARS_CHECK_MSG(model.index_geometry() == IndexGeometry::kDot &&
+                     model.index_dim() == dim_,
+                 "Rebuilt model must keep the index geometry");
+  auto next = std::unique_ptr<SphericalIvfIndex>(new SphericalIvfIndex(*this));
+  if (dirty_shards.empty()) return next;
+  // Centroids are reused: only dirty rows are re-read and re-assigned, so
+  // an epoch that dirtied 1/64th of the catalog pays ~1/64th of the full
+  // assignment (the k-means cost is never repaid).
+  const auto reassign_shard = [&](size_t i) {
+    const auto [begin, end] =
+        FacetStore::ShardRange(num_items_, dirty_shards[i], num_shards);
+    AssignRange(model, begin, end, next->centroids_, num_centroids_, dim_,
+                next->assign_.data());
+  };
+  if (CanFanOut(pool) && dirty_shards.size() > 1) {
+    pool->RunBatch(dirty_shards.size(), reassign_shard);
+  } else {
+    for (size_t i = 0; i < dirty_shards.size(); ++i) reassign_shard(i);
+  }
+  next->RebuildLists();
+  return next;
+}
+
+std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::CloneWithNprobe(
+    size_t nprobe) const {
+  auto next = std::unique_ptr<SphericalIvfIndex>(new SphericalIvfIndex(*this));
+  next->nprobe_ = std::min(std::max<size_t>(1, nprobe), num_centroids_);
+  return next;
+}
+
+}  // namespace mars

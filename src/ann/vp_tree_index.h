@@ -1,0 +1,91 @@
+// Vantage-point tree candidate index for L2-metric models.
+//
+// CML/SML/MetricF score by -||u - v||², so their top-k is exactly a
+// k-nearest-neighbour query in a plain metric space — no approximation
+// needed: the VP-tree prunes subtrees with the triangle inequality
+// (|d(q, vp) - r| > tau rules a whole ball in or out) and returns the
+// *exact* k nearest. Recall is 1.0 by construction; what varies with the
+// data is only how much of the tree pruning skips.
+//
+// Layout: one in-place tree over an id permutation. ids_[begin] is the
+// node's vantage point, radii_[begin] its median boundary distance, and
+// the children occupy the two contiguous sub-ranges that a
+// nth_element-partition of [begin+1, end) leaves behind — near half
+// first. Subtrees therefore own disjoint ranges of ids_/radii_, which is
+// what makes the parallel build race-free and bit-identical to the
+// serial one: the top levels are partitioned serially, then each
+// frontier subtree is one ThreadPool::RunBatch task. Partitioning orders
+// by (distance, id), and the vantage pick is a seeded hash of the range,
+// so builds are deterministic in (vectors, options).
+//
+// Rebuilt() re-reads dirty rows straight into the vector table (rows are
+// tight at index_dim, addressed by item id) and re-partitions the whole
+// tree deterministically — clean rows are byte-identical under the
+// WriteTracker contract, so rebuilding after dirty shards equals a fresh
+// build over the updated model, the pinning property the tests assert.
+#ifndef MARS_ANN_VP_TREE_INDEX_H_
+#define MARS_ANN_VP_TREE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ann/candidate_index.h"
+
+namespace mars {
+
+class VpTreeIndex : public CandidateIndex {
+ public:
+  /// Builds over `model`'s items [0, num_items); requires L2 geometry and
+  /// num_items >= 1. `pool` parallelizes the vector copy and the subtree
+  /// builds (may be null).
+  static std::unique_ptr<VpTreeIndex> Build(const ItemScorer& model,
+                                            size_t num_items,
+                                            const AnnIndexOptions& options,
+                                            ThreadPool* pool);
+
+  const char* kind() const override { return "vp_tree"; }
+  /// Appends the exact min(want, num_items) nearest items to the query
+  /// (by (distance, id) — the id tiebreak matches the serving rank order).
+  void Probe(const float* query, size_t want,
+             std::vector<ItemId>* out) const override;
+  std::unique_ptr<CandidateIndex> Rebuilt(
+      const ItemScorer& model, const std::vector<size_t>& dirty_shards,
+      size_t num_shards, ThreadPool* pool) const override;
+
+  /// Test surface: the id permutation and per-node boundary radii.
+  const std::vector<ItemId>& ids() const { return ids_; }
+  const std::vector<float>& radii() const { return radii_; }
+
+ private:
+  VpTreeIndex() = default;
+
+  /// One partition step of the node at [begin, end) (which must exceed
+  /// leaf_size_): picks the vantage, splits the children by median
+  /// distance, stores the boundary radius. Returns {near, far} ranges.
+  std::pair<std::pair<size_t, size_t>, std::pair<size_t, size_t>>
+  PartitionNode(size_t begin, size_t end);
+
+  /// Recursive serial build of the subtree at [begin, end).
+  void BuildSubtree(size_t begin, size_t end);
+
+  /// Full build: serial top levels, then one pool task per frontier
+  /// subtree.
+  void BuildTree(ThreadPool* pool);
+
+  void SearchNode(size_t begin, size_t end, const float* query, size_t want,
+                  std::vector<std::pair<float, ItemId>>* heap) const;
+
+  size_t leaf_size_ = 32;
+  size_t parallel_depth_ = 3;
+  uint64_t seed_ = 0;
+  std::vector<float> vectors_;  // num_items x dim, tight, indexed by id
+  std::vector<ItemId> ids_;     // tree permutation
+  std::vector<float> radii_;    // parallel to ids_; valid at node slots
+};
+
+}  // namespace mars
+
+#endif  // MARS_ANN_VP_TREE_INDEX_H_

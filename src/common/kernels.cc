@@ -118,6 +118,24 @@ MARS_AVX2_FN void WeightedFacetSquaredDistanceBatchAvx2(
   }
 }
 
+MARS_AVX2_FN void NearestCentroidDotBatchAvx2(
+    const float* rows, size_t count, size_t stride, const float* centroids,
+    size_t num_centroids, size_t centroid_stride, size_t n, uint32_t* out) {
+  for (size_t r = 0; r < count; ++r) {
+    const float* row = rows + r * stride;
+    float best = DotRowAvx2(row, centroids, n);
+    uint32_t best_c = 0;
+    for (size_t c = 1; c < num_centroids; ++c) {
+      const float d = DotRowAvx2(row, centroids + c * centroid_stride, n);
+      if (d > best) {
+        best = d;
+        best_c = static_cast<uint32_t>(c);
+      }
+    }
+    out[r] = best_c;
+  }
+}
+
 #endif  // MARS_KERNELS_HAVE_AVX2
 
 }  // namespace
@@ -255,6 +273,33 @@ void NegatedSquaredDistanceBatch(const float* u, const float* rows,
 #endif
   for (size_t r = 0; r < count; ++r) {
     out[r] = -SquaredDistanceRowGeneric(u, rows + r * stride, n);
+  }
+}
+
+void NearestCentroidDotBatch(const float* rows, size_t count, size_t stride,
+                             const float* centroids, size_t num_centroids,
+                             size_t centroid_stride, size_t n,
+                             uint32_t* out) {
+  if (count == 0 || num_centroids == 0) return;
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    NearestCentroidDotBatchAvx2(rows, count, stride, centroids, num_centroids,
+                                centroid_stride, n, out);
+    return;
+  }
+#endif
+  for (size_t r = 0; r < count; ++r) {
+    const float* row = rows + r * stride;
+    float best = DotRowGeneric(row, centroids, n);
+    uint32_t best_c = 0;
+    for (size_t c = 1; c < num_centroids; ++c) {
+      const float d = DotRowGeneric(row, centroids + c * centroid_stride, n);
+      if (d > best) {
+        best = d;
+        best_c = static_cast<uint32_t>(c);
+      }
+    }
+    out[r] = best_c;
   }
 }
 

@@ -57,6 +57,15 @@ void NegatedSquaredDistanceBatch(const float* u, const float* rows,
                                  size_t count, size_t stride, size_t n,
                                  float* out);
 
+/// out[i] = argmax_c Dot(rows + i*stride, centroids + c*centroid_stride)
+/// for i in [0, count); ties resolve to the lowest centroid index. This is
+/// the IVF coarse-assignment step of ann/ivf_index.h: with unit-norm
+/// centroids, max dot over c equals max cosine (the row's own norm is
+/// constant across centroids), so rows need no normalization.
+void NearestCentroidDotBatch(const float* rows, size_t count, size_t stride,
+                             const float* centroids, size_t num_centroids,
+                             size_t centroid_stride, size_t n, uint32_t* out);
+
 /// Σ_k w[k] · <u + k·u_stride, v + k·v_stride> over n dims — the fused
 /// multi-facet cosine score of MARS (unit rows make dot == cosine). One
 /// traversal of both entity blocks.

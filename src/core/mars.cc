@@ -334,6 +334,27 @@ void Mars::ScoreItemRange(UserId u, ItemId begin, ItemId end,
                         count, config_.dim, out);
 }
 
+void Mars::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
+  const size_t kf = config_.num_facets;
+  const size_t d = config_.dim;
+  for (ItemId v = begin; v < end; ++v, out += kf * d) {
+    item_facets_.CopyEntityTo(v, out);
+  }
+}
+
+void Mars::WriteIndexQuery(UserId u, float* out) const {
+  const size_t kf = config_.num_facets;
+  const size_t d = config_.dim;
+  std::vector<float> theta(kf);
+  Softmax(theta_logits_.Row(u), theta.data(), kf);
+  for (size_t k = 0; k < kf; ++k) theta[k] *= radii_[k];
+  for (size_t k = 0; k < kf; ++k) {
+    const float* row = user_facets_.Row(u, k);
+    float* dst = out + k * d;
+    for (size_t i = 0; i < d; ++i) dst[i] = theta[k] * row[i];
+  }
+}
+
 std::vector<float> Mars::UserFacetEmbedding(UserId u, size_t k) const {
   MARS_CHECK(k < config_.num_facets);
   std::vector<float> out(config_.dim);

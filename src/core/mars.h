@@ -73,6 +73,18 @@ class Mars : public Recommender {
                       float* out) const override;
   std::string name() const override { return "MARS"; }
 
+  // ANN capability: concatenated-facet dot geometry. The item vector is
+  // the K facet rows concatenated (K·dim floats, padding stripped); the
+  // query concatenates θ_u^k·r_k·u^k, so the single dot recovers
+  // Σ_k θ_u^k r_k <u^k, v^k> — the spherical score (cos == dot on unit
+  // rows) up to floating-point reassociation.
+  IndexGeometry index_geometry() const override { return IndexGeometry::kDot; }
+  size_t index_dim() const override {
+    return config_.num_facets * config_.dim;
+  }
+  void CopyIndexVectors(ItemId begin, ItemId end, float* out) const override;
+  void WriteIndexQuery(UserId u, float* out) const override;
+
   const MultiFacetConfig& config() const { return config_; }
   const MarsOptions& mars_options() const { return mars_options_; }
 

@@ -6,11 +6,31 @@
 #ifndef MARS_EVAL_SCORER_H_
 #define MARS_EVAL_SCORER_H_
 
+#include <cstddef>
 #include <span>
 
 #include "data/interaction.h"
 
 namespace mars {
+
+/// Dense-vector geometry of a model's item scores, advertised to the ANN
+/// candidate tier (ann/candidate_index.h). A model that opts in exposes one
+/// index vector per item and one query vector per user such that ranking by
+/// the declared geometry reproduces the ranking of Score():
+///
+///   kDot — dot(query(u), item(v)) equals Score(u, v) up to floating-point
+///          reassociation, so descending dot order is the score order.
+///          Models fold affine terms into extra dimensions (e.g. BPR's item
+///          bias rides as one appended component against a constant-1 query
+///          component; MARS concatenates its K facet rows against
+///          theta-and-radius-scaled user facets).
+///   kL2  — Score(u, v) is strictly decreasing in ||query(u) - item(v)||
+///          (the metric models score exactly -distance²), so ascending
+///          distance order is the score order.
+///   kNone — no such vectorization exists (per-candidate projections,
+///          neural towers, …); the serving layer falls back to the exact
+///          full-catalog sweep.
+enum class IndexGeometry { kNone, kDot, kL2 };
 
 /// Scores user-item pairs; higher means "more recommended".
 class ItemScorer {
@@ -42,6 +62,34 @@ class ItemScorer {
   /// threads. Models that reuse internal scratch buffers return false and
   /// are evaluated serially.
   virtual bool thread_safe() const { return true; }
+
+  // --- ANN index capability (see IndexGeometry above). ---------------------
+  // The contract couples the three overrides: a model returning kDot/kL2
+  // must also implement index_dim(), CopyIndexVectors() and
+  // WriteIndexQuery() consistently, and the vectors must describe the
+  // *current* weights — the serving layer snapshots the model before
+  // building, exactly like its score sweeps.
+
+  /// Geometry under which this model's scores are indexable; kNone (the
+  /// default) keeps the model on the exact-sweep path.
+  virtual IndexGeometry index_geometry() const { return IndexGeometry::kNone; }
+
+  /// Dimensionality of the index/query vectors (0 iff kNone).
+  virtual size_t index_dim() const { return 0; }
+
+  /// Writes the index vectors of items [begin, end) tightly packed into
+  /// `out` (index_dim() floats per item, no padding).
+  virtual void CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
+    (void)begin;
+    (void)end;
+    (void)out;
+  }
+
+  /// Writes user `u`'s query vector (index_dim() floats) into `out`.
+  virtual void WriteIndexQuery(UserId u, float* out) const {
+    (void)u;
+    (void)out;
+  }
 };
 
 }  // namespace mars

@@ -104,4 +104,18 @@ void Bpr::ScoreItemRange(UserId u, ItemId begin, ItemId end,
   }
 }
 
+void Bpr::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
+  const size_t d = config_.dim;
+  for (ItemId v = begin; v < end; ++v) {
+    Copy(item_.Row(v), out, d);
+    if (config_.use_item_bias) out[d] = item_bias_[v];
+    out += index_dim();
+  }
+}
+
+void Bpr::WriteIndexQuery(UserId u, float* out) const {
+  Copy(user_.Row(u), out, config_.dim);
+  if (config_.use_item_bias) out[config_.dim] = 1.0f;
+}
+
 }  // namespace mars

@@ -35,6 +35,16 @@ class Bpr : public Recommender {
                       float* out) const override;
   std::string name() const override { return "BPR"; }
 
+  // ANN capability: dot geometry, with the item bias folded in as one
+  // appended vector component against a constant-1 query component, so
+  // dot(query, item_vec) == Score exactly (eval/scorer.h contract).
+  IndexGeometry index_geometry() const override { return IndexGeometry::kDot; }
+  size_t index_dim() const override {
+    return config_.dim + (config_.use_item_bias ? 1 : 0);
+  }
+  void CopyIndexVectors(ItemId begin, ItemId end, float* out) const override;
+  void WriteIndexQuery(UserId u, float* out) const override;
+
   const Matrix& user_factors() const { return user_; }
   const Matrix& item_factors() const { return item_; }
 

@@ -108,4 +108,14 @@ void Cml::ScoreItemRange(UserId u, ItemId begin, ItemId end,
                               item_.cols(), config_.dim, out);
 }
 
+void Cml::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
+  for (ItemId v = begin; v < end; ++v, out += config_.dim) {
+    Copy(item_.Row(v), out, config_.dim);
+  }
+}
+
+void Cml::WriteIndexQuery(UserId u, float* out) const {
+  Copy(user_.Row(u), out, config_.dim);
+}
+
 }  // namespace mars

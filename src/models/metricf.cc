@@ -105,4 +105,14 @@ void MetricF::ScoreItemRange(UserId u, ItemId begin, ItemId end,
                               item_.cols(), config_.dim, out);
 }
 
+void MetricF::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
+  for (ItemId v = begin; v < end; ++v, out += config_.dim) {
+    Copy(item_.Row(v), out, config_.dim);
+  }
+}
+
+void MetricF::WriteIndexQuery(UserId u, float* out) const {
+  Copy(user_.Row(u), out, config_.dim);
+}
+
 }  // namespace mars

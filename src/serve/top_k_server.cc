@@ -111,6 +111,15 @@ TopKServer::TopKServer(std::shared_ptr<const ItemScorer> model,
     stripes_[i].capacity =
         options_.max_cached_users / n + (i < options_.max_cached_users % n);
   }
+  if (options_.ann_index != nullptr) {
+    MARS_CHECK_MSG(options_.ann_index->num_items() == num_items_,
+                   "injected ANN index must cover the server's catalog");
+    ann_enabled_ = true;
+    ann_index_.Publish(options_.ann_index);
+  } else if (options_.use_ann) {
+    ann_enabled_ = true;
+    RefreshAnnIndex(model_.Acquire(), nullptr);
+  }
 }
 
 TopKServer::TopKServer(const ItemScorer* model, size_t num_users,
@@ -149,7 +158,21 @@ TopKResult TopKServer::TopK(UserId u) {
       model_.Acquire(&pinned_epoch);
   TopKResult result;
   result.epoch = pinned_epoch;
-  Sweep(*snapshot, u, &result.items, &result.scores);
+  // Probe the ANN index when one is live and still shaped like the pinned
+  // model (a swap to a kNone or different-dim model quietly falls back to
+  // the exact sweep). The index may be one epoch stale relative to the
+  // snapshot — recall cost only; the re-rank scores with the snapshot.
+  const std::shared_ptr<const CandidateIndex> index =
+      ann_enabled_ ? ann_index_.Acquire() : nullptr;
+  if (index != nullptr &&
+      snapshot->index_geometry() != IndexGeometry::kNone &&
+      snapshot->index_dim() == index->dim()) {
+    AnnSweep(*snapshot, *index, u, &result.items, &result.scores);
+    ann_probes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Sweep(*snapshot, u, &result.items, &result.scores);
+    exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::unique_lock<std::mutex> lock(stripe.mu);
   ++stripe.misses;
@@ -228,6 +251,69 @@ void TopKServer::Sweep(const ItemScorer& model, UserId u,
   RankCandidates(&merged, k, items, scores);
 }
 
+void TopKServer::AnnSweep(const ItemScorer& model, const CandidateIndex& index,
+                          UserId u, std::vector<ItemId>* items,
+                          std::vector<float>* scores) {
+  const size_t k = std::min(options_.k, num_items_);
+  if (k == 0) {
+    items->clear();
+    scores->clear();
+    return;
+  }
+  const ImplicitDataset* exclude = options_.exclude_interactions;
+  // Per-thread buffers, same rationale as Sweep's chunk scratch.
+  static thread_local std::vector<float> query;
+  static thread_local std::vector<ItemId> cands;
+  static thread_local std::vector<float> cand_scores;
+  query.resize(index.dim());
+  cands.clear();
+  // Overfetch: k·overfetch candidates absorb near-boundary ranking churn;
+  // widening by the user's interaction count guarantees exclusion
+  // filtering alone can never shorten the answer below k (for the exact
+  // VP-tree this keeps the served top-k exactly the brute-force one).
+  const size_t excluded = exclude != nullptr ? exclude->UserDegree(u) : 0;
+  const size_t overfetch = std::max<size_t>(1, options_.ann.overfetch);
+  const size_t want = std::max(k * overfetch, k + excluded);
+  {
+    // Same guard as Sweep: shared-scratch models are probed and re-ranked
+    // under the serial-model lock.
+    std::unique_lock<std::mutex> model_lock(serial_model_mu_,
+                                            std::defer_lock);
+    if (!model.thread_safe()) model_lock.lock();
+    model.WriteIndexQuery(u, query.data());
+    index.Probe(query.data(), want, &cands);
+    cand_scores.resize(cands.size());
+    model.ScoreItems(u, cands, cand_scores.data());
+  }
+  static thread_local std::vector<std::pair<float, ItemId>> selected;
+  selected.clear();
+  selected.reserve(cands.size());
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (exclude != nullptr && exclude->HasInteraction(u, cands[i])) continue;
+    selected.emplace_back(cand_scores[i], cands[i]);
+  }
+  RankCandidates(&selected, k, items, scores);
+}
+
+void TopKServer::RefreshAnnIndex(
+    const std::shared_ptr<const ItemScorer>& snapshot,
+    const std::vector<size_t>* dirty_items) {
+  if (!ann_enabled_) return;
+  const std::shared_ptr<const CandidateIndex> current = ann_index_.Acquire();
+  if (dirty_items != nullptr && current != nullptr &&
+      snapshot->index_geometry() != IndexGeometry::kNone &&
+      snapshot->index_dim() == current->dim()) {
+    ann_index_.Publish(current->Rebuilt(*snapshot, *dirty_items, item_shards_,
+                                        options_.pool));
+    return;
+  }
+  // From-scratch build: no index yet, an unknown delta, or the model
+  // changed shape. Publishing null (kNone model) routes misses to the
+  // exact sweep.
+  ann_index_.Publish(
+      BuildCandidateIndex(*snapshot, num_items_, options_.ann, options_.pool));
+}
+
 void TopKServer::AbsorbWrites(WriteTracker* tracker) {
   MARS_CHECK(tracker != nullptr);
   MARS_CHECK(tracker->num_users() == num_users_);
@@ -247,6 +333,14 @@ void TopKServer::AbsorbWrites(WriteTracker* tracker) {
   uint64_t current_epoch = 0;
   const std::shared_ptr<const ItemScorer> snapshot =
       model_.Acquire(&current_epoch);
+  // Re-insert dirty item shards into the ANN index *before* the cache
+  // scan, so every miss racing the scan (and every post-absorb miss)
+  // probes lists consistent with the snapshot. All-dirty epochs rebuild
+  // from scratch — same policy as the cache's drop-everything case: with
+  // everything moved, fresh centroids beat reassignment onto stale ones.
+  if (!dirty_items.empty()) {
+    RefreshAnnIndex(snapshot, all_items_dirty ? nullptr : &dirty_items);
+  }
   RefreshScratch scratch;
   for (Stripe& stripe : stripes_) {
     std::unique_lock<std::mutex> lock(stripe.mu);
@@ -371,17 +465,29 @@ bool TopKServer::RefreshEntry(const ItemScorer& model, UserId u,
 void TopKServer::ReplaceModel(std::shared_ptr<const ItemScorer> model) {
   MARS_CHECK(model != nullptr);
   model_.Publish(std::move(model));
+  // Swap of unknown delta: rebuild the index from scratch against the new
+  // snapshot (PublishEpoch takes the cheaper tracker-guided path instead).
+  RefreshAnnIndex(model_.Acquire(), nullptr);
 }
 
 void TopKServer::ReplaceModel(const ItemScorer* model) {
   MARS_CHECK(model != nullptr);
-  model_.Publish(UnownedSnapshot(model));
+  ReplaceModel(UnownedSnapshot(model));
 }
 
 void TopKServer::PublishEpoch(std::shared_ptr<const ItemScorer> model,
                               WriteTracker* tracker) {
-  ReplaceModel(std::move(model));
-  if (tracker != nullptr) AbsorbWrites(tracker);
+  if (tracker == nullptr) {
+    ReplaceModel(std::move(model));
+    return;
+  }
+  MARS_CHECK(model != nullptr);
+  // Publish without the full index rebuild of ReplaceModel: the tracker
+  // knows what changed, so AbsorbWrites re-inserts exactly the dirty item
+  // shards (and clean-item epochs keep the index as is — the rows it
+  // indexed are byte-identical in the new snapshot).
+  model_.Publish(std::move(model));
+  AbsorbWrites(tracker);
 }
 
 void TopKServer::InvalidateAll() {
@@ -457,6 +563,8 @@ TopKServerStats TopKServer::stats() const {
     s.primed += stripe.primed;
     s.cached_users += stripe.map.size();
   }
+  s.ann_probes = ann_probes_.load(std::memory_order_relaxed);
+  s.exact_fallbacks = exact_fallbacks_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -8,6 +8,27 @@
 // in a bounded, mutex-striped LRU cache so hot users are answered without
 // touching the embedding tables at all.
 //
+// With use_ann set (and a model that declares an index geometry — see
+// eval/scorer.h), the miss path goes sub-linear: probe a CandidateIndex
+// (ann/candidate_index.h) for an overfetched candidate block, then
+// re-rank the block with the model's *exact* ScoreItems. Because every
+// returned score still comes from the model's own gather kernel, an
+// ANN-served ranking can only differ from the exact sweep in which items
+// it considered (recall), never in any considered item's score; models
+// with no geometry — and any epoch where the published model stops
+// matching the index's shape — fall back to the exact sweep
+// (stats().exact_fallbacks counts them, stats().ann_probes the probed
+// misses). The index rides the same epoch-swap machinery as the model:
+// it lives in its own SnapshotHandle, AbsorbWrites re-inserts only dirty
+// item shards (CandidateIndex::Rebuilt — IVF keeps its centroids,
+// reassigns dirty rows), and ReplaceModel rebuilds from scratch (unknown
+// delta). A probe against a one-epoch-stale index costs recall only: the
+// re-rank always scores with the pinned model snapshot. Cached entries
+// produced by ANN misses are approximate in the same candidate-coverage
+// sense, and incremental refresh preserves that: survivors keep their
+// exact scores and dirty shards are re-scored exactly, so refresh never
+// *lowers* an entry's recall.
+//
 // The server is split into two roles with different concurrency rights:
 //
 //  * Read front — TopK(). Any number of frontend threads may call it
@@ -65,6 +86,7 @@
 #ifndef MARS_SERVE_TOP_K_SERVER_H_
 #define MARS_SERVE_TOP_K_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -74,6 +96,7 @@
 #include <utility>
 #include <vector>
 
+#include "ann/candidate_index.h"
 #include "common/snapshot_handle.h"
 #include "data/dataset.h"
 #include "eval/scorer.h"
@@ -113,6 +136,17 @@ struct TopKServerOptions {
   /// raise max_cached_users (or lower cache_stripes) if hot users are
   /// known to be id-contiguous rather than spread.
   size_t cache_stripes = 0;
+  /// Serve misses through an ANN candidate index when the model declares
+  /// an index geometry (probe → exact re-rank; see the file comment).
+  /// Models with IndexGeometry::kNone silently keep the exact sweep.
+  bool use_ann = false;
+  /// Index build/probe knobs (used when use_ann is set and no prebuilt
+  /// index is injected).
+  AnnIndexOptions ann;
+  /// Optional prebuilt index to serve from (implies use_ann); must cover
+  /// exactly this server's catalog. The bench injects nprobe-swept clones
+  /// this way; most callers leave it null and let the server build.
+  std::shared_ptr<const CandidateIndex> ann_index;
 };
 
 /// One answered query.
@@ -135,6 +169,9 @@ struct TopKServerStats {
                                // also counted in `invalidated`)
   uint64_t evictions = 0;    // entries dropped by the LRU bound
   uint64_t primed = 0;       // entries inserted by Prime (sidecar warm-up)
+  uint64_t ann_probes = 0;   // misses served via the ANN probe/re-rank path
+  uint64_t exact_fallbacks = 0;  // misses served by the exact full sweep
+                                 // (ann_probes + exact_fallbacks == misses)
   size_t cached_users = 0;
 };
 
@@ -182,7 +219,10 @@ class TopKServer {
   /// incrementally refreshed against the *current* snapshot when item
   /// shards dirtied (see file comment — call ReplaceModel first). The
   /// tracker's shard counts must match the server's (same defaults, same
-  /// clamping). Each stripe is refreshed under its own lock, so hits for
+  /// clamping). When ANN serving is on, dirty item shards are first
+  /// re-inserted into the candidate index (an epoch-swapped Rebuilt — see
+  /// the file comment) so post-absorb misses probe fresh lists. Each
+  /// stripe is refreshed under its own lock, so hits for
   /// that stripe's users stall for its refresh (≤ 1/4 of a cold sweep
   /// per entry on a mostly-clean epoch) while every other stripe keeps
   /// serving.
@@ -264,6 +304,22 @@ class TopKServer {
   void Sweep(const ItemScorer& model, UserId u, std::vector<ItemId>* items,
              std::vector<float>* scores);
 
+  /// ANN miss path: probe `index` for an overfetched candidate block
+  /// (k·overfetch, widened by the user's exclusion count so filtering
+  /// cannot shorten the answer), re-rank it with the model's exact
+  /// ScoreItems, and apply the usual exclusion + (score desc, id asc)
+  /// ranking. Runs outside every stripe lock, like Sweep.
+  void AnnSweep(const ItemScorer& model, const CandidateIndex& index,
+                UserId u, std::vector<ItemId>* items,
+                std::vector<float>* scores);
+
+  /// Maintenance-side index refresh against `snapshot`: incremental
+  /// (CandidateIndex::Rebuilt over `dirty_items`) when a compatible index
+  /// exists and a dirty list is given; otherwise a from-scratch factory
+  /// build (which publishes null — exact fallback — for kNone models).
+  void RefreshAnnIndex(const std::shared_ptr<const ItemScorer>& snapshot,
+                       const std::vector<size_t>* dirty_items);
+
   /// Incremental refresh: re-scores exactly the `dirty` item shards
   /// (sorted ids) and merges with the entry's surviving rows. Returns
   /// false when the merge cannot prove exactness (the k-th-rank cutoff
@@ -280,6 +336,15 @@ class TopKServer {
   size_t num_items_;
   size_t item_shards_;
   TopKServerOptions options_;
+
+  /// ANN serving state: the index epoch-swaps exactly like the model. A
+  /// null slot (kNone model, or ann disabled) keeps misses on the exact
+  /// sweep. ann_enabled_ is fixed at construction; the per-miss
+  /// geometry/dim re-check handles model swaps that invalidate the index.
+  bool ann_enabled_ = false;
+  SnapshotHandle<CandidateIndex> ann_index_;
+  std::atomic<uint64_t> ann_probes_{0};
+  std::atomic<uint64_t> exact_fallbacks_{0};
 
   std::vector<Stripe> stripes_;
 

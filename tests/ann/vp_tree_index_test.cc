@@ -1,0 +1,220 @@
+// VpTreeIndex unit tests. The tree is an *exact* k-NN structure, so the
+// bar is equality with brute force, not recall: every probe must return
+// precisely the want nearest items under the pinned (distance², id)
+// order. Build determinism (serial == parallel) and the Rebuilt pinning
+// contract (dirty-shard rebuild == fresh build over the updated model)
+// are byte-level checks on the tree layout itself.
+#include "ann/vp_tree_index.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/candidate_index.h"
+#include "common/facet_store.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/vec.h"
+#include "eval/scorer.h"
+
+namespace mars {
+namespace {
+
+/// Minimal L2-geometry oracle: Score == -||u - v||², the metric-model
+/// contract. PerturbItems rewrites a contiguous id range (a dirty shard).
+class L2Scorer : public ItemScorer {
+ public:
+  L2Scorer(size_t users, size_t items, size_t dim, uint64_t seed)
+      : dim_(dim), user_(users * dim), item_(items * dim) {
+    Rng rng(seed);
+    for (auto& x : user_) x = static_cast<float>(rng.Normal());
+    for (auto& x : item_) x = static_cast<float>(rng.Normal());
+  }
+
+  float Score(UserId u, ItemId v) const override {
+    return -SquaredDistance(user_.data() + u * dim_, item_.data() + v * dim_,
+                            dim_);
+  }
+  IndexGeometry index_geometry() const override { return IndexGeometry::kL2; }
+  size_t index_dim() const override { return dim_; }
+  void CopyIndexVectors(ItemId begin, ItemId end, float* out) const override {
+    Copy(item_.data() + begin * dim_, out, (end - begin) * dim_);
+  }
+  void WriteIndexQuery(UserId u, float* out) const override {
+    Copy(user_.data() + u * dim_, out, dim_);
+  }
+
+  void DuplicateItem(ItemId src, ItemId dst) {
+    Copy(item_.data() + src * dim_, item_.data() + dst * dim_, dim_);
+  }
+  void PerturbItems(ItemId begin, ItemId end, uint64_t seed) {
+    Rng rng(seed);
+    for (size_t i = begin * dim_; i < end * dim_; ++i) {
+      item_[i] = static_cast<float>(rng.Normal());
+    }
+  }
+  const float* ItemRow(ItemId v) const { return item_.data() + v * dim_; }
+  const float* UserRow(UserId u) const { return user_.data() + u * dim_; }
+
+ private:
+  size_t dim_;
+  std::vector<float> user_, item_;
+};
+
+/// The want nearest item ids under (distance², id) ascending — the order
+/// the VP-tree search pins.
+std::vector<ItemId> BruteForceKnn(const L2Scorer& model, size_t num_items,
+                                  size_t dim, const float* query,
+                                  size_t want) {
+  std::vector<std::pair<float, ItemId>> ranked(num_items);
+  for (ItemId v = 0; v < num_items; ++v) {
+    ranked[v] = {SquaredDistance(query, model.ItemRow(v), dim), v};
+  }
+  std::sort(ranked.begin(), ranked.end());
+  ranked.resize(std::min(want, ranked.size()));
+  std::vector<ItemId> ids;
+  for (const auto& [d2, v] : ranked) ids.push_back(v);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ExpectSameTree(const VpTreeIndex& a, const VpTreeIndex& b) {
+  EXPECT_EQ(a.ids(), b.ids());
+  EXPECT_EQ(a.radii(), b.radii());
+}
+
+TEST(VpTreeIndexTest, ProbeReturnsExactNearestNeighbours) {
+  const size_t kItems = 400, kDim = 8, kUsers = 12;
+  L2Scorer model(kUsers, kItems, kDim, 1);
+  // Exact duplicates exercise the (distance², id) tiebreak in both the
+  // partition and the search heap.
+  model.DuplicateItem(10, 11);
+  model.DuplicateItem(10, 12);
+  const auto idx =
+      VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_STREQ(idx->kind(), "vp_tree");
+
+  for (UserId u = 0; u < kUsers; ++u) {
+    for (const size_t want : {1ul, 5ul, 33ul, 150ul}) {
+      std::vector<ItemId> got;
+      idx->Probe(model.UserRow(u), want, &got);
+      ASSERT_EQ(got.size(), want) << "user " << u << " want " << want;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got,
+                BruteForceKnn(model, kItems, kDim, model.UserRow(u), want))
+          << "user " << u << " want " << want;
+    }
+  }
+}
+
+TEST(VpTreeIndexTest, ProbeEdgeWants) {
+  const size_t kItems = 90, kDim = 4;
+  L2Scorer model(2, kItems, kDim, 2);
+  const auto idx =
+      VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+
+  std::vector<ItemId> out = {42};
+  idx->Probe(model.UserRow(0), 0, &out);
+  EXPECT_EQ(out.size(), 1u);  // want == 0 appends nothing
+
+  idx->Probe(model.UserRow(0), kItems + 10, &out);  // whole catalog
+  ASSERT_EQ(out.size(), 1 + kItems);
+  EXPECT_EQ(out[0], 42u);
+}
+
+TEST(VpTreeIndexTest, BuildIsDeterministicAndParallelMatchesSerial) {
+  const size_t kItems = 700, kDim = 8;
+  L2Scorer model(4, kItems, kDim, 3);
+  const auto a = VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+  const auto b = VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+  ExpectSameTree(*a, *b);
+
+  // Parallel frontier build: disjoint subtree ranges, bit-identical to
+  // the serial partition.
+  ThreadPool pool(3);
+  const auto c = VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, &pool);
+  ExpectSameTree(*a, *c);
+}
+
+TEST(VpTreeIndexTest, RebuiltDirtyShardsEqualsFreshBuild) {
+  const size_t kItems = 560, kDim = 8, kShards = 8;
+  L2Scorer model(4, kItems, kDim, 4);
+  const auto idx =
+      VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+  const std::vector<ItemId> before_ids = idx->ids();
+  const std::vector<float> before_radii = idx->radii();
+
+  const std::vector<size_t> dirty = {2, 5};
+  for (const size_t s : dirty) {
+    const auto [begin, end] = FacetStore::ShardRange(kItems, s, kShards);
+    model.PerturbItems(begin, end, 200 + s);
+  }
+
+  // Clean rows are byte-identical under the tracker contract and the
+  // partition is deterministic, so a dirty-shard rebuild must equal a
+  // fresh build over the updated model — the pinning the issue requires.
+  const auto rebuilt = idx->Rebuilt(model, dirty, kShards, nullptr);
+  const auto fresh =
+      VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  ExpectSameTree(static_cast<const VpTreeIndex&>(*rebuilt), *fresh);
+  EXPECT_NE(fresh->ids(), before_ids);  // the perturbation really re-split
+
+  // The receiver is untouched (in-flight probes keep it), and a
+  // pool-parallel rebuild matches the serial one.
+  EXPECT_EQ(idx->ids(), before_ids);
+  EXPECT_EQ(idx->radii(), before_radii);
+  ThreadPool pool(3);
+  const auto parallel = idx->Rebuilt(model, dirty, kShards, &pool);
+  ExpectSameTree(static_cast<const VpTreeIndex&>(*parallel), *fresh);
+}
+
+TEST(VpTreeIndexTest, RebuiltStillAnswersExactly) {
+  const size_t kItems = 320, kDim = 6, kShards = 8;
+  L2Scorer model(6, kItems, kDim, 5);
+  const auto idx =
+      VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+  model.PerturbItems(0, kItems / kShards, 300);
+  const auto rebuilt = idx->Rebuilt(model, {0}, kShards, nullptr);
+  for (UserId u = 0; u < 6; ++u) {
+    std::vector<ItemId> got;
+    rebuilt->Probe(model.UserRow(u), 9, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceKnn(model, kItems, kDim, model.UserRow(u), 9))
+        << "user " << u;
+  }
+}
+
+TEST(VpTreeIndexTest, FactoryBuildsVpTreeForL2Geometry) {
+  const size_t kItems = 64, kDim = 4;
+  L2Scorer model(2, kItems, kDim, 6);
+  const auto idx =
+      BuildCandidateIndex(model, kItems, AnnIndexOptions{}, nullptr);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_STREQ(idx->kind(), "vp_tree");
+}
+
+TEST(VpTreeIndexTest, TinyCatalogsAndLeafOnlyTreesStayExact) {
+  // Catalogs at or below the leaf size never partition; the search is a
+  // straight scan and must still honour the (distance², id) order.
+  for (const size_t items : {1ul, 2ul, 31ul, 33ul}) {
+    L2Scorer model(3, items, 5, 7 + items);
+    const auto idx =
+        VpTreeIndex::Build(model, items, AnnIndexOptions{}, nullptr);
+    for (UserId u = 0; u < 3; ++u) {
+      const size_t want = std::min<size_t>(4, items);
+      std::vector<ItemId> got;
+      idx->Probe(model.UserRow(u), want, &got);
+      ASSERT_EQ(got.size(), want) << "items " << items;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, BruteForceKnn(model, items, 5, model.UserRow(u), want))
+          << "items " << items << " user " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars

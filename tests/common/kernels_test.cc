@@ -290,5 +290,49 @@ TEST(KernelsTest, WeightedFacetSquaredDistanceMixedStrides) {
   }
 }
 
+TEST_P(BatchKernelShapes, NearestCentroidDotBatchMatchesArgmax) {
+  const auto [n, count] = GetParam();
+  const size_t stride = n + 2;          // padded rows
+  const size_t centroid_stride = n + 1; // and differently padded centroids
+  const size_t num_centroids = 5;
+  Rng rng(11);
+  const auto rows = RandomBlock(&rng, count, stride, n);
+  const auto centroids = RandomBlock(&rng, num_centroids, centroid_stride, n);
+  std::vector<uint32_t> got(count, 0xFFFFFFFFu);
+  NearestCentroidDotBatch(rows.data(), count, stride, centroids.data(),
+                          num_centroids, centroid_stride, n, got.data());
+  for (size_t r = 0; r < count; ++r) {
+    uint32_t best = 0;
+    float best_dot = Dot(rows.data() + r * stride, centroids.data(), n);
+    for (size_t c = 1; c < num_centroids; ++c) {
+      const float d =
+          Dot(rows.data() + r * stride, centroids.data() + c * centroid_stride,
+              n);
+      if (d > best_dot) {
+        best_dot = d;
+        best = static_cast<uint32_t>(c);
+      }
+    }
+    EXPECT_EQ(got[r], best) << "n=" << n << " row " << r;
+  }
+}
+
+TEST(KernelsTest, NearestCentroidDotBatchBreaksTiesToLowestIndex) {
+  // Duplicate centroids dot identically against every row; the pinned
+  // tie rule (strict improvement only) must pick the lower index, on
+  // both the generic and vectorized paths.
+  const size_t n = 19, count = 6, num_centroids = 4;
+  Rng rng(21);
+  const auto rows = RandomBlock(&rng, count, n, n);
+  auto centroids = RandomBlock(&rng, num_centroids, n, n);
+  for (size_t c = 1; c < num_centroids; ++c) {
+    Copy(centroids.data(), centroids.data() + c * n, n);
+  }
+  std::vector<uint32_t> got(count, 0xFFFFFFFFu);
+  NearestCentroidDotBatch(rows.data(), count, n, centroids.data(),
+                          num_centroids, n, n, got.data());
+  for (size_t r = 0; r < count; ++r) EXPECT_EQ(got[r], 0u) << "row " << r;
+}
+
 }  // namespace
 }  // namespace mars

@@ -18,8 +18,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "common/snapshot_handle.h"
 #include "common/thread_pool.h"
+#include "common/vec.h"
 #include "data/dataset.h"
 #include "eval/scorer.h"
 #include "serve/top_k_server.h"
@@ -314,6 +316,136 @@ TEST(SnapshotHandleServeTest, IncrementalAbsorbRacingQueriesStaysExact) {
   EXPECT_EQ(wrong.load(), 0u);
   const TopKServerStats stats = server.stats();
   EXPECT_GT(stats.refreshed, 0u);  // the incremental path actually ran
+  for (UserId u = 0; u < kUsers; ++u) {
+    const TopKResult got = server.TopK(u);
+    EXPECT_EQ(got.items, want[kGenerations - 1][u].first) << "user " << u;
+    EXPECT_EQ(got.scores, want[kGenerations - 1][u].second) << "user " << u;
+  }
+}
+
+TEST(SnapshotHandleServeTest, AnnQueriesRacingIndexSwapsSeeOnlySnapshots) {
+  // The ANN acceptance race: query threads probe the candidate index
+  // flat out while the maintenance thread publishes epochs that swap
+  // both the model *and* the index — alternating the incremental
+  // Rebuilt path (strict-subset dirty item shards) with the full
+  // from-scratch rebuild (all-dirty). Serving runs at full probe, so
+  // every response must still be bit-identical to the brute force of
+  // *some* published generation: a torn index, a probe against a freed
+  // epoch, or a blend of two snapshots all fail the membership check
+  // (and TSAN, with no new suppressions in scope).
+  const size_t kUsers = 32, kItems = 240, kDim = 8, kK = 6, kShards = 8;
+  const size_t kGenerations = 8;
+
+  // Dot-geometry generation family: generation g re-randomizes item rows
+  // in shard g % kShards only (clean rows byte-identical across g-1 → g,
+  // honouring the tracker contract the incremental index rebuild relies
+  // on). User rows are shared.
+  class AnnShardGenScorer : public ItemScorer {
+   public:
+    AnnShardGenScorer(size_t num_users, size_t num_items, size_t dim,
+                      size_t shard, size_t generation, size_t num_shards)
+        : dim_(dim), user_(num_users * dim), item_(num_items * dim) {
+      Rng urng(99);
+      for (auto& x : user_) x = static_cast<float>(urng.Normal());
+      for (ItemId v = 0; v < num_items; ++v) {
+        WriteTracker probe(1, num_items, num_shards);
+        const bool moved = probe.ItemShardOf(v) == shard && generation > 0;
+        Rng vrng(moved ? 7000 + generation * 131 + v : 100 + v);
+        for (size_t i = 0; i < dim; ++i) {
+          item_[v * dim + i] = static_cast<float>(vrng.Normal());
+        }
+      }
+    }
+    float Score(UserId u, ItemId v) const override {
+      return Dot(user_.data() + u * dim_, item_.data() + v * dim_, dim_);
+    }
+    IndexGeometry index_geometry() const override {
+      return IndexGeometry::kDot;
+    }
+    size_t index_dim() const override { return dim_; }
+    void CopyIndexVectors(ItemId begin, ItemId end,
+                          float* out) const override {
+      std::copy(item_.begin() + begin * dim_, item_.begin() + end * dim_,
+                out);
+    }
+    void WriteIndexQuery(UserId u, float* out) const override {
+      std::copy(user_.begin() + u * dim_, user_.begin() + (u + 1) * dim_,
+                out);
+    }
+
+   private:
+    size_t dim_;
+    std::vector<float> user_, item_;
+  };
+
+  std::vector<std::shared_ptr<const AnnShardGenScorer>> generations;
+  std::vector<std::vector<std::pair<std::vector<ItemId>, std::vector<float>>>>
+      want(kGenerations);
+  for (size_t g = 0; g < kGenerations; ++g) {
+    generations.push_back(std::make_shared<const AnnShardGenScorer>(
+        kUsers, kItems, kDim, g % kShards, g, kShards));
+    want[g] = BruteForceAll(*generations[g], kUsers, kItems, kK);
+  }
+  ASSERT_NE(want[0][0].first, want[1][0].first);
+
+  TopKServerOptions opts;
+  opts.k = kK;
+  opts.max_cached_users = kUsers;
+  opts.cache_stripes = 4;
+  opts.item_shards = kShards;
+  opts.use_ann = true;
+  opts.ann.nprobe = 1u << 20;  // full probe → responses stay exact
+  TopKServer server(generations[0], kUsers, kItems, opts);
+  WriteTracker tracker(kUsers, kItems, kShards);
+  ASSERT_EQ(server.stats().exact_fallbacks, 0u);
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      size_t q = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const UserId u = static_cast<UserId>((q * 3 + t) % kUsers);
+        const TopKResult got = server.TopK(u);
+        bool matched = false;
+        for (size_t g = 0; g < kGenerations && !matched; ++g) {
+          matched = got.items == want[g][u].first &&
+                    got.scores == want[g][u].second;
+        }
+        if (!matched) wrong.fetch_add(1, std::memory_order_relaxed);
+        ++q;
+      }
+    });
+  }
+
+  for (size_t g = 1; g < kGenerations; ++g) {
+    if (g % 3 == 0) {
+      // Every third epoch: conservative all-dirty delta → from-scratch
+      // index rebuild racing the probes.
+      tracker.MarkAllUsers();
+      tracker.MarkAllItems();
+    } else {
+      // Generations g-1 and g differ exactly in the shards either one
+      // re-randomized; user rows are shared and clean item rows are
+      // byte-identical, so this is the genuine strict-subset delta: the
+      // cache refreshes entries in place while the index goes through
+      // the incremental Rebuilt — both racing the probes.
+      for (ItemId v = 0; v < kItems; ++v) {
+        const size_t s = tracker.ItemShardOf(v);
+        if (s == (g - 1) % kShards || s == g % kShards) tracker.MarkItem(v);
+      }
+    }
+    server.PublishEpoch(generations[g], &tracker);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  const TopKServerStats stats = server.stats();
+  EXPECT_EQ(stats.exact_fallbacks, 0u);  // never silently lost the index
+  EXPECT_EQ(stats.ann_probes, stats.misses);
   for (UserId u = 0; u < kUsers; ++u) {
     const TopKResult got = server.TopK(u);
     EXPECT_EQ(got.items, want[kGenerations - 1][u].first) << "user " << u;
