@@ -169,6 +169,140 @@ void BM_CosineBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CosineBatch)->Arg(32)->Arg(128);
 
+// --- Multi-user vs repeated single-user scoring ----------------------------
+// The batched-serving question: B users against one item block — B calls
+// of the single-user batch kernel (each streaming the block again) vs one
+// multi-user kernel call (each item row loaded once for all B users).
+// Args are (dim, B); per-user results are bit-identical by contract, so
+// items_processed rates compare directly.
+
+void BM_DotBatchRepeatedSingle(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t B = static_cast<size_t>(state.range(1));
+  const auto us = RandomBlock(B, d, 30);
+  const auto block = RandomBlock(kBatchRows, d, 31);
+  std::vector<float> out(B * kBatchRows);
+  for (auto _ : state) {
+    for (size_t b = 0; b < B; ++b) {
+      DotBatch(us.data() + b * d, block.data(), kBatchRows, d, d,
+               out.data() + b * kBatchRows);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * kBatchRows * d);
+}
+BENCHMARK(BM_DotBatchRepeatedSingle)
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
+void BM_DotBatchMulti(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t B = static_cast<size_t>(state.range(1));
+  const auto us = RandomBlock(B, d, 30);
+  const auto block = RandomBlock(kBatchRows, d, 31);
+  std::vector<float> out(B * kBatchRows);
+  std::vector<const float*> uptr(B);
+  std::vector<float*> optr(B);
+  for (size_t b = 0; b < B; ++b) {
+    uptr[b] = us.data() + b * d;
+    optr[b] = out.data() + b * kBatchRows;
+  }
+  for (auto _ : state) {
+    DotBatchMulti(uptr.data(), B, block.data(), kBatchRows, d, d,
+                  optr.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * kBatchRows * d);
+}
+BENCHMARK(BM_DotBatchMulti)->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
+void BM_SquaredDistanceBatchRepeatedSingle(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t B = static_cast<size_t>(state.range(1));
+  const auto us = RandomBlock(B, d, 32);
+  const auto block = RandomBlock(kBatchRows, d, 33);
+  std::vector<float> out(B * kBatchRows);
+  for (auto _ : state) {
+    for (size_t b = 0; b < B; ++b) {
+      NegatedSquaredDistanceBatch(us.data() + b * d, block.data(),
+                                  kBatchRows, d, d,
+                                  out.data() + b * kBatchRows);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * kBatchRows * d);
+}
+BENCHMARK(BM_SquaredDistanceBatchRepeatedSingle)
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
+void BM_SquaredDistanceBatchMulti(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t B = static_cast<size_t>(state.range(1));
+  const auto us = RandomBlock(B, d, 32);
+  const auto block = RandomBlock(kBatchRows, d, 33);
+  std::vector<float> out(B * kBatchRows);
+  std::vector<const float*> uptr(B);
+  std::vector<float*> optr(B);
+  for (size_t b = 0; b < B; ++b) {
+    uptr[b] = us.data() + b * d;
+    optr[b] = out.data() + b * kBatchRows;
+  }
+  for (auto _ : state) {
+    NegatedSquaredDistanceBatchMulti(uptr.data(), B, block.data(),
+                                     kBatchRows, d, d, optr.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * kBatchRows * d);
+}
+BENCHMARK(BM_SquaredDistanceBatchMulti)
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
+void BM_WeightedFacetDotBatchRepeatedSingle(benchmark::State& state) {
+  constexpr size_t kf = 4;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t B = static_cast<size_t>(state.range(1));
+  const auto us = RandomBlock(B * kf, d, 34);
+  const auto blocks = RandomBlock(kBatchRows * kf, d, 35);
+  const auto ws = RandomBlock(B, kf, 36);
+  std::vector<float> out(B * kBatchRows);
+  for (auto _ : state) {
+    for (size_t b = 0; b < B; ++b) {
+      WeightedFacetDotBatch(us.data() + b * kf * d, d, blocks.data(),
+                            kf * d, d, ws.data() + b * kf, kf, kBatchRows,
+                            d, out.data() + b * kBatchRows);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * kBatchRows * kf * d);
+}
+BENCHMARK(BM_WeightedFacetDotBatchRepeatedSingle)
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
+void BM_WeightedFacetDotBatchMulti(benchmark::State& state) {
+  constexpr size_t kf = 4;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t B = static_cast<size_t>(state.range(1));
+  const auto us = RandomBlock(B * kf, d, 34);
+  const auto blocks = RandomBlock(kBatchRows * kf, d, 35);
+  const auto ws = RandomBlock(B, kf, 36);
+  std::vector<float> out(B * kBatchRows);
+  std::vector<const float*> uptr(B), wptr(B);
+  std::vector<float*> optr(B);
+  for (size_t b = 0; b < B; ++b) {
+    uptr[b] = us.data() + b * kf * d;
+    wptr[b] = ws.data() + b * kf;
+    optr[b] = out.data() + b * kBatchRows;
+  }
+  for (auto _ : state) {
+    WeightedFacetDotBatchMulti(uptr.data(), d, wptr.data(), B,
+                               blocks.data(), kf * d, d, kf, kBatchRows, d,
+                               optr.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B * kBatchRows * kf * d);
+}
+BENCHMARK(BM_WeightedFacetDotBatchMulti)
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
 // --- Autovectorized vs AVX2-intrinsic row reductions -----------------------
 // The ROADMAP "SIMD-explicit kernels" comparison: the generic 8-wide
 // accumulator forms (vectorized at the build's baseline ISA — plain SSE2

@@ -12,7 +12,10 @@ Each (BASELINE, FRESH) pair must be JSON emitted by the same bench binary
 Scaling checks (multi-thread speedup) are skipped unless BOTH runs saw more
 than one CPU: a 1-core container serializes the Hogwild workers, so its
 "speedup" numbers measure overhead, not scaling (see BENCH_train.json
-host_cpus).
+host_cpus). Every such skip is listed again in an end-of-run summary so a
+green run on a 1-core host states which gates never ran. The coalesced-batch
+serving gate (check_serve_batch) is single-threaded by construction and
+stays armed regardless of core count.
 
 Wired into scripts/ci.sh as the opt-in `--bench` stage.
 """
@@ -22,6 +25,7 @@ import json
 import sys
 
 FAILURES = []
+CPU_SKIPS = []
 
 
 def fail(msg):
@@ -35,6 +39,15 @@ def ok(msg):
 
 def skip(msg):
     print(f"skip: {msg}")
+
+
+def skip_cpu(msg):
+    """A gate skipped because a 1-CPU host can't measure it (scaling needs
+    real parallelism). Recorded so the end-of-run summary states explicitly
+    which gates never ran — a green check on a 1-core container must not
+    read as 'all gates passed'."""
+    CPU_SKIPS.append(msg)
+    skip(msg)
 
 
 # Timings below this (1 µs) are a single hash lookup; their run-to-run and
@@ -72,8 +85,8 @@ def check_train(base, fresh, threshold):
                  fresh_by_t[1]["seconds_per_epoch"], threshold)
 
     if base.get("host_cpus", 1) <= 1 or fresh.get("host_cpus", 1) <= 1:
-        skip("train scaling: host_cpus == 1 on at least one side "
-             "(serialized workers measure overhead, not scaling)")
+        skip_cpu("train scaling: host_cpus == 1 on at least one side "
+                 "(serialized workers measure overhead, not scaling)")
         return
     for t in sorted(set(base_by_t) & set(fresh_by_t)):
         if t == 1:
@@ -110,8 +123,64 @@ def check_serve(base, fresh, threshold):
             else:
                 ok(f"serve cached_speedup @{m} items: {speedup:.1f}x >= 5x")
     check_serve_ann(base, fresh, threshold)
+    check_serve_batch(base, fresh, threshold)
     check_serve_incremental(base, fresh, threshold)
     check_serve_mt(base, fresh, threshold)
+
+
+def check_serve_batch(base, fresh, threshold):
+    """Coalesced-batch serving: TopKBatch per-user cost vs solo sweeps.
+
+    Regression diff on batch_ms_per_user per (num_items, batch_size) point,
+    plus the batching acceptance invariants at B = 8: the *gate point* (the
+    smallest catalog >= 50k items) must show the batched sweep >= 1.5x
+    faster per user than solo sweeps, and every larger catalog must show
+    batching at least not slower (>= 1.0x). The gate point is where the
+    item-block reuse is robustly cache-backed; far larger working sets
+    leave the ratio to the host's memory subsystem (measured 1.1-1.7x at
+    200k on a shared 1-vCPU box, run to run), so they are tracked but not
+    held to the 1.5x bar. The section is measured single-threaded
+    (TopKBatch drives the same multi-user sweep the concurrent coalescer
+    uses, with no thread choreography), so unlike the scaling checks these
+    gates stay armed on 1-CPU hosts.
+    """
+    if "batch" not in fresh:
+        fail("topk_serve: fresh run has no 'batch' section")
+        return
+    base_by_key = {(r["num_items"], r["batch_size"]): r
+                   for r in base.get("batch", {}).get("results", [])}
+    if not base_by_key:
+        skip("serve batch diff: baseline has no 'batch' section "
+             "(pre-batching baseline; invariants still checked)")
+    eligible = [r["num_items"] for r in fresh["batch"]["results"]
+                if r["num_items"] >= 50000 and r["batch_size"] == 8]
+    gate_items = min(eligible) if eligible else None
+    for r in fresh["batch"]["results"]:
+        m, bsz = r["num_items"], r["batch_size"]
+        b = base_by_key.get((m, bsz))
+        if b is not None:
+            check_slower(f"serve batch_ms_per_user @{m} items B={bsz}",
+                         b["batch_ms_per_user"], r["batch_ms_per_user"],
+                         threshold)
+        if bsz != 8 or m < 50000:
+            continue
+        speedup = r["speedup_per_user"]
+        if m == gate_items:
+            if speedup < 1.5:
+                fail(f"serve batch speedup_per_user @{m} items B=8: "
+                     f"{speedup:.2f}x < 1.5x (gate point)")
+            else:
+                ok(f"serve batch speedup_per_user @{m} items B=8: "
+                   f"{speedup:.2f}x >= 1.5x (gate point)")
+        elif speedup < 1.0:
+            fail(f"serve batch speedup_per_user @{m} items B=8: "
+                 f"{speedup:.2f}x < 1.0x (batching must never lose)")
+        else:
+            ok(f"serve batch speedup_per_user @{m} items B=8: "
+               f"{speedup:.2f}x >= 1.0x")
+    if gate_items is None and not fresh.get("fast_mode"):
+        fail("serve batch: no B=8 point at >= 50k items (full mode must "
+             "measure the gate point)")
 
 
 def check_serve_ann(base, fresh, threshold):
@@ -206,9 +275,15 @@ def check_serve_mt(base, fresh, threshold):
         # served every query (qps computes over the full count).
         if r["qps"] <= 0:
             fail(f"serve mt qps @{t} threads is {r['qps']}")
-    if base.get("host_cpus", 1) <= 1 or fresh.get("host_cpus", 1) <= 1:
-        skip("serve mt scaling: host_cpus == 1 on at least one side "
-             "(serialized frontends measure overhead, not scaling)")
+    # The mt section records the cores it actually saw; prefer that over
+    # the run-level field (older baselines only have the latter).
+    base_cpus = base.get("mt", {}).get("host_cpus",
+                                       base.get("host_cpus", 1))
+    fresh_cpus = fresh.get("mt", {}).get("host_cpus",
+                                         fresh.get("host_cpus", 1))
+    if base_cpus <= 1 or fresh_cpus <= 1:
+        skip_cpu("serve mt scaling: host_cpus == 1 on at least one side "
+                 "(serialized frontends measure overhead, not scaling)")
         return
     base_rows = {r["threads"]: r for r in base.get("mt", {}).get("results", [])}
     for t in sorted(set(base_rows) & set(fresh_rows)):
@@ -289,6 +364,11 @@ def main():
             continue
         checker(base, fresh, args.threshold)
 
+    if CPU_SKIPS:
+        print(f"\n{len(CPU_SKIPS)} gate(s) skipped because host_cpus == 1 "
+              "(never ran, not passed):")
+        for msg in CPU_SKIPS:
+            print(f"  - {msg}")
     if FAILURES:
         print(f"\n{len(FAILURES)} bench regression(s).")
         return 1

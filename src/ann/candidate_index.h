@@ -94,6 +94,24 @@ class CandidateIndex {
   virtual void Probe(const float* query, size_t want,
                      std::vector<ItemId>* out) const = 0;
 
+  /// Batched probe for the serving coalescer: `queries` holds
+  /// `num_queries` query vectors of dim() floats, tightly packed;
+  /// appends each query's candidates to (*out)[q] (not cleared; `out`
+  /// must hold at least num_queries vectors), exactly as
+  /// Probe(queries + q·dim(), want[q], &(*out)[q]) would — per query the
+  /// candidate set is bit-identical to the solo probe, the contract the
+  /// batched miss path relies on. The default is that loop;
+  /// implementations override it to share cross-query work (the IVF
+  /// ranks centroids for all queries off one pass over the centroid
+  /// matrix).
+  virtual void ProbeBatch(const float* queries, size_t num_queries,
+                          const size_t* want,
+                          std::vector<std::vector<ItemId>>* out) const {
+    for (size_t q = 0; q < num_queries; ++q) {
+      Probe(queries + q * dim_, want[q], &(*out)[q]);
+    }
+  }
+
   /// Returns a fresh index over `model`'s current item vectors, reusing
   /// everything the dirty shards don't invalidate (IVF keeps its
   /// centroids and re-assigns only dirty rows; the VP-tree re-reads dirty

@@ -182,10 +182,15 @@ void SphericalIvfIndex::Probe(const float* query, size_t want,
     return;
   }
   static thread_local std::vector<float> cdots;
-  static thread_local std::vector<uint32_t> order;
   cdots.resize(num_centroids_);
   DotBatch(query, centroids_.data(), num_centroids_, dim_, dim_,
            cdots.data());
+  AppendBestLists(cdots.data(), want, out);
+}
+
+void SphericalIvfIndex::AppendBestLists(const float* cdots, size_t want,
+                                        std::vector<ItemId>* out) const {
+  static thread_local std::vector<uint32_t> order;
   order.resize(num_centroids_);
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
@@ -200,6 +205,38 @@ void SphericalIvfIndex::Probe(const float* query, size_t want,
     const auto list = List(order[i]);
     out->insert(out->end(), list.begin(), list.end());
     appended += list.size();
+  }
+}
+
+void SphericalIvfIndex::ProbeBatch(const float* queries, size_t num_queries,
+                                   const size_t* want,
+                                   std::vector<std::vector<ItemId>>* out) const {
+  if (num_queries == 0) return;
+  // One multi-query pass over the centroid matrix scores every query's
+  // centroid dots (each centroid row is loaded once per query quad); the
+  // per-query list walk is then identical to Probe, so each query's
+  // candidate set is bit-identical to its solo probe.
+  static thread_local std::vector<float> all_dots;
+  all_dots.resize(num_queries * num_centroids_);
+  std::vector<const float*> qs(num_queries);
+  std::vector<float*> dots(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    qs[q] = queries + q * dim_;
+    dots[q] = all_dots.data() + q * num_centroids_;
+  }
+  DotBatchMulti(qs.data(), num_queries, centroids_.data(), num_centroids_,
+                dim_, dim_, dots.data());
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (want[q] >= num_items_) {
+      auto& dst = (*out)[q];
+      const size_t base = dst.size();
+      dst.resize(base + num_items_);
+      for (size_t v = 0; v < num_items_; ++v) {
+        dst[base + v] = static_cast<ItemId>(v);
+      }
+      continue;
+    }
+    AppendBestLists(dots[q], want[q], &(*out)[q]);
   }
 }
 

@@ -25,7 +25,9 @@ using kernels_detail::SquaredDistanceRowGeneric;
 
 using kernels_detail::DotAndNormRowAvx2;
 using kernels_detail::DotRowAvx2;
+using kernels_detail::DotRowAvx2X4;
 using kernels_detail::SquaredDistanceRowAvx2;
+using kernels_detail::SquaredDistanceRowAvx2X4;
 
 MARS_AVX2_FN void DotBatchAvx2(const float* u, const float* rows,
                                size_t count, size_t stride, size_t n,
@@ -115,6 +117,104 @@ MARS_AVX2_FN void WeightedFacetSquaredDistanceBatchAvx2(
     out[r] = WeightedFacetSquaredDistanceAvx2(u, u_stride,
                                               blocks + r * block_stride,
                                               row_stride, w, num_facets, n);
+  }
+}
+
+// Multi-user batch loops: candidate rows in the outer loop so each row is
+// loaded once per user quad (DotRowAvx2X4 / SquaredDistanceRowAvx2X4 share
+// the row's vector loads across four FMA chains); the B mod 4 remainder
+// users run the single-user row primitive. Per user both shapes execute
+// the identical op sequence, keeping every lane bit-identical to the
+// single-user kernel.
+
+MARS_AVX2_FN void DotBatchMultiAvx2(const float* const* us, size_t num_users,
+                                    const float* rows, size_t count,
+                                    size_t stride, size_t n,
+                                    float* const* out) {
+  const size_t quads = num_users & ~static_cast<size_t>(3);
+  for (size_t r = 0; r < count; ++r) {
+    const float* row = rows + r * stride;
+    size_t b = 0;
+    for (; b < quads; b += 4) {
+      float s[4];
+      DotRowAvx2X4(us + b, row, n, s);
+      for (size_t j = 0; j < 4; ++j) out[b + j][r] = s[j];
+    }
+    for (; b < num_users; ++b) out[b][r] = DotRowAvx2(us[b], row, n);
+  }
+}
+
+MARS_AVX2_FN void SquaredDistanceBatchMultiAvx2(
+    const float* const* us, size_t num_users, const float* rows, size_t count,
+    size_t stride, size_t n, float* const* out, float sign) {
+  const size_t quads = num_users & ~static_cast<size_t>(3);
+  for (size_t r = 0; r < count; ++r) {
+    const float* row = rows + r * stride;
+    size_t b = 0;
+    for (; b < quads; b += 4) {
+      float s[4];
+      SquaredDistanceRowAvx2X4(us + b, row, n, s);
+      for (size_t j = 0; j < 4; ++j) out[b + j][r] = sign * s[j];
+    }
+    for (; b < num_users; ++b) {
+      out[b][r] = sign * SquaredDistanceRowAvx2(us[b], row, n);
+    }
+  }
+}
+
+MARS_AVX2_FN void WeightedFacetDotBatchMultiAvx2(
+    const float* const* us, size_t u_stride, const float* const* ws,
+    size_t num_users, const float* blocks, size_t block_stride,
+    size_t row_stride, size_t num_facets, size_t count, size_t n,
+    float* const* out) {
+  const size_t quads = num_users & ~static_cast<size_t>(3);
+  for (size_t r = 0; r < count; ++r) {
+    const float* block = blocks + r * block_stride;
+    size_t b = 0;
+    for (; b < quads; b += 4) {
+      float score[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+      for (size_t k = 0; k < num_facets; ++k) {
+        const float* uf[4] = {us[b] + k * u_stride, us[b + 1] + k * u_stride,
+                              us[b + 2] + k * u_stride,
+                              us[b + 3] + k * u_stride};
+        float d[4];
+        DotRowAvx2X4(uf, block + k * row_stride, n, d);
+        for (size_t j = 0; j < 4; ++j) score[j] += ws[b + j][k] * d[j];
+      }
+      for (size_t j = 0; j < 4; ++j) out[b + j][r] = score[j];
+    }
+    for (; b < num_users; ++b) {
+      out[b][r] = WeightedFacetDotAvx2(us[b], u_stride, block, row_stride,
+                                       ws[b], num_facets, n);
+    }
+  }
+}
+
+MARS_AVX2_FN void WeightedFacetSquaredDistanceBatchMultiAvx2(
+    const float* const* us, size_t u_stride, const float* const* ws,
+    size_t num_users, const float* blocks, size_t block_stride,
+    size_t row_stride, size_t num_facets, size_t count, size_t n,
+    float* const* out) {
+  const size_t quads = num_users & ~static_cast<size_t>(3);
+  for (size_t r = 0; r < count; ++r) {
+    const float* block = blocks + r * block_stride;
+    size_t b = 0;
+    for (; b < quads; b += 4) {
+      float score[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+      for (size_t k = 0; k < num_facets; ++k) {
+        const float* uf[4] = {us[b] + k * u_stride, us[b + 1] + k * u_stride,
+                              us[b + 2] + k * u_stride,
+                              us[b + 3] + k * u_stride};
+        float d[4];
+        SquaredDistanceRowAvx2X4(uf, block + k * row_stride, n, d);
+        for (size_t j = 0; j < 4; ++j) score[j] += ws[b + j][k] * d[j];
+      }
+      for (size_t j = 0; j < 4; ++j) out[b + j][r] = score[j];
+    }
+    for (; b < num_users; ++b) {
+      out[b][r] = WeightedFacetSquaredDistanceAvx2(
+          us[b], u_stride, block, row_stride, ws[b], num_facets, n);
+    }
   }
 }
 
@@ -323,6 +423,102 @@ void WeightedFacetDotBatch(const float* u, size_t u_stride,
                                     n);
     }
     out[r] = score;
+  }
+}
+
+void DotBatchMulti(const float* const* us, size_t num_users,
+                   const float* rows, size_t count, size_t stride, size_t n,
+                   float* const* out) {
+  if (num_users == 0 || count == 0) return;
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    DotBatchMultiAvx2(us, num_users, rows, count, stride, n, out);
+    return;
+  }
+#endif
+  // Generic path: the candidate row stays hot across the inner user loop;
+  // per user this is exactly the single-user generic reduction.
+  for (size_t r = 0; r < count; ++r) {
+    const float* row = rows + r * stride;
+    for (size_t b = 0; b < num_users; ++b) {
+      out[b][r] = DotRowGeneric(us[b], row, n);
+    }
+  }
+}
+
+void NegatedSquaredDistanceBatchMulti(const float* const* us,
+                                      size_t num_users, const float* rows,
+                                      size_t count, size_t stride, size_t n,
+                                      float* const* out) {
+  if (num_users == 0 || count == 0) return;
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    SquaredDistanceBatchMultiAvx2(us, num_users, rows, count, stride, n, out,
+                                  -1.0f);
+    return;
+  }
+#endif
+  for (size_t r = 0; r < count; ++r) {
+    const float* row = rows + r * stride;
+    for (size_t b = 0; b < num_users; ++b) {
+      out[b][r] = -SquaredDistanceRowGeneric(us[b], row, n);
+    }
+  }
+}
+
+void WeightedFacetDotBatchMulti(const float* const* us, size_t u_stride,
+                                const float* const* ws, size_t num_users,
+                                const float* blocks, size_t block_stride,
+                                size_t row_stride, size_t num_facets,
+                                size_t count, size_t n, float* const* out) {
+  if (num_users == 0 || count == 0) return;
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    WeightedFacetDotBatchMultiAvx2(us, u_stride, ws, num_users, blocks,
+                                   block_stride, row_stride, num_facets,
+                                   count, n, out);
+    return;
+  }
+#endif
+  for (size_t r = 0; r < count; ++r) {
+    const float* block = blocks + r * block_stride;
+    for (size_t b = 0; b < num_users; ++b) {
+      float score = 0.0f;
+      for (size_t k = 0; k < num_facets; ++k) {
+        score += ws[b][k] * DotRowGeneric(us[b] + k * u_stride,
+                                          block + k * row_stride, n);
+      }
+      out[b][r] = score;
+    }
+  }
+}
+
+void WeightedFacetSquaredDistanceBatchMulti(
+    const float* const* us, size_t u_stride, const float* const* ws,
+    size_t num_users, const float* blocks, size_t block_stride,
+    size_t row_stride, size_t num_facets, size_t count, size_t n,
+    float* const* out) {
+  if (num_users == 0 || count == 0) return;
+#if MARS_KERNELS_HAVE_AVX2
+  if (HasAvx2Fma()) {
+    WeightedFacetSquaredDistanceBatchMultiAvx2(us, u_stride, ws, num_users,
+                                               blocks, block_stride,
+                                               row_stride, num_facets, count,
+                                               n, out);
+    return;
+  }
+#endif
+  for (size_t r = 0; r < count; ++r) {
+    const float* block = blocks + r * block_stride;
+    for (size_t b = 0; b < num_users; ++b) {
+      float score = 0.0f;
+      for (size_t k = 0; k < num_facets; ++k) {
+        score += ws[b][k] * SquaredDistanceRowGeneric(us[b] + k * u_stride,
+                                                      block + k * row_stride,
+                                                      n);
+      }
+      out[b][r] = score;
+    }
   }
 }
 

@@ -57,6 +57,22 @@ void NegatedSquaredDistanceBatch(const float* u, const float* rows,
                                  size_t count, size_t stride, size_t n,
                                  float* out);
 
+/// Multi-user forms: `num_users` query rows swept against one contiguous
+/// candidate block, each candidate row loaded once and applied to every
+/// user (register-blocked over user quads in the AVX2 path). `us[b]`
+/// points at user b's row; `out[b]` receives that user's `count` scores.
+/// Contract: out[b][i] is bit-identical to the corresponding single-user
+/// batch kernel — per user the reduction runs the same row primitive in
+/// the same order, so a coalesced multi-user sweep ranks exactly like B
+/// solo sweeps (the serve-layer batch≡solo guarantee rides on this).
+void DotBatchMulti(const float* const* us, size_t num_users,
+                   const float* rows, size_t count, size_t stride, size_t n,
+                   float* const* out);
+void NegatedSquaredDistanceBatchMulti(const float* const* us,
+                                      size_t num_users, const float* rows,
+                                      size_t count, size_t stride, size_t n,
+                                      float* const* out);
+
 /// out[i] = argmax_c Dot(rows + i*stride, centroids + c*centroid_stride)
 /// for i in [0, count); ties resolve to the lowest centroid index. This is
 /// the IVF coarse-assignment step of ann/ivf_index.h: with unit-norm
@@ -95,6 +111,23 @@ void WeightedFacetSquaredDistanceBatch(const float* u, size_t u_stride,
                                        size_t block_stride, size_t row_stride,
                                        const float* w, size_t num_facets,
                                        size_t count, size_t n, float* out);
+
+/// Multi-user forms of the fused facet sweeps: `num_users` user entity
+/// blocks (us[b], each with facet rows u_stride apart) against `count`
+/// consecutive candidate blocks, with a *per-user* facet weight vector
+/// ws[b] (MARS bakes each user's Θ·radii into it). Each candidate facet
+/// row is loaded once per user quad. Same bit-identity contract as
+/// DotBatchMulti: out[b] matches the single-user WeightedFacet*Batch call.
+void WeightedFacetDotBatchMulti(const float* const* us, size_t u_stride,
+                                const float* const* ws, size_t num_users,
+                                const float* blocks, size_t block_stride,
+                                size_t row_stride, size_t num_facets,
+                                size_t count, size_t n, float* const* out);
+void WeightedFacetSquaredDistanceBatchMulti(
+    const float* const* us, size_t u_stride, const float* const* ws,
+    size_t num_users, const float* blocks, size_t block_stride,
+    size_t row_stride, size_t num_facets, size_t count, size_t n,
+    float* const* out);
 
 }  // namespace mars
 

@@ -160,6 +160,77 @@ MARS_AVX2_FN inline float SquaredDistanceRowAvx2(const float* a,
   return s;
 }
 
+// Multi-user AVX2 forms: four query rows against one shared candidate row,
+// register-blocked — the row's vectors are loaded once per 16-float stride
+// and fed to all four users' FMA chains (8 ymm accumulators + 2 row
+// registers). Per user, the op sequence is *identical* to the single-user
+// primitive (same two-accumulator FMA chains, same Hsum256, same scalar
+// tail), so each lane of `out` is bit-identical to the corresponding solo
+// call — the batch≡solo contract the serving coalescer pins.
+
+MARS_AVX2_FN inline void DotRowAvx2X4(const float* const* a, const float* b,
+                                      size_t n, float* out) {
+  __m256 acc0[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                    _mm256_setzero_ps(), _mm256_setzero_ps()};
+  __m256 acc1[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                    _mm256_setzero_ps(), _mm256_setzero_ps()};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 b0 = _mm256_loadu_ps(b + i);
+    const __m256 b1 = _mm256_loadu_ps(b + i + 8);
+    for (size_t j = 0; j < 4; ++j) {
+      acc0[j] = _mm256_fmadd_ps(_mm256_loadu_ps(a[j] + i), b0, acc0[j]);
+      acc1[j] = _mm256_fmadd_ps(_mm256_loadu_ps(a[j] + i + 8), b1, acc1[j]);
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 b0 = _mm256_loadu_ps(b + i);
+    for (size_t j = 0; j < 4; ++j) {
+      acc0[j] = _mm256_fmadd_ps(_mm256_loadu_ps(a[j] + i), b0, acc0[j]);
+    }
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    float s = Hsum256(_mm256_add_ps(acc0[j], acc1[j]));
+    for (size_t t = i; t < n; ++t) s += a[j][t] * b[t];
+    out[j] = s;
+  }
+}
+
+MARS_AVX2_FN inline void SquaredDistanceRowAvx2X4(const float* const* a,
+                                                  const float* b, size_t n,
+                                                  float* out) {
+  __m256 acc0[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                    _mm256_setzero_ps(), _mm256_setzero_ps()};
+  __m256 acc1[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                    _mm256_setzero_ps(), _mm256_setzero_ps()};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 b0 = _mm256_loadu_ps(b + i);
+    const __m256 b1 = _mm256_loadu_ps(b + i + 8);
+    for (size_t j = 0; j < 4; ++j) {
+      const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a[j] + i), b0);
+      const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a[j] + i + 8), b1);
+      acc0[j] = _mm256_fmadd_ps(d0, d0, acc0[j]);
+      acc1[j] = _mm256_fmadd_ps(d1, d1, acc1[j]);
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 b0 = _mm256_loadu_ps(b + i);
+    for (size_t j = 0; j < 4; ++j) {
+      const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a[j] + i), b0);
+      acc0[j] = _mm256_fmadd_ps(d0, d0, acc0[j]);
+    }
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    float s = Hsum256(_mm256_add_ps(acc0[j], acc1[j]));
+    for (size_t t = i; t < n; ++t) {
+      const float dlt = a[j][t] - b[t];
+      s += dlt * dlt;
+    }
+    out[j] = s;
+  }
+}
+
 MARS_AVX2_FN inline void DotAndNormRowAvx2(const float* a, const float* b,
                                            size_t n, float* dot,
                                            float* bnorm2) {

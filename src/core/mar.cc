@@ -425,6 +425,36 @@ void Mar::ScoreItemRange(UserId u, ItemId begin, ItemId end,
   }
 }
 
+void Mar::ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                              ItemId end, float* const* out) const {
+  if (begin >= end || users.empty()) return;
+  if (param_mode_ != FacetParam::kFree) {
+    // kProjected scores through per-candidate projections — no block
+    // kernel exists, so the batch is just the per-user loop.
+    for (size_t b = 0; b < users.size(); ++b) {
+      ScoreItemRange(users[b], begin, end, out[b]);
+    }
+    return;
+  }
+  const size_t kf = config_.num_facets;
+  const size_t count = end - begin;
+  std::vector<float> thetas(users.size() * kf);
+  std::vector<const float*> ublocks(users.size()), ws(users.size());
+  for (size_t b = 0; b < users.size(); ++b) {
+    float* theta = thetas.data() + b * kf;
+    Softmax(theta_logits_.Row(users[b]), theta, kf);
+    ublocks[b] = user_facets_.EntityBlock(users[b]);
+    ws[b] = theta;
+  }
+  WeightedFacetSquaredDistanceBatchMulti(
+      ublocks.data(), user_facets_.row_stride(), ws.data(), users.size(),
+      item_facets_.EntityBlock(begin), item_facets_.entity_stride(),
+      item_facets_.row_stride(), kf, count, config_.dim, out);
+  for (size_t b = 0; b < users.size(); ++b) {
+    for (size_t i = 0; i < count; ++i) out[b][i] = -out[b][i];
+  }
+}
+
 std::vector<float> Mar::UserFacetEmbedding(UserId u, size_t k) const {
   MARS_CHECK(k < config_.num_facets);
   std::vector<float> out(config_.dim);

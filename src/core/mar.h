@@ -43,6 +43,8 @@ class Mar : public Recommender {
                   float* out) const override;
   void ScoreItemRange(UserId u, ItemId begin, ItemId end,
                       float* out) const override;
+  void ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                           ItemId end, float* const* out) const override;
   std::string name() const override { return "MAR"; }
 
   const MultiFacetConfig& config() const { return config_; }

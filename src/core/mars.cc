@@ -334,6 +334,39 @@ void Mars::ScoreItemRange(UserId u, ItemId begin, ItemId end,
                         count, config_.dim, out);
 }
 
+void Mars::ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                               ItemId end, float* const* out) const {
+  if (begin >= end || users.empty()) return;
+  const size_t kf = config_.num_facets;
+  if (kf == 1) {
+    // The single-facet sweep goes through CosineBatch (per-block ||u||
+    // hoisting); keep the per-user calls so the path — and the bits —
+    // match the solo sweep exactly.
+    for (size_t b = 0; b < users.size(); ++b) {
+      ScoreItemRange(users[b], begin, end, out[b]);
+    }
+    return;
+  }
+  // Per-user θ·r weight vectors, then one fused multi-user pass over the
+  // contiguous item store: each candidate facet row is loaded once per
+  // user quad instead of once per user.
+  std::vector<float> thetas(users.size() * kf);
+  std::vector<const float*> ublocks(users.size()), ws(users.size());
+  for (size_t b = 0; b < users.size(); ++b) {
+    float* theta = thetas.data() + b * kf;
+    Softmax(theta_logits_.Row(users[b]), theta, kf);
+    for (size_t k = 0; k < kf; ++k) theta[k] *= radii_[k];
+    ublocks[b] = user_facets_.EntityBlock(users[b]);
+    ws[b] = theta;
+  }
+  WeightedFacetDotBatchMulti(ublocks.data(), user_facets_.row_stride(),
+                             ws.data(), users.size(),
+                             item_facets_.EntityBlock(begin),
+                             item_facets_.entity_stride(),
+                             item_facets_.row_stride(), kf, end - begin,
+                             config_.dim, out);
+}
+
 void Mars::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
   const size_t kf = config_.num_facets;
   const size_t d = config_.dim;

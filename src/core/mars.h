@@ -71,6 +71,8 @@ class Mars : public Recommender {
                   float* out) const override;
   void ScoreItemRange(UserId u, ItemId begin, ItemId end,
                       float* out) const override;
+  void ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                           ItemId end, float* const* out) const override;
   std::string name() const override { return "MARS"; }
 
   // ANN capability: concatenated-facet dot geometry. The item vector is

@@ -58,6 +58,21 @@ class ItemScorer {
     for (ItemId v = begin; v < end; ++v) out[v - begin] = Score(u, v);
   }
 
+  /// Multi-user serving adapter: scores the slice [begin, end) for every
+  /// user in `users` — out[b][0 .. end-begin) receives users[b]'s scores.
+  /// The top-k server's miss coalescer batches concurrent cache misses
+  /// through this so each item row is streamed from memory once per batch
+  /// instead of once per user. Contract: out[b] must be bit-identical to
+  /// ScoreItemRange(users[b], begin, end) — models override with the
+  /// multi-user block kernels of common/kernels.h, which pin exactly that;
+  /// the default is the literal per-user loop.
+  virtual void ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                                   ItemId end, float* const* out) const {
+    for (size_t b = 0; b < users.size(); ++b) {
+      ScoreItemRange(users[b], begin, end, out[b]);
+    }
+  }
+
   /// Whether Score/ScoreItems may be called concurrently from multiple
   /// threads. Models that reuse internal scratch buffers return false and
   /// are evaluated serially.

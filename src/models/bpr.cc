@@ -104,6 +104,20 @@ void Bpr::ScoreItemRange(UserId u, ItemId begin, ItemId end,
   }
 }
 
+void Bpr::ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                              ItemId end, float* const* out) const {
+  if (begin >= end || users.empty()) return;
+  std::vector<const float*> urows(users.size());
+  for (size_t b = 0; b < users.size(); ++b) urows[b] = user_.Row(users[b]);
+  DotBatchMulti(urows.data(), users.size(), item_.Row(begin), end - begin,
+                item_.cols(), config_.dim, out);
+  if (config_.use_item_bias) {
+    for (size_t b = 0; b < users.size(); ++b) {
+      for (ItemId v = begin; v < end; ++v) out[b][v - begin] += item_bias_[v];
+    }
+  }
+}
+
 void Bpr::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
   const size_t d = config_.dim;
   for (ItemId v = begin; v < end; ++v) {

@@ -33,6 +33,8 @@ class Bpr : public Recommender {
                   float* out) const override;
   void ScoreItemRange(UserId u, ItemId begin, ItemId end,
                       float* out) const override;
+  void ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                           ItemId end, float* const* out) const override;
   std::string name() const override { return "BPR"; }
 
   // ANN capability: dot geometry, with the item bias folded in as one

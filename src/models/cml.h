@@ -41,6 +41,8 @@ class Cml : public Recommender {
                   float* out) const override;
   void ScoreItemRange(UserId u, ItemId begin, ItemId end,
                       float* out) const override;
+  void ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                           ItemId end, float* const* out) const override;
   std::string name() const override { return "CML"; }
 
   // ANN capability: L2 geometry — Score is exactly -||u - v||², strictly

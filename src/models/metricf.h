@@ -43,6 +43,8 @@ class MetricF : public Recommender {
                   float* out) const override;
   void ScoreItemRange(UserId u, ItemId begin, ItemId end,
                       float* out) const override;
+  void ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                           ItemId end, float* const* out) const override;
   std::string name() const override { return "MetricF"; }
 
   // ANN capability: L2 geometry (Score == -distance², same as CML).

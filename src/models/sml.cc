@@ -139,6 +139,16 @@ void Sml::ScoreItemRange(UserId u, ItemId begin, ItemId end,
                               item_.cols(), config_.dim, out);
 }
 
+void Sml::ScoreItemRangeMulti(std::span<const UserId> users, ItemId begin,
+                              ItemId end, float* const* out) const {
+  if (begin >= end || users.empty()) return;
+  std::vector<const float*> urows(users.size());
+  for (size_t b = 0; b < users.size(); ++b) urows[b] = user_.Row(users[b]);
+  NegatedSquaredDistanceBatchMulti(urows.data(), users.size(),
+                                   item_.Row(begin), end - begin,
+                                   item_.cols(), config_.dim, out);
+}
+
 void Sml::CopyIndexVectors(ItemId begin, ItemId end, float* out) const {
   for (ItemId v = begin; v < end; ++v, out += config_.dim) {
     Copy(item_.Row(v), out, config_.dim);

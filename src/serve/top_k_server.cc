@@ -1,6 +1,7 @@
 #include "serve/top_k_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -10,6 +11,14 @@
 namespace mars {
 
 namespace {
+
+/// Items per scoring block of the multi-user batched sweep: the B score
+/// rows of one block (B · 2048 · 4 bytes) stay cache-resident while the
+/// per-user selection consumes them, and the block's item rows are
+/// streamed from memory exactly once for the whole batch. Blocking is
+/// invisible in the results — selection is exact per block and the merge
+/// is the same bounded-pool merge the solo sweep uses.
+constexpr size_t kBatchBlockItems = 2048;
 
 /// Ranking order of the served lists: score descending, item id ascending
 /// on ties — the same deterministic order the equivalence tests pin.
@@ -31,39 +40,66 @@ inline void CompactTopK(std::vector<std::pair<float, ItemId>>* buf,
   buf->resize(k);
 }
 
+/// Streaming top-k selection over score ranges: threshold + bounded
+/// append + rare nth_element compaction, one comparison per item in the
+/// steady state. The state object exists so a blocked sweep (BatchSweep
+/// feeds one block's scores at a time) carries the threshold *across*
+/// blocks — resetting it per block re-warms the candidate buffer every
+/// 2k items, which measurably dominates the batched sweep's non-scoring
+/// cost at large catalogs. The threshold is always a sound rejector
+/// (anything not beating the current k-th best can never make the
+/// top-k), so feeding one range or many yields the same selection.
+class RangeTopKSelector {
+ public:
+  RangeTopKSelector(UserId u, size_t k, const ImplicitDataset* exclude)
+      : u_(u), k_(k), exclude_(exclude) {
+    buf_.reserve(BufCap());
+  }
+
+  void Consume(const float* scores, ItemId begin, ItemId end) {
+    if (k_ == 0) return;
+    for (ItemId v = begin; v < end; ++v) {
+      if (exclude_ != nullptr && exclude_->HasInteraction(u_, v)) continue;
+      const std::pair<float, ItemId> cand{scores[v - begin], v};
+      if (has_threshold_ && !RanksBetter(cand, threshold_)) continue;
+      buf_.push_back(cand);
+      if (buf_.size() >= BufCap()) {
+        CompactTopK(&buf_, k_);
+        threshold_ = buf_[k_ - 1];
+        has_threshold_ = true;
+      }
+    }
+  }
+
+  /// Appends the k best consumed entries (unsorted) to `out`.
+  void Finish(std::vector<std::pair<float, ItemId>>* out) {
+    CompactTopK(&buf_, k_);
+    out->insert(out->end(), buf_.begin(), buf_.end());
+    buf_.clear();
+    has_threshold_ = false;
+  }
+
+ private:
+  size_t BufCap() const { return 4 * k_; }
+
+  UserId u_;
+  size_t k_;
+  const ImplicitDataset* exclude_;
+  std::vector<std::pair<float, ItemId>> buf_;
+  std::pair<float, ItemId> threshold_{};
+  bool has_threshold_ = false;
+};
+
 /// Appends the top-k (unsorted) of items [begin, end) to `out`, given
-/// their scores in `scores[0 .. end-begin)`. Selection is threshold +
-/// bounded append + rare nth_element compaction: the steady state is one
-/// comparison per item.
+/// their scores in `scores[0 .. end-begin)`. One-shot wrapper over
+/// RangeTopKSelector for the solo sweep's single-range calls.
 void SelectRangeTopK(const float* scores, ItemId begin, ItemId end,
                      UserId u, size_t k, const ImplicitDataset* exclude,
                      std::vector<std::pair<float, ItemId>>* out) {
   if (k == 0) return;
-  // thread_local so concurrent sweeps don't share it but repeated sweeps
-  // on one thread reuse the allocation (same pattern as the evaluator's
-  // per-thread ranking scratch).
-  static thread_local std::vector<std::pair<float, ItemId>> buf;
-  buf.clear();
-  // Anything not beating the current k-th best can never make the top-k;
-  // the threshold only tightens at compactions, which is fine — it is
-  // always a *sound* rejector, never an over-eager one.
-  std::pair<float, ItemId> threshold{};
-  bool has_threshold = false;
-  const size_t buf_cap = 4 * k;
-  buf.reserve(buf_cap);
-  for (ItemId v = begin; v < end; ++v) {
-    if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
-    const std::pair<float, ItemId> cand{scores[v - begin], v};
-    if (has_threshold && !RanksBetter(cand, threshold)) continue;
-    buf.push_back(cand);
-    if (buf.size() >= buf_cap) {
-      CompactTopK(&buf, k);
-      threshold = buf[k - 1];
-      has_threshold = true;
-    }
-  }
-  CompactTopK(&buf, k);
-  out->insert(out->end(), buf.begin(), buf.end());
+  RangeTopKSelector selector(u, k, exclude);
+  selector.Consume(scores, begin, end);
+  selector.Finish(out);
 }
 
 /// Sorts a candidate pool's k best into the final ranked (items, scores).
@@ -130,50 +166,98 @@ size_t TopKServer::StripeOf(UserId u) const {
   return FacetStore::ShardOf(num_users_, u, stripes_.size());
 }
 
+bool TopKServer::TryCacheHit(UserId u, TopKResult* out) {
+  Stripe& stripe = stripes_[StripeOf(u)];
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  const auto it = stripe.map.find(u);
+  if (it == stripe.map.end()) return false;
+  ++stripe.hits;
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_pos);
+  out->items = it->second.items;
+  out->scores = it->second.scores;
+  out->from_cache = true;
+  out->epoch = it->second.epoch;
+  return true;
+}
+
 TopKResult TopKServer::TopK(UserId u) {
   MARS_CHECK(u < num_users_);
-  Stripe& stripe = stripes_[StripeOf(u)];
-  {
-    std::unique_lock<std::mutex> lock(stripe.mu);
-    const auto it = stripe.map.find(u);
-    if (it != stripe.map.end()) {
-      ++stripe.hits;
-      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_pos);
-      TopKResult result;
-      result.items = it->second.items;
-      result.scores = it->second.scores;
-      result.from_cache = true;
-      result.epoch = it->second.epoch;
-      return result;
-    }
+  TopKResult result;
+  if (TryCacheHit(u, &result)) return result;
+  // Pool workers bypass the coalescer: a worker parked behind another
+  // miss's batch could be a worker that batch's RunBatch fan-out needs.
+  if (options_.coalesce_misses &&
+      !(options_.pool != nullptr && options_.pool->IsWorkerThread())) {
+    return CoalescedMiss(u);
   }
+  std::vector<TopKResult> results(1);
+  const uint64_t pinned_epoch = SweepMisses({&u, 1}, &results);
+  InsertMissEntry(u, results[0], pinned_epoch);
+  return std::move(results[0]);
+}
 
-  // Miss: pin the current epoch and sweep it outside every lock — the
-  // maintenance side may publish the next epoch mid-sweep without
-  // blocking us, and other stripes keep serving hits meanwhile. Snapshot
-  // and epoch come from one Acquire, so the result's label is always the
-  // epoch actually ranked.
+uint64_t TopKServer::SweepMisses(std::span<const UserId> users,
+                                 std::vector<TopKResult>* results,
+                                 size_t extra_requests) {
+  // Pin the current epoch once for the whole batch and sweep it outside
+  // every lock — the maintenance side may publish the next epoch
+  // mid-sweep without blocking us, and other stripes keep serving hits
+  // meanwhile. Snapshot and epoch come from one Acquire, so each
+  // result's label is always the epoch actually ranked.
   uint64_t pinned_epoch = 0;
   const std::shared_ptr<const ItemScorer> snapshot =
       model_.Acquire(&pinned_epoch);
-  TopKResult result;
-  result.epoch = pinned_epoch;
+  results->resize(users.size());
   // Probe the ANN index when one is live and still shaped like the pinned
   // model (a swap to a kNone or different-dim model quietly falls back to
   // the exact sweep). The index may be one epoch stale relative to the
   // snapshot — recall cost only; the re-rank scores with the snapshot.
   const std::shared_ptr<const CandidateIndex> index =
       ann_enabled_ ? ann_index_.Acquire() : nullptr;
-  if (index != nullptr &&
-      snapshot->index_geometry() != IndexGeometry::kNone &&
-      snapshot->index_dim() == index->dim()) {
-    AnnSweep(*snapshot, *index, u, &result.items, &result.scores);
-    ann_probes_.fetch_add(1, std::memory_order_relaxed);
+  const bool ann_ok = index != nullptr &&
+                      snapshot->index_geometry() != IndexGeometry::kNone &&
+                      snapshot->index_dim() == index->dim();
+  if (users.size() == 1) {
+    // A batch of one takes the classic solo path — same kernels, same
+    // scratch reuse, zero batching overhead.
+    TopKResult& r = (*results)[0];
+    if (ann_ok) {
+      AnnSweep(*snapshot, *index, users[0], &r.items, &r.scores);
+    } else {
+      Sweep(*snapshot, users[0], &r.items, &r.scores);
+    }
   } else {
-    Sweep(*snapshot, u, &result.items, &result.scores);
-    exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (ann_ok) {
+      AnnBatchSweep(*snapshot, *index, users, results);
+    } else {
+      BatchSweep(*snapshot, users, results);
+    }
+    batch_sweeps_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_misses_.fetch_add(users.size() + extra_requests,
+                                std::memory_order_relaxed);
+    uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (seen < users.size() &&
+           !max_batch_.compare_exchange_weak(seen, users.size(),
+                                             std::memory_order_relaxed)) {
+    }
   }
+  if (ann_ok) {
+    ann_probes_.fetch_add(users.size() + extra_requests,
+                          std::memory_order_relaxed);
+  } else {
+    exact_fallbacks_.fetch_add(users.size() + extra_requests,
+                               std::memory_order_relaxed);
+  }
+  for (TopKResult& r : *results) {
+    r.epoch = pinned_epoch;
+    r.from_cache = false;
+  }
+  return pinned_epoch;
+}
 
+void TopKServer::InsertMissEntry(UserId u, const TopKResult& result,
+                                 uint64_t pinned_epoch) {
+  Stripe& stripe = stripes_[StripeOf(u)];
   std::unique_lock<std::mutex> lock(stripe.mu);
   ++stripe.misses;
   // Cache only when this is still the current epoch (checked under the
@@ -197,7 +281,129 @@ TopKResult TopKServer::TopK(UserId u) {
     it->second.epoch = pinned_epoch;
     EvictIfOverCap(&stripe);
   }
-  return result;
+}
+
+TopKResult TopKServer::CoalescedMiss(UserId u) {
+  PendingMiss self;
+  self.user = u;
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  batch_queue_.push_back(&self);
+  if (batch_leader_active_ && options_.coalesce_window_us > 0) {
+    // A leader may be inside its gathering window — let it see us.
+    batch_cv_.notify_all();
+  }
+  while (!self.done && batch_leader_active_) batch_cv_.wait(lock);
+  if (self.done) return std::move(self.result);
+
+  // No leader running: this miss leads the next batch. Claim ourselves
+  // plus up to max_coalesced_batch - 1 queued misses, FIFO; anything
+  // beyond the cap stays queued for the next leader.
+  batch_leader_active_ = true;
+  const size_t cap = std::max<size_t>(1, options_.max_coalesced_batch);
+  batch_queue_.erase(
+      std::find(batch_queue_.begin(), batch_queue_.end(), &self));
+  if (options_.coalesce_window_us > 0 && batch_queue_.size() + 1 < cap) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.coalesce_window_us);
+    batch_cv_.wait_until(lock, deadline,
+                         [&] { return batch_queue_.size() + 1 >= cap; });
+  }
+  std::vector<PendingMiss*> batch;
+  batch.reserve(std::min(cap, batch_queue_.size() + 1));
+  batch.push_back(&self);
+  while (!batch_queue_.empty() && batch.size() < cap) {
+    batch.push_back(batch_queue_.front());
+    batch_queue_.pop_front();
+  }
+  lock.unlock();
+
+  // Dedupe: concurrent misses for one user share a single sweep slot
+  // (solo TopK would sweep them redundantly — wasted work, same answer).
+  std::vector<UserId> users;
+  std::vector<size_t> slot(batch.size());
+  users.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    size_t s = 0;
+    while (s < users.size() && users[s] != batch[i]->user) ++s;
+    if (s == users.size()) users.push_back(batch[i]->user);
+    slot[i] = s;
+  }
+  std::vector<TopKResult> results;
+  const uint64_t pinned_epoch =
+      SweepMisses(users, &results, batch.size() - users.size());
+  for (size_t s = 0; s < users.size(); ++s) {
+    InsertMissEntry(users[s], results[s], pinned_epoch);
+  }
+  // Members beyond the first per user shared the sweep, but each was a
+  // missed query of its own: count them so hits + misses stays the
+  // query count (InsertMissEntry counted the first occurrences).
+  std::vector<bool> seen(users.size(), false);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!seen[slot[i]]) {
+      seen[slot[i]] = true;
+      continue;
+    }
+    Stripe& stripe = stripes_[StripeOf(batch[i]->user)];
+    std::unique_lock<std::mutex> stripe_lock(stripe.mu);
+    ++stripe.misses;
+  }
+
+  lock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->result = results[slot[i]];
+    batch[i]->done = true;
+  }
+  batch_leader_active_ = false;
+  lock.unlock();
+  // Wake the claimed members (their results are in) and whichever queued
+  // miss becomes the next leader.
+  batch_cv_.notify_all();
+  return std::move(self.result);
+}
+
+std::vector<TopKResult> TopKServer::TopKBatch(std::span<const UserId> users) {
+  std::vector<TopKResult> out(users.size());
+  if (users.empty()) return out;
+  // Hits resolve per position exactly as TopK would; the remaining users
+  // are deduped (first-occurrence order) and swept as one batch.
+  std::vector<UserId> miss_users;
+  std::vector<size_t> miss_slot(users.size(), static_cast<size_t>(-1));
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserId u = users[i];
+    MARS_CHECK(u < num_users_);
+    size_t s = 0;
+    while (s < miss_users.size() && miss_users[s] != u) ++s;
+    if (s < miss_users.size()) {
+      miss_slot[i] = s;
+      continue;
+    }
+    if (TryCacheHit(u, &out[i])) continue;
+    miss_slot[i] = miss_users.size();
+    miss_users.push_back(u);
+  }
+  if (miss_users.empty()) return out;
+  // Sweep in groups of max_coalesced_batch — the same cap the coalescer
+  // honors, bounding the per-chunk score buffers for arbitrarily large
+  // requests. Each group pins its own epoch, like consecutive TopK calls.
+  const size_t cap = std::max<size_t>(1, options_.max_coalesced_batch);
+  std::vector<TopKResult> results(miss_users.size());
+  for (size_t base = 0; base < miss_users.size(); base += cap) {
+    const size_t n = std::min(cap, miss_users.size() - base);
+    std::vector<TopKResult> group;
+    const uint64_t pinned_epoch =
+        SweepMisses({miss_users.data() + base, n}, &group);
+    for (size_t s = 0; s < n; ++s) {
+      InsertMissEntry(miss_users[base + s], group[s], pinned_epoch);
+      results[base + s] = std::move(group[s]);
+    }
+  }
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (miss_slot[i] != static_cast<size_t>(-1)) {
+      out[i] = results[miss_slot[i]];
+    }
+  }
+  return out;
 }
 
 void TopKServer::Sweep(const ItemScorer& model, UserId u,
@@ -293,6 +499,142 @@ void TopKServer::AnnSweep(const ItemScorer& model, const CandidateIndex& index,
     selected.emplace_back(cand_scores[i], cands[i]);
   }
   RankCandidates(&selected, k, items, scores);
+}
+
+void TopKServer::BatchSweep(const ItemScorer& model,
+                            std::span<const UserId> users,
+                            std::vector<TopKResult>* results) {
+  const size_t B = users.size();
+  const size_t k = std::min(options_.k, num_items_);
+  const ImplicitDataset* exclude = options_.exclude_interactions;
+
+  const bool parallel_ok = options_.pool != nullptr && model.thread_safe() &&
+                           !options_.pool->IsWorkerThread();
+  const size_t chunks = std::min(
+      num_items_,
+      std::max<size_t>(1, !parallel_ok ? 1
+                          : options_.sweep_shards > 0
+                              ? options_.sweep_shards
+                              : options_.pool->num_threads()));
+
+  // chunks x B candidate pools, chunk-major: each chunk task owns a
+  // contiguous run and never touches another task's pools.
+  std::vector<std::vector<std::pair<float, ItemId>>> per_chunk(chunks * B);
+  const auto scan_chunk = [&, k, B](size_t c) {
+    const auto [begin, end] = FacetStore::ShardRange(num_items_, c, chunks);
+    if (begin == end) return;
+    // The chunk is scanned in kBatchBlockItems blocks: every item row in a
+    // block is read once and scored for all B users (ScoreItemRangeMulti),
+    // and the B score rows stay cache-resident while the per-user
+    // selection consumes them. An item's score does not depend on the
+    // range it was scored in, and the union of per-block top-ks contains
+    // the chunk top-k, so blocking never changes the served ranking.
+    static thread_local std::vector<float> block_scores;
+    std::vector<float*> outs(B);
+    // One selector per user for the whole chunk: the rejection threshold
+    // tightens once over the first blocks and then survives block
+    // boundaries, keeping selection at one comparison per item exactly
+    // like the solo sweep's single-range call.
+    std::vector<RangeTopKSelector> selectors;
+    selectors.reserve(B);
+    for (size_t b = 0; b < B; ++b) {
+      selectors.emplace_back(users[b], k, exclude);
+    }
+    for (ItemId bb = begin; bb < end;
+         bb += static_cast<ItemId>(kBatchBlockItems)) {
+      const ItemId be =
+          std::min<ItemId>(end, bb + static_cast<ItemId>(kBatchBlockItems));
+      block_scores.resize(B * (be - bb));
+      for (size_t b = 0; b < B; ++b) {
+        outs[b] = block_scores.data() + b * (be - bb);
+      }
+      model.ScoreItemRangeMulti(users, bb, be, outs.data());
+      for (size_t b = 0; b < B; ++b) {
+        selectors[b].Consume(outs[b], bb, be);
+      }
+    }
+    // Each pool carries <= k entries out of the chunk, bounding the merge.
+    for (size_t b = 0; b < B; ++b) {
+      selectors[b].Finish(&per_chunk[c * B + b]);
+    }
+  };
+
+  if (chunks > 1) {
+    options_.pool->RunBatch(chunks, scan_chunk);
+  } else if (!model.thread_safe()) {
+    // Same guard as Sweep: shared-scratch models are swept serially.
+    std::unique_lock<std::mutex> lock(serial_model_mu_);
+    scan_chunk(0);
+  } else {
+    scan_chunk(0);
+  }
+
+  std::vector<std::pair<float, ItemId>> merged;
+  for (size_t b = 0; b < B; ++b) {
+    merged.clear();
+    merged.reserve(chunks * k);
+    for (size_t c = 0; c < chunks; ++c) {
+      const auto& pool = per_chunk[c * B + b];
+      merged.insert(merged.end(), pool.begin(), pool.end());
+    }
+    RankCandidates(&merged, k, &(*results)[b].items, &(*results)[b].scores);
+  }
+}
+
+void TopKServer::AnnBatchSweep(const ItemScorer& model,
+                               const CandidateIndex& index,
+                               std::span<const UserId> users,
+                               std::vector<TopKResult>* results) {
+  const size_t B = users.size();
+  const size_t k = std::min(options_.k, num_items_);
+  if (k == 0) {
+    for (TopKResult& r : *results) {
+      r.items.clear();
+      r.scores.clear();
+    }
+    return;
+  }
+  const ImplicitDataset* exclude = options_.exclude_interactions;
+  const size_t overfetch = std::max<size_t>(1, options_.ann.overfetch);
+  std::vector<size_t> wants(B);
+  std::vector<float> queries(B * index.dim());
+  std::vector<std::vector<ItemId>> cands(B);
+  std::vector<std::vector<float>> cand_scores(B);
+  {
+    // Same guard as AnnSweep: shared-scratch models are probed and
+    // re-ranked under the serial-model lock.
+    std::unique_lock<std::mutex> model_lock(serial_model_mu_,
+                                            std::defer_lock);
+    if (!model.thread_safe()) model_lock.lock();
+    for (size_t b = 0; b < B; ++b) {
+      const size_t excluded =
+          exclude != nullptr ? exclude->UserDegree(users[b]) : 0;
+      wants[b] = std::max(k * overfetch, k + excluded);
+      model.WriteIndexQuery(users[b], queries.data() + b * index.dim());
+    }
+    // One shared probe: the IVF scores all B queries against the centroid
+    // matrix in a single multi-query pass; per query the candidate set is
+    // bit-identical to a solo Probe (the ProbeBatch contract), so the
+    // re-ranked answers match B solo AnnSweeps of this snapshot.
+    index.ProbeBatch(queries.data(), B, wants.data(), &cands);
+    for (size_t b = 0; b < B; ++b) {
+      cand_scores[b].resize(cands[b].size());
+      model.ScoreItems(users[b], cands[b], cand_scores[b].data());
+    }
+  }
+  std::vector<std::pair<float, ItemId>> selected;
+  for (size_t b = 0; b < B; ++b) {
+    selected.clear();
+    selected.reserve(cands[b].size());
+    for (size_t i = 0; i < cands[b].size(); ++i) {
+      if (exclude != nullptr &&
+          exclude->HasInteraction(users[b], cands[b][i])) {
+        continue;
+      }
+      selected.emplace_back(cand_scores[b][i], cands[b][i]);
+    }
+    RankCandidates(&selected, k, &(*results)[b].items, &(*results)[b].scores);
+  }
 }
 
 void TopKServer::RefreshAnnIndex(
@@ -565,6 +907,13 @@ TopKServerStats TopKServer::stats() const {
   }
   s.ann_probes = ann_probes_.load(std::memory_order_relaxed);
   s.exact_fallbacks = exact_fallbacks_.load(std::memory_order_relaxed);
+  s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
+  s.batch_sweeps = batch_sweeps_.load(std::memory_order_relaxed);
+  s.max_batch_size = max_batch_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batch_sweeps > 0
+          ? static_cast<double>(s.coalesced_misses) / s.batch_sweeps
+          : 0.0;
   return s;
 }
 

@@ -87,11 +87,14 @@
 #define MARS_SERVE_TOP_K_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -147,6 +150,27 @@ struct TopKServerOptions {
   /// exactly this server's catalog. The bench injects nprobe-swept clones
   /// this way; most callers leave it null and let the server build.
   std::shared_ptr<const CandidateIndex> ann_index;
+  /// Miss coalescing: concurrent TopK misses that land while another miss
+  /// is sweeping queue up and are served together as one multi-user
+  /// batched sweep (ScoreItemRangeMulti / ProbeBatch — each item row is
+  /// streamed once per batch instead of once per user). Every batched
+  /// response is bit-identical to its solo sweep against the same pinned
+  /// snapshot, and each user caches under its own pinned-epoch rule, so
+  /// this changes throughput, never answers. An uncontended miss pays one
+  /// uncontended mutex hop and sweeps alone — no added latency. Turn off
+  /// to restore fully independent concurrent sweeps (e.g. many idle cores,
+  /// no pool, compute-bound models). Pool worker threads always bypass the
+  /// coalescer: a worker waiting on another miss's sweep could deadlock
+  /// the pool that sweep fans over.
+  bool coalesce_misses = true;
+  /// Users per coalesced batch, at most (bounds the per-chunk score
+  /// buffers; excess queued misses form the next batch).
+  size_t max_coalesced_batch = 16;
+  /// Optional gathering window: a batch leader waits up to this long for
+  /// more misses to queue before sweeping. 0 (default) adds no latency —
+  /// batches then form only from misses that queued behind an in-flight
+  /// sweep, which is where the win is under real concurrency.
+  size_t coalesce_window_us = 0;
 };
 
 /// One answered query.
@@ -172,6 +196,14 @@ struct TopKServerStats {
   uint64_t ann_probes = 0;   // misses served via the ANN probe/re-rank path
   uint64_t exact_fallbacks = 0;  // misses served by the exact full sweep
                                  // (ann_probes + exact_fallbacks == misses)
+  // Batching efficacy (the miss coalescer + TopKBatch; a "batch" here is
+  // a multi-user sweep of >= 2 users — solo misses don't count):
+  uint64_t coalesced_misses = 0;  // misses served by a multi-user sweep
+                                  // (duplicate concurrent misses for one
+                                  // user each count — they were misses)
+  uint64_t batch_sweeps = 0;      // multi-user sweeps executed
+  uint64_t max_batch_size = 0;    // largest batch swept so far
+  double mean_batch_size = 0.0;   // coalesced_misses / batch_sweeps
   size_t cached_users = 0;
 };
 
@@ -201,7 +233,23 @@ class TopKServer {
   /// Top-k for `u`: cache hit, or a full-catalog sweep of the pinned
   /// snapshot that fills the cache. Safe to call concurrently from any
   /// number of threads, including while the maintenance path publishes.
+  /// With coalesce_misses set (the default), a miss that arrives while
+  /// another miss is sweeping joins the next multi-user batched sweep —
+  /// same answer, one streaming pass over the catalog for the whole
+  /// batch. Concurrent misses for the same user then share one sweep
+  /// instead of sweeping redundantly (each still counts as its own
+  /// miss, so hits + misses stays the query count).
   TopKResult TopK(UserId u);
+
+  /// Positional batch form of TopK — the request-batching entry a wire
+  /// front-end submits coalesced reads through. Hits resolve from the
+  /// cache exactly as TopK would; all missing users are swept together
+  /// against one pinned snapshot via the multi-user kernels, each result
+  /// bit-identical to a solo TopK against that snapshot and each user
+  /// cached under its own pinned-epoch rule. Duplicate users in one call
+  /// are served by a single sweep (counted as one miss). Concurrency
+  /// rights are TopK's: any number of threads, racing maintenance freely.
+  std::vector<TopKResult> TopKBatch(std::span<const UserId> users);
 
   // --- Maintenance path: single caller, quiesced epoch boundary. ----------
 
@@ -296,7 +344,45 @@ class TopKServer {
     std::vector<float> merged_scores;
   };
 
+  /// One miss waiting in the coalescer: filled in and flagged done by the
+  /// batch leader that claims it, under batch_mu_.
+  struct PendingMiss {
+    UserId user = 0;
+    TopKResult result;
+    bool done = false;
+  };
+
   size_t StripeOf(UserId u) const;
+
+  /// The hit fast path shared by TopK and TopKBatch: on a hit, bumps the
+  /// stripe's counters, touches the LRU, copies the entry into `out` and
+  /// returns true.
+  bool TryCacheHit(UserId u, TopKResult* out);
+
+  /// Miss-path core shared by TopK, the coalescer and TopKBatch: pins one
+  /// (snapshot, epoch) for the whole batch, sweeps every user against it
+  /// (solo kernels for one user; the multi-user batched sweep for >= 2),
+  /// stamps per-result epochs, and attributes stats. `users` must be
+  /// deduplicated and non-empty; returns the pinned epoch.
+  /// `extra_requests` is the number of duplicate miss *queries* beyond
+  /// the deduped users this sweep also serves (the coalescer counts each
+  /// caller as a miss of its own, so the per-path counters must too —
+  /// `ann_probes + exact_fallbacks == misses` stays exact).
+  uint64_t SweepMisses(std::span<const UserId> users,
+                       std::vector<TopKResult>* results,
+                       size_t extra_requests = 0);
+
+  /// Caches a finished miss for `u` under the pinned-epoch rule (and
+  /// counts the miss) — the tail of the classic TopK miss path, shared
+  /// verbatim by the batched paths so every batch member inserts exactly
+  /// as its solo sweep would.
+  void InsertMissEntry(UserId u, const TopKResult& result,
+                       uint64_t pinned_epoch);
+
+  /// The coalesced miss path (see TopKServerOptions::coalesce_misses):
+  /// queue behind an in-flight sweep, else become the leader, claim up to
+  /// max_coalesced_batch queued misses and sweep them as one batch.
+  TopKResult CoalescedMiss(UserId u);
 
   /// Full-catalog sweep of `model` for `u` into a ranked top-k. Runs
   /// outside every stripe lock; fans out over the pool when the model
@@ -312,6 +398,23 @@ class TopKServer {
   void AnnSweep(const ItemScorer& model, const CandidateIndex& index,
                 UserId u, std::vector<ItemId>* items,
                 std::vector<float>* scores);
+
+  /// Multi-user exact sweep (batch size >= 2): one RunBatch job per item
+  /// chunk scores *all* batched users per block through
+  /// ScoreItemRangeMulti, then runs the per-user bounded selection while
+  /// the block's score rows are cache-hot; per-(user, chunk) pools merge
+  /// exactly as Sweep's per-chunk pools do, so each user's ranking is
+  /// bit-identical to a solo Sweep of the same snapshot.
+  void BatchSweep(const ItemScorer& model, std::span<const UserId> users,
+                  std::vector<TopKResult>* results);
+
+  /// Multi-user ANN path: per-user queries written into one packed
+  /// buffer, one ProbeBatch (the IVF shares a single centroid-matrix scan
+  /// across the batch), then the usual per-user exact re-rank — each
+  /// user's answer is bit-identical to a solo AnnSweep.
+  void AnnBatchSweep(const ItemScorer& model, const CandidateIndex& index,
+                     std::span<const UserId> users,
+                     std::vector<TopKResult>* results);
 
   /// Maintenance-side index refresh against `snapshot`: incremental
   /// (CandidateIndex::Rebuilt over `dirty_items`) when a compatible index
@@ -347,6 +450,20 @@ class TopKServer {
   std::atomic<uint64_t> exact_fallbacks_{0};
 
   std::vector<Stripe> stripes_;
+
+  /// Miss coalescer (reader-side): misses queue here while a batch leader
+  /// sweeps; the leader claims up to max_coalesced_batch of them on its
+  /// way out. batch_mu_ only ever guards queue/flag manipulation — sweeps
+  /// run outside it, so the hot uncontended miss pays one mutex hop.
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<PendingMiss*> batch_queue_;
+  bool batch_leader_active_ = false;
+
+  /// Batching efficacy counters (multi-user sweeps only; see stats()).
+  std::atomic<uint64_t> batch_sweeps_{0};
+  std::atomic<uint64_t> coalesced_misses_{0};
+  std::atomic<uint64_t> max_batch_{0};
 
   /// Serializes sweeps of models whose thread_safe() is false (shared
   /// internal scoring scratch): concurrent queries would race it even on

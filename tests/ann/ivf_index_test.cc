@@ -197,6 +197,42 @@ TEST(SphericalIvfIndexTest, RebuiltDirtyShardsEqualsRebuiltAll) {
                   static_cast<const SphericalIvfIndex&>(*parallel));
 }
 
+TEST(SphericalIvfIndexTest, ProbeBatchMatchesSequentialProbes) {
+  // The shared-centroid-scan override: per query, the batched candidate
+  // set must be bit-identical to a solo Probe — including the mixed
+  // want-widths the serving coalescer produces (exclusion-widened
+  // overfetch per user) and the want >= catalog full-append path.
+  const size_t kItems = 400, kDim = 8, kQueries = 5;
+  DotScorer model(kQueries, kItems, kDim, 8);
+  const auto idx =
+      SphericalIvfIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+
+  std::vector<float> queries(kQueries * kDim);
+  for (size_t q = 0; q < kQueries; ++q) {
+    model.WriteIndexQuery(static_cast<UserId>(q), queries.data() + q * kDim);
+  }
+  const std::vector<size_t> want = {1, 25, kItems / 2, kItems, 10};
+
+  std::vector<std::vector<ItemId>> batch(kQueries);
+  batch[2] = {7};  // appended, not cleared — same contract as Probe
+  idx->ProbeBatch(queries.data(), kQueries, want.data(), &batch);
+  for (size_t q = 0; q < kQueries; ++q) {
+    std::vector<ItemId> solo;
+    if (q == 2) solo = {7};
+    idx->Probe(queries.data() + q * kDim, want[q], &solo);
+    EXPECT_EQ(batch[q], solo) << "query " << q;
+  }
+
+  // Degenerate batch sizes: empty is a no-op, one query equals one Probe.
+  std::vector<std::vector<ItemId>> none;
+  idx->ProbeBatch(queries.data(), 0, want.data(), &none);
+  std::vector<std::vector<ItemId>> one(1);
+  idx->ProbeBatch(queries.data(), 1, want.data(), &one);
+  std::vector<ItemId> solo0;
+  idx->Probe(queries.data(), want[0], &solo0);
+  EXPECT_EQ(one[0], solo0);
+}
+
 TEST(SphericalIvfIndexTest, FactoryBuildsIvfForDotGeometry) {
   const size_t kItems = 120, kDim = 4;
   DotScorer model(4, kItems, kDim, 6);

@@ -125,6 +125,33 @@ TEST(VpTreeIndexTest, ProbeEdgeWants) {
   EXPECT_EQ(out[0], 42u);
 }
 
+TEST(VpTreeIndexTest, DefaultProbeBatchMatchesSequentialProbes) {
+  // The VP-tree keeps CandidateIndex's per-query default ProbeBatch loop;
+  // the batched serving path leans on it being exactly the Probe loop —
+  // per query, bit-identical candidates, appended without clearing.
+  const size_t kItems = 300, kDim = 8, kQueries = 4;
+  L2Scorer model(kQueries, kItems, kDim, 9);
+  const auto idx =
+      VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
+
+  std::vector<float> queries(kQueries * kDim);
+  for (size_t q = 0; q < kQueries; ++q) {
+    Copy(model.UserRow(static_cast<UserId>(q)), queries.data() + q * kDim,
+         kDim);
+  }
+  const std::vector<size_t> want = {1, 20, kItems, 7};
+
+  std::vector<std::vector<ItemId>> batch(kQueries);
+  batch[1] = {42};  // appended, not cleared
+  idx->ProbeBatch(queries.data(), kQueries, want.data(), &batch);
+  for (size_t q = 0; q < kQueries; ++q) {
+    std::vector<ItemId> solo;
+    if (q == 1) solo = {42};
+    idx->Probe(queries.data() + q * kDim, want[q], &solo);
+    EXPECT_EQ(batch[q], solo) << "query " << q;
+  }
+}
+
 TEST(VpTreeIndexTest, BuildIsDeterministicAndParallelMatchesSerial) {
   const size_t kItems = 700, kDim = 8;
   L2Scorer model(4, kItems, kDim, 3);

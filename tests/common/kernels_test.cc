@@ -317,6 +317,163 @@ TEST_P(BatchKernelShapes, NearestCentroidDotBatchMatchesArgmax) {
   }
 }
 
+// --- Multi-user forms: the contract is *bit*-identity per user against
+// the single-user kernel (EXPECT_EQ, no tolerance) — the serving
+// coalescer's batch≡solo guarantee bottoms out here. B values cover the
+// quad remainders (1..5, 8); n values cover the 16-, 8-, and scalar-tail
+// code paths.
+
+class MultiUserKernels
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(MultiUserKernels, DotBatchMultiBitMatchesSolo) {
+  const auto [n, num_users] = GetParam();
+  const size_t count = 23, stride = n + 3;
+  Rng rng(31);
+  const auto ublock = RandomBlock(&rng, num_users, stride, n);
+  const auto block = RandomBlock(&rng, count, stride, n);
+  std::vector<const float*> us(num_users);
+  std::vector<float> multi(num_users * count, -1.0f);
+  std::vector<float*> outs(num_users);
+  for (size_t b = 0; b < num_users; ++b) {
+    us[b] = ublock.data() + b * stride;
+    outs[b] = multi.data() + b * count;
+  }
+  DotBatchMulti(us.data(), num_users, block.data(), count, stride, n,
+                outs.data());
+  std::vector<float> solo(count);
+  for (size_t b = 0; b < num_users; ++b) {
+    DotBatch(us[b], block.data(), count, stride, n, solo.data());
+    for (size_t r = 0; r < count; ++r) {
+      EXPECT_EQ(outs[b][r], solo[r]) << "n=" << n << " B=" << num_users
+                                     << " user " << b << " row " << r;
+    }
+  }
+}
+
+TEST_P(MultiUserKernels, NegatedSquaredDistanceBatchMultiBitMatchesSolo) {
+  const auto [n, num_users] = GetParam();
+  const size_t count = 17, stride = n + 1;
+  Rng rng(32);
+  const auto ublock = RandomBlock(&rng, num_users, stride, n);
+  const auto block = RandomBlock(&rng, count, stride, n);
+  std::vector<const float*> us(num_users);
+  std::vector<float> multi(num_users * count);
+  std::vector<float*> outs(num_users);
+  for (size_t b = 0; b < num_users; ++b) {
+    us[b] = ublock.data() + b * stride;
+    outs[b] = multi.data() + b * count;
+  }
+  NegatedSquaredDistanceBatchMulti(us.data(), num_users, block.data(), count,
+                                   stride, n, outs.data());
+  std::vector<float> solo(count);
+  for (size_t b = 0; b < num_users; ++b) {
+    NegatedSquaredDistanceBatch(us[b], block.data(), count, stride, n,
+                                solo.data());
+    for (size_t r = 0; r < count; ++r) {
+      EXPECT_EQ(outs[b][r], solo[r]) << "n=" << n << " B=" << num_users
+                                     << " user " << b << " row " << r;
+    }
+  }
+}
+
+TEST_P(MultiUserKernels, WeightedFacetDotBatchMultiBitMatchesSolo) {
+  const auto [n, num_users] = GetParam();
+  const size_t kf = 3, count = 9;
+  FacetStore users(num_users, kf, n), items(count, kf, n);
+  Rng rng(33);
+  for (size_t e = 0; e < num_users; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        users.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  for (size_t e = 0; e < count; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        items.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  // Per-user weight vectors, all distinct.
+  std::vector<float> wbuf(num_users * kf);
+  for (auto& x : wbuf) x = 0.1f + static_cast<float>(rng.Uniform());
+  std::vector<const float*> us(num_users), ws(num_users);
+  std::vector<float> multi(num_users * count);
+  std::vector<float*> outs(num_users);
+  for (size_t b = 0; b < num_users; ++b) {
+    us[b] = users.EntityBlock(b);
+    ws[b] = wbuf.data() + b * kf;
+    outs[b] = multi.data() + b * count;
+  }
+  WeightedFacetDotBatchMulti(us.data(), users.row_stride(), ws.data(),
+                             num_users, items.EntityBlock(0),
+                             items.entity_stride(), items.row_stride(), kf,
+                             count, n, outs.data());
+  std::vector<float> solo(count);
+  for (size_t b = 0; b < num_users; ++b) {
+    WeightedFacetDotBatch(us[b], users.row_stride(), items.EntityBlock(0),
+                          items.entity_stride(), items.row_stride(), ws[b],
+                          kf, count, n, solo.data());
+    for (size_t r = 0; r < count; ++r) {
+      EXPECT_EQ(outs[b][r], solo[r]) << "n=" << n << " B=" << num_users
+                                     << " user " << b << " row " << r;
+    }
+  }
+}
+
+TEST_P(MultiUserKernels, WeightedFacetSquaredDistanceBatchMultiBitMatchesSolo) {
+  const auto [n, num_users] = GetParam();
+  const size_t kf = 4, count = 7;
+  FacetStore users(num_users, kf, n), items(count, kf, n);
+  Rng rng(34);
+  for (size_t e = 0; e < num_users; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        users.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  for (size_t e = 0; e < count; ++e) {
+    for (size_t k = 0; k < kf; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        items.Row(e, k)[i] = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  std::vector<float> wbuf(num_users * kf);
+  for (auto& x : wbuf) x = 0.1f + static_cast<float>(rng.Uniform());
+  std::vector<const float*> us(num_users), ws(num_users);
+  std::vector<float> multi(num_users * count);
+  std::vector<float*> outs(num_users);
+  for (size_t b = 0; b < num_users; ++b) {
+    us[b] = users.EntityBlock(b);
+    ws[b] = wbuf.data() + b * kf;
+    outs[b] = multi.data() + b * count;
+  }
+  WeightedFacetSquaredDistanceBatchMulti(
+      us.data(), users.row_stride(), ws.data(), num_users,
+      items.EntityBlock(0), items.entity_stride(), items.row_stride(), kf,
+      count, n, outs.data());
+  std::vector<float> solo(count);
+  for (size_t b = 0; b < num_users; ++b) {
+    WeightedFacetSquaredDistanceBatch(
+        us[b], users.row_stride(), items.EntityBlock(0),
+        items.entity_stride(), items.row_stride(), ws[b], kf, count, n,
+        solo.data());
+    for (size_t r = 0; r < count; ++r) {
+      EXPECT_EQ(outs[b][r], solo[r]) << "n=" << n << " B=" << num_users
+                                     << " user " << b << " row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiUserKernels,
+    ::testing::Combine(::testing::Values<size_t>(5, 8, 16, 19, 32, 37),
+                       ::testing::Values<size_t>(1, 2, 3, 4, 5, 8)));
+
 TEST(KernelsTest, NearestCentroidDotBatchBreaksTiesToLowestIndex) {
   // Duplicate centroids dot identically against every row; the pinned
   // tie rule (strict improvement only) must pick the lower index, on
