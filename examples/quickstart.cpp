@@ -15,7 +15,12 @@
 //      training and publishes a fresh snapshot at every epoch boundary
 //      (TrainOptions::epoch_callback → TopKServer::PublishEpoch) while
 //      several frontend threads query the same server — every response is
-//      then verified to match one of the published snapshots exactly.
+//      then verified to match one of the published snapshots exactly,
+//   8. serve the same answers *over TCP*: a NetServer fronts the server
+//      with the MRSN wire protocol (docs/PROTOCOL.md) on an io_uring or
+//      epoll reactor, and a pipelined client burst — decoded in one
+//      reactor wake-up, served as one TopKBatch — is verified
+//      bit-identical to the in-process API.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +33,8 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/top_k_server.h"
 #include "serve/top_k_sidecar.h"
 #include "serve/write_tracker.h"
@@ -95,13 +102,13 @@ int main(int argc, char** argv) {
   serve_opts.exclude_interactions = split.train.get();
   TopKServer server(&model, dataset->num_users(), dataset->num_items(),
                     serve_opts);
-  const TopKResult recs = server.TopK(user);  // cold full-catalog sweep
+  const TopKResponse recs = server.TopK(user);  // cold full-catalog sweep
   std::printf("top-10 items for user %u:", user);
   for (size_t i = 0; i < recs.items.size(); ++i) {
     std::printf(" %u(%.3f)", recs.items[i], recs.scores[i]);
   }
   std::printf("\n");
-  const TopKResult again = server.TopK(user);  // LRU hit, no sweep
+  const TopKResponse again = server.TopK(user);  // LRU hit, no sweep
   std::printf("re-query served from cache: %s (hits=%llu misses=%llu)\n",
               again.from_cache ? "yes" : "no",
               static_cast<unsigned long long>(server.stats().hits),
@@ -128,7 +135,7 @@ int main(int argc, char** argv) {
                        dataset->num_items(), serve_opts);
   const size_t warmed = WarmFromSidecar(&restarted, sidecar_path);
   std::remove(sidecar_path);
-  const TopKResult after_restart = restarted.TopK(user);
+  const TopKResponse after_restart = restarted.TopK(user);
   std::printf(
       "mmap-served top-10 after restart (%zu cache entries warmed, "
       "first query %s cache): ",
@@ -187,7 +194,7 @@ int main(int argc, char** argv) {
       const size_t kKeep = 2000;
       while (!training_done.load(std::memory_order_acquire) || q < 30) {
         const UserId u = static_cast<UserId>((q * 3 + t) % kProbeUsers);
-        TopKResult r = live.TopK(u);
+        TopKResponse r = live.TopK(u);
         if (responses[t].size() < kKeep) {
           responses[t].push_back(
               {u, std::move(r.items), std::move(r.scores)});
@@ -203,7 +210,7 @@ int main(int argc, char** argv) {
   // Verify: reference rankings per published epoch come from a fresh
   // cold-sweeping server over that snapshot (same kernels, bit-exact).
   size_t checked = 0, unmatched = 0;
-  std::vector<std::vector<TopKResult>> reference(published.size());
+  std::vector<std::vector<TopKResponse>> reference(published.size());
   for (size_t g = 0; g < published.size(); ++g) {
     TopKServer ref(published[g], dataset->num_users(), dataset->num_items(),
                    serve_opts);
@@ -231,6 +238,43 @@ int main(int argc, char** argv) {
                  "FATAL: a response matched no published snapshot\n");
     return 1;
   }
+
+  // 8. The same answers over TCP. The NetServer wraps the live server
+  //    (non-owning: in-process callers could keep querying alongside the
+  //    wire); the client writes all probe requests as one burst, so the
+  //    reactor decodes them in one wake-up and serves them as one
+  //    TopKBatch — the wire feeds the coalesced multi-user kernels with
+  //    no artificial delay. k = 0 asks for the server's configured depth.
+  NetServerOptions net_opts;  // loopback, ephemeral port, auto backend
+  NetServer net(&live, net_opts);
+  if (!net.Start()) {
+    std::fprintf(stderr, "failed to start the TCP front-end\n");
+    return 1;
+  }
+  NetClient client;
+  if (!client.Connect(net_opts.host, net.port())) {
+    std::fprintf(stderr, "failed to connect to %s:%u\n",
+                 net_opts.host.c_str(), net.port());
+    return 1;
+  }
+  std::vector<TopKRequest> burst;
+  for (UserId u = 0; u < kProbeUsers; ++u) burst.push_back({.user = u});
+  std::vector<WireResponse> over_wire;
+  bool wire_ok = client.TopKPipelined(burst, &over_wire) &&
+                 over_wire.size() == burst.size();
+  for (size_t i = 0; wire_ok && i < over_wire.size(); ++i) {
+    const TopKResponse in_process = live.TopK(burst[i]);
+    wire_ok = over_wire[i].status == WireStatus::kOk &&
+              over_wire[i].response.items == in_process.items &&
+              over_wire[i].response.scores == in_process.scores;
+  }
+  client.Close();
+  net.Stop();
+  std::printf("wire serving (%s reactor): %zu pipelined responses, %s\n",
+              net.backend_name().c_str(), over_wire.size(),
+              wire_ok ? "bit-identical to in-process TopK"
+                      : "MISMATCH vs in-process TopK");
+  if (!wire_ok) return 1;
 
   // Bonus: the user's learned facet mixture.
   std::printf("facet weights of user %u:", user);

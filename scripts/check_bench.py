@@ -15,7 +15,11 @@ than one CPU: a 1-core container serializes the Hogwild workers, so its
 host_cpus). Every such skip is listed again in an end-of-run summary so a
 green run on a 1-core host states which gates never ran. The coalesced-batch
 serving gate (check_serve_batch) is single-threaded by construction and
-stays armed regardless of core count.
+stays armed regardless of core count. The wire-to-wire gate
+(check_serve_wire) splits the same way: section presence and the
+natural-batching evidence are always enforced, while its QPS/latency diffs
+join the host_cpus-guarded skips (loopback client and server time-slicing
+one core measure the scheduler, not the code).
 
 Wired into scripts/ci.sh as the opt-in `--bench` stage.
 """
@@ -126,6 +130,7 @@ def check_serve(base, fresh, threshold):
     check_serve_batch(base, fresh, threshold)
     check_serve_incremental(base, fresh, threshold)
     check_serve_mt(base, fresh, threshold)
+    check_serve_wire(base, fresh, threshold)
 
 
 def check_serve_batch(base, fresh, threshold):
@@ -297,6 +302,67 @@ def check_serve_mt(base, fresh, threshold):
         else:
             ok(f"serve mt speedup @{t} threads: {fresh_s:.2f}x vs "
                f"{base_s:.2f}x")
+
+
+def check_serve_wire(base, fresh, threshold):
+    """Wire-to-wire serving: QPS and p50/p99 through the TCP front-end.
+
+    Presence and the natural-batching evidence are invariants at any core
+    count: the fresh run must have measured the wire, served every request,
+    and — at pipeline depth >= 8 — demonstrably fed multi-request batches
+    into TopKBatch (the wire_batches_multi / batch_sweeps counters the
+    bench records). The regression diffs (QPS, p50/p99) are
+    host_cpus-guarded like the other scaling gates: on a 1-core container
+    the loopback client and the server time-slice one CPU, so wire latency
+    measures the scheduler, not the code.
+    """
+    if "wire" not in fresh:
+        fail("topk_serve: fresh run has no 'wire' section")
+        return
+    fresh_rows = {r["pipeline"]: r for r in fresh["wire"]["results"]}
+    if not fresh_rows:
+        fail("topk_serve: 'wire' section has no results")
+        return
+    for d, r in sorted(fresh_rows.items()):
+        if r["served"] <= 0 or r["qps"] <= 0:
+            fail(f"serve wire @B={d}: served={r['served']} qps={r['qps']}")
+            continue
+        if d >= 8:
+            if r["wire_batches_multi"] <= 0 or r["batch_sweeps"] <= 0:
+                fail(f"serve wire @B={d}: no multi-request TopKBatch "
+                     f"evidence (wire_batches_multi="
+                     f"{r['wire_batches_multi']}, batch_sweeps="
+                     f"{r['batch_sweeps']})")
+            else:
+                ok(f"serve wire @B={d}: {r['wire_batches_multi']} "
+                   f"multi-request batches, {r['batch_sweeps']} "
+                   f"multi-user sweeps")
+    base_cpus = base.get("wire", {}).get("host_cpus",
+                                         base.get("host_cpus", 1))
+    fresh_cpus = fresh.get("wire", {}).get("host_cpus",
+                                           fresh.get("host_cpus", 1))
+    if base_cpus <= 1 or fresh_cpus <= 1:
+        skip_cpu("serve wire regression diff: host_cpus == 1 on at least "
+                 "one side (loopback client and server time-slice one "
+                 "core; wire latency measures the scheduler)")
+        return
+    base_rows = {r["pipeline"]: r
+                 for r in base.get("wire", {}).get("results", [])}
+    if not base_rows:
+        skip("serve wire diff: baseline has no 'wire' section "
+             "(pre-wire baseline; invariants still checked)")
+        return
+    for d in sorted(set(base_rows) & set(fresh_rows)):
+        check_slower(f"serve wire p50_us @B={d}", base_rows[d]["p50_us"],
+                     fresh_rows[d]["p50_us"], threshold)
+        check_slower(f"serve wire p99_us @B={d}", base_rows[d]["p99_us"],
+                     fresh_rows[d]["p99_us"], threshold)
+        base_q, fresh_q = base_rows[d]["qps"], fresh_rows[d]["qps"]
+        if base_q > 0 and fresh_q < base_q * (1.0 - threshold):
+            fail(f"serve wire qps @B={d}: {fresh_q:.0f} vs baseline "
+                 f"{base_q:.0f}")
+        else:
+            ok(f"serve wire qps @B={d}: {fresh_q:.0f} vs {base_q:.0f}")
 
 
 def check_load(base, fresh, threshold):

@@ -83,6 +83,12 @@ if [ -n "$SANITIZER" ]; then
   FILTER='ShardViewTest.*:ParallelTrainerTest.*:SnapshotFacetStoreTest.*'
   FILTER="$FILTER:WriteTrackerTest.*:TopKServer*:SnapshotHandle*"
   FILTER="$FILTER:ThreadPoolTest.*:SphericalIvfIndex*:VpTreeIndex*"
+  # The wire front-end: reactor thread vs Stop(), per-connection state
+  # machines, and the codec. The parameterized Net suites cover BOTH
+  # reactor backends — epoll always runs (io_uring variants skip, not
+  # pass, where the kernel refuses a ring), so the fallback path is
+  # exercised in CI regardless of io_uring support. Zero suppressions.
+  FILTER="$FILTER:Protocol*:Net*:*NetServerTest*:RequestApi*"
   if [ "$SANITIZER" = address ]; then
     # mmap'd serving is a classic lifetime-bug nest (views into unmapped
     # pages, keepalive ordering): run the persistence/mapped-store/sidecar

@@ -1,0 +1,143 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <unordered_map>
+
+namespace mars {
+
+NetClient::~NetClient() { Close(); }
+
+bool NetClient::Connect(const std::string& host, uint16_t port,
+                        int recv_timeout_ms) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  decoder_ = FrameDecoder();
+  return true;
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool NetClient::SendRaw(std::span<const uint8_t> bytes) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool NetClient::RecvFrame(Frame* out) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    switch (decoder_.Next(out)) {
+      case FrameDecoder::Result::kFrame:
+        return true;
+      case FrameDecoder::Result::kBad:
+        return false;
+      case FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    uint8_t chunk[16 * 1024];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // timeout or transport failure
+    }
+    if (n == 0) return false;  // peer closed mid-frame
+    decoder_.Append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool NetClient::TopK(const TopKRequest& request, WireResponse* out) {
+  std::vector<WireResponse> responses;
+  if (!TopKPipelined(std::span<const TopKRequest>(&request, 1),
+                     &responses)) {
+    return false;
+  }
+  *out = std::move(responses[0]);
+  return true;
+}
+
+bool NetClient::TopKPipelined(std::span<const TopKRequest> requests,
+                              std::vector<WireResponse>* out) {
+  out->clear();
+  if (requests.empty()) return true;
+
+  // One contiguous burst: every frame in a single buffer, one send
+  // path. id → position lets arrival order differ from request order.
+  std::vector<uint8_t> burst;
+  std::unordered_map<uint64_t, size_t> position;
+  position.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const uint64_t id = next_request_id_++;
+    EncodeTopKRequest(id, requests[i], &burst);
+    position.emplace(id, i);
+  }
+  if (!SendRaw(burst)) return false;
+
+  out->resize(requests.size());
+  Frame frame;
+  for (size_t received = 0; received < requests.size(); ++received) {
+    if (!RecvFrame(&frame)) return false;
+    WireResponse response;
+    if (frame.type == FrameType::kError) {
+      // The server names the violation and (for stream-level codes)
+      // closes; surface it as a response so callers see the code.
+      uint64_t id = 0;
+      WireStatus code = WireStatus::kInternal;
+      if (!DecodeErrorPayload(frame.payload, &id, &code)) return false;
+      response.request_id = id;
+      response.status = code;
+    } else if (frame.type == FrameType::kTopKResponse) {
+      if (!DecodeTopKResponsePayload(frame.payload, &response)) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    const auto it = position.find(response.request_id);
+    if (it == position.end()) return false;  // unmatchable id
+    (*out)[it->second] = std::move(response);
+    position.erase(it);
+  }
+  return true;
+}
+
+}  // namespace mars

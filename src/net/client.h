@@ -1,0 +1,66 @@
+// NetClient: a small blocking TCP client for the MARS wire protocol —
+// the reference peer the tests and the wire bench drive. One socket,
+// client-assigned correlation ids, and two calling shapes:
+//
+//  * TopK — one request, one blocking round-trip.
+//  * TopKPipelined — B requests written as one contiguous burst, then B
+//    responses collected. This is how the bench loads the server's
+//    natural batching: frames that arrive while a sweep runs pile up in
+//    the server's socket buffer and are served as one TopKBatch.
+//
+// SendRaw/RecvFrame expose the byte layer for the robustness tests
+// (crafted hostile frames, split writes).
+#ifndef MARS_NET_CLIENT_H_
+#define MARS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace mars {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects with a receive timeout (so a wedged peer fails a test in
+  /// seconds instead of hanging it). False on refusal/timeout.
+  bool Connect(const std::string& host, uint16_t port,
+               int recv_timeout_ms = 5000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One blocking round-trip. False on transport failure (send/recv);
+  /// protocol-level rejections come back as *out's status.
+  bool TopK(const TopKRequest& request, WireResponse* out);
+
+  /// Writes all requests as one burst, then reads one response per
+  /// request. Responses are returned in request order (matched by
+  /// correlation id). False on transport failure or an unmatchable
+  /// response id.
+  bool TopKPipelined(std::span<const TopKRequest> requests,
+                     std::vector<WireResponse>* out);
+
+  /// Sends arbitrary bytes (test seam for hostile/split frames).
+  bool SendRaw(std::span<const uint8_t> bytes);
+
+  /// Blocks for the next complete frame. False on close/timeout or a
+  /// stream-level decode failure.
+  bool RecvFrame(Frame* out);
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace mars
+
+#endif  // MARS_NET_CLIENT_H_

@@ -1,0 +1,83 @@
+// Per-connection state machine for the TCP front-end: owns the socket,
+// a FrameDecoder reassembling whatever byte boundaries the transport
+// delivers, and an outbound buffer that absorbs short writes. The
+// server loop drives it purely through readiness callbacks; nothing
+// here blocks.
+//
+// Error policy follows protocol.h's trust split: request-level
+// rejections never reach this layer (the server answers them as
+// responses); frame-level violations with intact framing (unknown type,
+// malformed payload) queue a kError frame and keep the connection;
+// stream-level violations queue a kError naming the latched decoder
+// error and schedule close-after-flush — the one error frame is a
+// courtesy, the close is the contract.
+#ifndef MARS_NET_CONNECTION_H_
+#define MARS_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace mars {
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed on destruction). The fd must
+  /// already be non-blocking.
+  Connection(int fd, size_t max_frame_payload);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Drains the socket's readable bytes into the decoder and decodes
+  /// every complete frame: well-formed requests append to `out`,
+  /// violations queue error frames per the policy above. Returns false
+  /// when the connection is finished with its read side for good (peer
+  /// closed, fatal socket error, or a stream-level violation latched) —
+  /// the caller should stop watching readability; the connection still
+  /// lives until its outbound buffer drains.
+  bool ReadAndDecode(std::vector<WireRequest>* out);
+
+  /// Appends a response frame to the outbound buffer.
+  void QueueResponse(uint64_t request_id, const TopKResponse& response);
+
+  /// Writes buffered bytes until EAGAIN or empty. Returns false on a
+  /// fatal socket error (connection should be dropped immediately).
+  bool Flush();
+
+  /// Outbound bytes still buffered (caller keeps write interest while
+  /// nonzero).
+  bool wants_write() const { return write_pos_ < outbuf_.size(); }
+
+  /// True once the connection has nothing left to do: read side done
+  /// and outbound buffer drained.
+  bool finished() const { return read_done_ && !wants_write(); }
+
+  /// Decoded-frame count (server stats).
+  uint64_t frames_decoded() const { return frames_decoded_; }
+  /// Protocol violations seen (both recoverable and fatal).
+  uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  /// Handles one reassembled frame. Returns false when the connection
+  /// must stop reading (stream latched — unreachable here since the
+  /// decoder latches first, but kept explicit).
+  void HandleFrame(const Frame& frame, std::vector<WireRequest>* out);
+
+  int fd_;
+  FrameDecoder decoder_;
+  std::vector<uint8_t> outbuf_;
+  size_t write_pos_ = 0;
+  bool read_done_ = false;
+  uint64_t frames_decoded_ = 0;
+  uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace mars
+
+#endif  // MARS_NET_CONNECTION_H_

@@ -1,0 +1,77 @@
+// Readiness reactors for the TCP front-end: one interface, two
+// backends.
+//
+//  * EpollReactor — level-triggered epoll. Always available; the
+//    fallback and the CI-pinned path.
+//  * IoUringReactor — io_uring submission/completion rings driven with
+//    raw syscalls (io_uring_setup / io_uring_enter + mmap'd rings; the
+//    toolchain here has <linux/io_uring.h> but no liburing). Readiness
+//    is modeled as oneshot IORING_OP_POLL_ADD entries, re-armed per
+//    Wait: the server loop's batched rhythm (arm every interest, one
+//    enter syscall, drain every completion) is exactly the
+//    submit/complete-in-batches discipline the rings are built for.
+//    user_data carries the fd, so completions map back without a table.
+//
+// Both backends are level-triggered from the caller's point of view: a
+// Wait returns an fd as readable for as long as unread bytes remain, so
+// the connection state machine never needs the drain-to-EAGAIN
+// discipline edge-triggering would force (it still drains — for
+// batching, not correctness).
+//
+// Threading: a reactor belongs to the single thread that Waits on it.
+// Add/Modify/Remove must come from that thread (the server loop owns
+// both roles); nothing here is internally synchronized.
+#ifndef MARS_NET_REACTOR_H_
+#define MARS_NET_REACTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mars {
+
+/// Which reactor to run. kAuto probes the kernel once and picks
+/// io_uring when a ring can actually be set up (not merely compiled
+/// against), epoll otherwise.
+enum class NetBackend : uint8_t { kAuto = 0, kEpoll = 1, kIoUring = 2 };
+
+/// One readiness event. `error` covers hangup/error conditions; the
+/// caller treats it like readability (the next read reports the close).
+struct ReactorEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class Reactor {
+ public:
+  virtual ~Reactor() = default;
+
+  /// Backend name for stats/logs ("epoll" / "io_uring").
+  virtual const char* name() const = 0;
+
+  /// Registers `fd` with the given interest set. False on failure.
+  virtual bool Add(int fd, bool read, bool write) = 0;
+
+  /// Changes the interest set of a registered fd.
+  virtual bool Modify(int fd, bool read, bool write) = 0;
+
+  /// Unregisters `fd`. Safe to call just before closing it.
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and appends ready events.
+  /// Returns the number appended, 0 on timeout, -1 on reactor failure.
+  virtual int Wait(std::vector<ReactorEvent>* events, int timeout_ms) = 0;
+
+  /// Builds the requested backend; nullptr when kIoUring was demanded
+  /// on a kernel that cannot set a ring up.
+  static std::unique_ptr<Reactor> Create(NetBackend backend);
+};
+
+/// True when this kernel accepts io_uring_setup (probed once, cached).
+bool IoUringAvailable();
+
+}  // namespace mars
+
+#endif  // MARS_NET_REACTOR_H_

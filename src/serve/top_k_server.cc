@@ -117,9 +117,9 @@ void RankCandidates(std::vector<std::pair<float, ItemId>>* pool, size_t k,
 
 size_t ResolveStripeCount(const TopKServerOptions& options,
                           size_t num_users) {
-  size_t stripes = options.cache_stripes > 0 ? options.cache_stripes : 16;
-  if (options.max_cached_users > 0) {
-    stripes = std::min(stripes, options.max_cached_users);
+  size_t stripes = options.cache.stripes > 0 ? options.cache.stripes : 16;
+  if (options.cache.max_users > 0) {
+    stripes = std::min(stripes, options.cache.max_users);
   }
   stripes = std::min(stripes, std::max<size_t>(1, num_users));
   return std::max<size_t>(1, stripes);
@@ -133,26 +133,26 @@ TopKServer::TopKServer(std::shared_ptr<const ItemScorer> model,
     : model_(std::move(model)),
       num_users_(num_users),
       num_items_(num_items),
-      item_shards_(
-          WriteTracker::ClampedShardCount(num_items, options.item_shards)),
+      item_shards_(WriteTracker::ClampedShardCount(
+          num_items, options.cache.item_shards)),
       options_(options),
       stripes_(ResolveStripeCount(options, num_users)) {
   MARS_CHECK(model_.Acquire() != nullptr);
   MARS_CHECK(num_items >= 1);
-  MARS_CHECK(options.item_shards >= 1);
+  MARS_CHECK(options.cache.item_shards >= 1);
   // Distribute the cache bound exactly: stripe i takes an extra slot
   // until the remainder is used up, so the capacities sum to the bound.
   const size_t n = stripes_.size();
   for (size_t i = 0; i < n; ++i) {
     stripes_[i].capacity =
-        options_.max_cached_users / n + (i < options_.max_cached_users % n);
+        options_.cache.max_users / n + (i < options_.cache.max_users % n);
   }
-  if (options_.ann_index != nullptr) {
-    MARS_CHECK_MSG(options_.ann_index->num_items() == num_items_,
+  if (options_.ann.prebuilt != nullptr) {
+    MARS_CHECK_MSG(options_.ann.prebuilt->num_items() == num_items_,
                    "injected ANN index must cover the server's catalog");
     ann_enabled_ = true;
-    ann_index_.Publish(options_.ann_index);
-  } else if (options_.use_ann) {
+    ann_index_.Publish(options_.ann.prebuilt);
+  } else if (options_.ann.enable) {
     ann_enabled_ = true;
     RefreshAnnIndex(model_.Acquire(), nullptr);
   }
@@ -166,7 +166,7 @@ size_t TopKServer::StripeOf(UserId u) const {
   return FacetStore::ShardOf(num_users_, u, stripes_.size());
 }
 
-bool TopKServer::TryCacheHit(UserId u, TopKResult* out) {
+bool TopKServer::TryCacheHit(UserId u, TopKResponse* out) {
   Stripe& stripe = stripes_[StripeOf(u)];
   std::unique_lock<std::mutex> lock(stripe.mu);
   const auto it = stripe.map.find(u);
@@ -180,24 +180,59 @@ bool TopKServer::TryCacheHit(UserId u, TopKResult* out) {
   return true;
 }
 
-TopKResult TopKServer::TopK(UserId u) {
-  MARS_CHECK(u < num_users_);
-  TopKResult result;
-  if (TryCacheHit(u, &result)) return result;
+bool TopKServer::ValidateRequest(const TopKRequest& request,
+                                 TopKResponse* out) const {
+  if (request.user >= num_users_) {
+    out->status = TopKStatus::kInvalidUser;
+  } else if (request.k > options_.k) {
+    // The cache holds rankings at the configured depth; a deeper list
+    // cannot be served as a prefix of it (see serve/request.h).
+    out->status = TopKStatus::kInvalidK;
+  } else if ((request.flags & ~kTopKFlagsMask) != 0) {
+    out->status = TopKStatus::kInvalidFlags;
+  } else {
+    return true;
+  }
+  return false;
+}
+
+void TopKServer::TruncateToK(uint32_t k, TopKResponse* out) {
+  if (k == 0 || out->items.size() <= k) return;
+  out->items.resize(k);
+  out->scores.resize(k);
+}
+
+TopKResponse TopKServer::ServeOne(UserId u, bool bypass_cache) {
+  TopKResponse result;
+  if (!bypass_cache && TryCacheHit(u, &result)) return result;
   // Pool workers bypass the coalescer: a worker parked behind another
   // miss's batch could be a worker that batch's RunBatch fan-out needs.
-  if (options_.coalesce_misses &&
+  if (options_.batch.coalesce_misses &&
       !(options_.pool != nullptr && options_.pool->IsWorkerThread())) {
     return CoalescedMiss(u);
   }
-  std::vector<TopKResult> results(1);
+  std::vector<TopKResponse> results(1);
   const uint64_t pinned_epoch = SweepMisses({&u, 1}, &results);
   InsertMissEntry(u, results[0], pinned_epoch);
   return std::move(results[0]);
 }
 
+TopKResponse TopKServer::TopK(const TopKRequest& request) {
+  TopKResponse result;
+  if (!ValidateRequest(request, &result)) return result;
+  result = ServeOne(request.user,
+                    (request.flags & kTopKFlagBypassCache) != 0);
+  TruncateToK(request.k, &result);
+  return result;
+}
+
+TopKResponse TopKServer::TopK(UserId u) {
+  MARS_CHECK(u < num_users_);
+  return ServeOne(u, /*bypass_cache=*/false);
+}
+
 uint64_t TopKServer::SweepMisses(std::span<const UserId> users,
-                                 std::vector<TopKResult>* results,
+                                 std::vector<TopKResponse>* results,
                                  size_t extra_requests) {
   // Pin the current epoch once for the whole batch and sweep it outside
   // every lock — the maintenance side may publish the next epoch
@@ -220,7 +255,7 @@ uint64_t TopKServer::SweepMisses(std::span<const UserId> users,
   if (users.size() == 1) {
     // A batch of one takes the classic solo path — same kernels, same
     // scratch reuse, zero batching overhead.
-    TopKResult& r = (*results)[0];
+    TopKResponse& r = (*results)[0];
     if (ann_ok) {
       AnnSweep(*snapshot, *index, users[0], &r.items, &r.scores);
     } else {
@@ -248,14 +283,14 @@ uint64_t TopKServer::SweepMisses(std::span<const UserId> users,
     exact_fallbacks_.fetch_add(users.size() + extra_requests,
                                std::memory_order_relaxed);
   }
-  for (TopKResult& r : *results) {
+  for (TopKResponse& r : *results) {
     r.epoch = pinned_epoch;
     r.from_cache = false;
   }
   return pinned_epoch;
 }
 
-void TopKServer::InsertMissEntry(UserId u, const TopKResult& result,
+void TopKServer::InsertMissEntry(UserId u, const TopKResponse& result,
                                  uint64_t pinned_epoch) {
   Stripe& stripe = stripes_[StripeOf(u)];
   std::unique_lock<std::mutex> lock(stripe.mu);
@@ -283,12 +318,12 @@ void TopKServer::InsertMissEntry(UserId u, const TopKResult& result,
   }
 }
 
-TopKResult TopKServer::CoalescedMiss(UserId u) {
+TopKResponse TopKServer::CoalescedMiss(UserId u) {
   PendingMiss self;
   self.user = u;
   std::unique_lock<std::mutex> lock(batch_mu_);
   batch_queue_.push_back(&self);
-  if (batch_leader_active_ && options_.coalesce_window_us > 0) {
+  if (batch_leader_active_ && options_.batch.window_us > 0) {
     // A leader may be inside its gathering window — let it see us.
     batch_cv_.notify_all();
   }
@@ -299,13 +334,13 @@ TopKResult TopKServer::CoalescedMiss(UserId u) {
   // plus up to max_coalesced_batch - 1 queued misses, FIFO; anything
   // beyond the cap stays queued for the next leader.
   batch_leader_active_ = true;
-  const size_t cap = std::max<size_t>(1, options_.max_coalesced_batch);
+  const size_t cap = std::max<size_t>(1, options_.batch.max_batch);
   batch_queue_.erase(
       std::find(batch_queue_.begin(), batch_queue_.end(), &self));
-  if (options_.coalesce_window_us > 0 && batch_queue_.size() + 1 < cap) {
+  if (options_.batch.window_us > 0 && batch_queue_.size() + 1 < cap) {
     const auto deadline =
         std::chrono::steady_clock::now() +
-        std::chrono::microseconds(options_.coalesce_window_us);
+        std::chrono::microseconds(options_.batch.window_us);
     batch_cv_.wait_until(lock, deadline,
                          [&] { return batch_queue_.size() + 1 >= cap; });
   }
@@ -329,7 +364,7 @@ TopKResult TopKServer::CoalescedMiss(UserId u) {
     if (s == users.size()) users.push_back(batch[i]->user);
     slot[i] = s;
   }
-  std::vector<TopKResult> results;
+  std::vector<TopKResponse> results;
   const uint64_t pinned_epoch =
       SweepMisses(users, &results, batch.size() - users.size());
   for (size_t s = 0; s < users.size(); ++s) {
@@ -362,35 +397,43 @@ TopKResult TopKServer::CoalescedMiss(UserId u) {
   return std::move(self.result);
 }
 
-std::vector<TopKResult> TopKServer::TopKBatch(std::span<const UserId> users) {
-  std::vector<TopKResult> out(users.size());
-  if (users.empty()) return out;
-  // Hits resolve per position exactly as TopK would; the remaining users
-  // are deduped (first-occurrence order) and swept as one batch.
+std::vector<TopKResponse> TopKServer::TopKBatch(
+    std::span<const TopKRequest> requests) {
+  std::vector<TopKResponse> out(requests.size());
+  if (requests.empty()) return out;
+  // Per-position resolution exactly as TopK(request) would: malformed
+  // requests are stamped and cost no sweep, hits come off the cache
+  // (unless bypassed), and the remaining users are deduped
+  // (first-occurrence order) and swept as one batch.
   std::vector<UserId> miss_users;
-  std::vector<size_t> miss_slot(users.size(), static_cast<size_t>(-1));
-  for (size_t i = 0; i < users.size(); ++i) {
-    const UserId u = users[i];
-    MARS_CHECK(u < num_users_);
+  std::vector<size_t> miss_slot(requests.size(), static_cast<size_t>(-1));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const TopKRequest& request = requests[i];
+    if (!ValidateRequest(request, &out[i])) continue;
+    const UserId u = request.user;
     size_t s = 0;
     while (s < miss_users.size() && miss_users[s] != u) ++s;
     if (s < miss_users.size()) {
       miss_slot[i] = s;
       continue;
     }
-    if (TryCacheHit(u, &out[i])) continue;
+    if ((request.flags & kTopKFlagBypassCache) == 0 &&
+        TryCacheHit(u, &out[i])) {
+      TruncateToK(request.k, &out[i]);
+      continue;
+    }
     miss_slot[i] = miss_users.size();
     miss_users.push_back(u);
   }
   if (miss_users.empty()) return out;
-  // Sweep in groups of max_coalesced_batch — the same cap the coalescer
+  // Sweep in groups of batch.max_batch — the same cap the coalescer
   // honors, bounding the per-chunk score buffers for arbitrarily large
   // requests. Each group pins its own epoch, like consecutive TopK calls.
-  const size_t cap = std::max<size_t>(1, options_.max_coalesced_batch);
-  std::vector<TopKResult> results(miss_users.size());
+  const size_t cap = std::max<size_t>(1, options_.batch.max_batch);
+  std::vector<TopKResponse> results(miss_users.size());
   for (size_t base = 0; base < miss_users.size(); base += cap) {
     const size_t n = std::min(cap, miss_users.size() - base);
-    std::vector<TopKResult> group;
+    std::vector<TopKResponse> group;
     const uint64_t pinned_epoch =
         SweepMisses({miss_users.data() + base, n}, &group);
     for (size_t s = 0; s < n; ++s) {
@@ -398,12 +441,23 @@ std::vector<TopKResult> TopKServer::TopKBatch(std::span<const UserId> users) {
       results[base + s] = std::move(group[s]);
     }
   }
-  for (size_t i = 0; i < users.size(); ++i) {
+  for (size_t i = 0; i < requests.size(); ++i) {
     if (miss_slot[i] != static_cast<size_t>(-1)) {
       out[i] = results[miss_slot[i]];
+      TruncateToK(requests[i].k, &out[i]);
     }
   }
   return out;
+}
+
+std::vector<TopKResponse> TopKServer::TopKBatch(
+    std::span<const UserId> users) {
+  std::vector<TopKRequest> requests(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    MARS_CHECK(users[i] < num_users_);
+    requests[i].user = users[i];
+  }
+  return TopKBatch(std::span<const TopKRequest>(requests));
 }
 
 void TopKServer::Sweep(const ItemScorer& model, UserId u,
@@ -478,7 +532,7 @@ void TopKServer::AnnSweep(const ItemScorer& model, const CandidateIndex& index,
   // filtering alone can never shorten the answer below k (for the exact
   // VP-tree this keeps the served top-k exactly the brute-force one).
   const size_t excluded = exclude != nullptr ? exclude->UserDegree(u) : 0;
-  const size_t overfetch = std::max<size_t>(1, options_.ann.overfetch);
+  const size_t overfetch = std::max<size_t>(1, options_.ann.index.overfetch);
   const size_t want = std::max(k * overfetch, k + excluded);
   {
     // Same guard as Sweep: shared-scratch models are probed and re-ranked
@@ -503,7 +557,7 @@ void TopKServer::AnnSweep(const ItemScorer& model, const CandidateIndex& index,
 
 void TopKServer::BatchSweep(const ItemScorer& model,
                             std::span<const UserId> users,
-                            std::vector<TopKResult>* results) {
+                            std::vector<TopKResponse>* results) {
   const size_t B = users.size();
   const size_t k = std::min(options_.k, num_items_);
   const ImplicitDataset* exclude = options_.exclude_interactions;
@@ -584,18 +638,18 @@ void TopKServer::BatchSweep(const ItemScorer& model,
 void TopKServer::AnnBatchSweep(const ItemScorer& model,
                                const CandidateIndex& index,
                                std::span<const UserId> users,
-                               std::vector<TopKResult>* results) {
+                               std::vector<TopKResponse>* results) {
   const size_t B = users.size();
   const size_t k = std::min(options_.k, num_items_);
   if (k == 0) {
-    for (TopKResult& r : *results) {
+    for (TopKResponse& r : *results) {
       r.items.clear();
       r.scores.clear();
     }
     return;
   }
   const ImplicitDataset* exclude = options_.exclude_interactions;
-  const size_t overfetch = std::max<size_t>(1, options_.ann.overfetch);
+  const size_t overfetch = std::max<size_t>(1, options_.ann.index.overfetch);
   std::vector<size_t> wants(B);
   std::vector<float> queries(B * index.dim());
   std::vector<std::vector<ItemId>> cands(B);
@@ -652,8 +706,8 @@ void TopKServer::RefreshAnnIndex(
   // From-scratch build: no index yet, an unknown delta, or the model
   // changed shape. Publishing null (kNone model) routes misses to the
   // exact sweep.
-  ann_index_.Publish(
-      BuildCandidateIndex(*snapshot, num_items_, options_.ann, options_.pool));
+  ann_index_.Publish(BuildCandidateIndex(*snapshot, num_items_,
+                                         options_.ann.index, options_.pool));
 }
 
 void TopKServer::AbsorbWrites(WriteTracker* tracker) {
@@ -845,7 +899,7 @@ bool TopKServer::Prime(UserId u, std::vector<ItemId> items,
                        std::vector<float> scores) {
   const size_t cap = std::min(options_.k, num_items_);
   if (u >= num_users_ || items.size() != scores.size() ||
-      items.size() > cap || options_.max_cached_users == 0) {
+      items.size() > cap || options_.cache.max_users == 0) {
     return false;
   }
   for (const ItemId v : items) {

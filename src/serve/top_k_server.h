@@ -8,7 +8,7 @@
 // in a bounded, mutex-striped LRU cache so hot users are answered without
 // touching the embedding tables at all.
 //
-// With use_ann set (and a model that declares an index geometry — see
+// With ann.enable set (and a model that declares an index geometry — see
 // eval/scorer.h), the miss path goes sub-linear: probe a CandidateIndex
 // (ann/candidate_index.h) for an overfetched candidate block, then
 // re-rank the block with the model's *exact* ScoreItems. Because every
@@ -103,53 +103,51 @@
 #include "common/snapshot_handle.h"
 #include "data/dataset.h"
 #include "eval/scorer.h"
+#include "serve/request.h"
 #include "serve/write_tracker.h"
 
 namespace mars {
 
 class ThreadPool;
 
-/// Serving knobs.
-struct TopKServerOptions {
-  /// Recommendations per query. Results are (score desc, item id asc);
-  /// fewer than k come back when the catalog (minus exclusions) is smaller.
-  size_t k = 10;
+/// Cache knobs (TopKServerOptions::cache).
+struct CacheOptions {
   /// Bounded cache: least-recently-queried users are evicted beyond this.
   /// The bound is distributed across the cache stripes (each stripe runs
   /// its own LRU over its share), so it holds globally by summation.
-  size_t max_cached_users = 4096;
-  /// Sweep fan-out chunks; 0 means one per pool thread (or 1 serial).
-  size_t sweep_shards = 0;
-  /// Pool for the parallel sweep (may be null → serial sweep). Models
-  /// whose thread_safe() is false are swept serially regardless, and the
-  /// server serializes their sweeps across frontend threads too.
-  ThreadPool* pool = nullptr;
-  /// When set, items the user already interacted with are not recommended.
-  const ImplicitDataset* exclude_interactions = nullptr;
-  /// Item-shard granularity of incremental refresh — must match the
-  /// WriteTracker handed to AbsorbWrites (both sides clamp to the
-  /// catalog size the same way).
-  size_t item_shards = WriteTracker::kDefaultShards;
+  size_t max_users = 4096;
   /// Mutex stripes of the cache, keyed by user shard — contiguous user-id
   /// ranges, matching the tracker's shard geometry. 0 means auto (16,
   /// clamped to the cache bound and user count); 1 gives a single global
   /// LRU — the exact pre-concurrency eviction semantics. Each stripe runs
-  /// its own LRU over a 1/N share of max_cached_users, so a hot set
-  /// clustered in one id range competes for that stripe's share only;
-  /// raise max_cached_users (or lower cache_stripes) if hot users are
-  /// known to be id-contiguous rather than spread.
-  size_t cache_stripes = 0;
+  /// its own LRU over a 1/N share of max_users, so a hot set clustered in
+  /// one id range competes for that stripe's share only; raise max_users
+  /// (or lower stripes) if hot users are known to be id-contiguous rather
+  /// than spread.
+  size_t stripes = 0;
+  /// Item-shard granularity of incremental refresh — must match the
+  /// WriteTracker handed to AbsorbWrites (both sides clamp to the
+  /// catalog size the same way).
+  size_t item_shards = WriteTracker::kDefaultShards;
+};
+
+/// ANN serving knobs (TopKServerOptions::ann).
+struct AnnOptions {
   /// Serve misses through an ANN candidate index when the model declares
   /// an index geometry (probe → exact re-rank; see the file comment).
   /// Models with IndexGeometry::kNone silently keep the exact sweep.
-  bool use_ann = false;
-  /// Index build/probe knobs (used when use_ann is set and no prebuilt
+  bool enable = false;
+  /// Index build/probe knobs (used when enable is set and no prebuilt
   /// index is injected).
-  AnnIndexOptions ann;
-  /// Optional prebuilt index to serve from (implies use_ann); must cover
+  AnnIndexOptions index;
+  /// Optional prebuilt index to serve from (implies enable); must cover
   /// exactly this server's catalog. The bench injects nprobe-swept clones
   /// this way; most callers leave it null and let the server build.
-  std::shared_ptr<const CandidateIndex> ann_index;
+  std::shared_ptr<const CandidateIndex> prebuilt;
+};
+
+/// Miss-batching knobs (TopKServerOptions::batch).
+struct BatchOptions {
   /// Miss coalescing: concurrent TopK misses that land while another miss
   /// is sweeping queue up and are served together as one multi-user
   /// batched sweep (ScoreItemRangeMulti / ProbeBatch — each item row is
@@ -165,21 +163,34 @@ struct TopKServerOptions {
   bool coalesce_misses = true;
   /// Users per coalesced batch, at most (bounds the per-chunk score
   /// buffers; excess queued misses form the next batch).
-  size_t max_coalesced_batch = 16;
+  size_t max_batch = 16;
   /// Optional gathering window: a batch leader waits up to this long for
   /// more misses to queue before sweeping. 0 (default) adds no latency —
   /// batches then form only from misses that queued behind an in-flight
   /// sweep, which is where the win is under real concurrency.
-  size_t coalesce_window_us = 0;
+  size_t window_us = 0;
 };
 
-/// One answered query.
-struct TopKResult {
-  std::vector<ItemId> items;  // ranked best-first
-  std::vector<float> scores;  // parallel to items
-  bool from_cache = false;
-  /// Model epoch the ranking was computed (or last refreshed) against.
-  uint64_t epoch = 0;
+/// Serving knobs. The cache/ann/batch sprawl lives in nested groups so
+/// front-ends (net/server.h embeds the whole struct in NetServerOptions)
+/// can carry, default, and document each concern as a unit; every group
+/// is a plain aggregate, so field-for-field designated initialization
+/// keeps working at every level.
+struct TopKServerOptions {
+  /// Recommendations per query. Results are (score desc, item id asc);
+  /// fewer than k come back when the catalog (minus exclusions) is smaller.
+  size_t k = 10;
+  /// Sweep fan-out chunks; 0 means one per pool thread (or 1 serial).
+  size_t sweep_shards = 0;
+  /// Pool for the parallel sweep (may be null → serial sweep). Models
+  /// whose thread_safe() is false are swept serially regardless, and the
+  /// server serializes their sweeps across frontend threads too.
+  ThreadPool* pool = nullptr;
+  /// When set, items the user already interacted with are not recommended.
+  const ImplicitDataset* exclude_interactions = nullptr;
+  CacheOptions cache;
+  AnnOptions ann;
+  BatchOptions batch;
 };
 
 /// Serving-side counters (cumulative since construction).
@@ -230,26 +241,43 @@ class TopKServer {
   /// Number of model epochs published so far (ReplaceModel calls).
   uint64_t epoch() const { return model_.epoch(); }
 
-  /// Top-k for `u`: cache hit, or a full-catalog sweep of the pinned
-  /// snapshot that fills the cache. Safe to call concurrently from any
-  /// number of threads, including while the maintenance path publishes.
-  /// With coalesce_misses set (the default), a miss that arrives while
-  /// another miss is sweeping joins the next multi-user batched sweep —
-  /// same answer, one streaming pass over the catalog for the whole
-  /// batch. Concurrent misses for the same user then share one sweep
-  /// instead of sweeping redundantly (each still counts as its own
+  /// Top-k for one request (serve/request.h — the surface the wire codec
+  /// and in-process callers share): cache hit, or a full-catalog sweep of
+  /// the pinned snapshot that fills the cache. Safe to call concurrently
+  /// from any number of threads, including while the maintenance path
+  /// publishes. With batch.coalesce_misses set (the default), a miss that
+  /// arrives while another miss is sweeping joins the next multi-user
+  /// batched sweep — same answer, one streaming pass over the catalog for
+  /// the whole batch. Concurrent misses for the same user then share one
+  /// sweep instead of sweeping redundantly (each still counts as its own
   /// miss, so hits + misses stays the query count).
-  TopKResult TopK(UserId u);
+  ///
+  /// A malformed request (user outside the catalog, k above options().k,
+  /// unknown flag bits) is *reported* — empty response with the matching
+  /// TopKStatus — never asserted on: requests may come off a wire.
+  /// request.k below the configured depth serves the exact prefix of the
+  /// configured-depth ranking; kTopKFlagBypassCache skips the cache read
+  /// (fresh sweep, still cached afterwards).
+  TopKResponse TopK(const TopKRequest& request);
+
+  /// Thin compat overload: the pre-request-API in-process form. Keeps the
+  /// original assert-on-bad-id contract (MARS_CHECK) — in-process callers
+  /// derive ids from the catalog shape, so a violation is a caller bug.
+  TopKResponse TopK(UserId u);
 
   /// Positional batch form of TopK — the request-batching entry a wire
-  /// front-end submits coalesced reads through. Hits resolve from the
-  /// cache exactly as TopK would; all missing users are swept together
-  /// against one pinned snapshot via the multi-user kernels, each result
+  /// front-end submits coalesced reads through. Hits (and malformed
+  /// requests, which cost no sweep) resolve per position exactly as
+  /// TopK(request) would; all missing users are swept together against
+  /// one pinned snapshot via the multi-user kernels, each response
   /// bit-identical to a solo TopK against that snapshot and each user
   /// cached under its own pinned-epoch rule. Duplicate users in one call
   /// are served by a single sweep (counted as one miss). Concurrency
   /// rights are TopK's: any number of threads, racing maintenance freely.
-  std::vector<TopKResult> TopKBatch(std::span<const UserId> users);
+  std::vector<TopKResponse> TopKBatch(std::span<const TopKRequest> requests);
+
+  /// Thin compat overload over bare user ids (asserts like TopK(UserId)).
+  std::vector<TopKResponse> TopKBatch(std::span<const UserId> users);
 
   // --- Maintenance path: single caller, quiesced epoch boundary. ----------
 
@@ -298,7 +326,7 @@ class TopKServer {
 
   /// Visits every cached entry, most recently used first *within each
   /// stripe* (stripes are visited in user-shard order; there is no global
-  /// recency order across stripes — configure cache_stripes = 1 when one
+  /// recency order across stripes — configure cache.stripes = 1 when one
   /// is required). Maintenance-side only, like AbsorbWrites (used to
   /// persist the cache as a sidecar). The callback runs under the
   /// stripe's lock: it must not call back into this server (TopK, stats,
@@ -348,16 +376,31 @@ class TopKServer {
   /// batch leader that claims it, under batch_mu_.
   struct PendingMiss {
     UserId user = 0;
-    TopKResult result;
+    TopKResponse result;
     bool done = false;
   };
 
   size_t StripeOf(UserId u) const;
 
+  /// Request validation shared by TopK(request) and TopKBatch(requests):
+  /// returns false (and stamps the rejecting status into `out`) for an
+  /// out-of-range user, k above the configured depth, or unknown flags.
+  bool ValidateRequest(const TopKRequest& request, TopKResponse* out) const;
+
+  /// Serves one well-formed user query: cache hit unless `bypass_cache`,
+  /// else the (possibly coalesced) miss path. The core behind both TopK
+  /// forms.
+  TopKResponse ServeOne(UserId u, bool bypass_cache);
+
+  /// Truncates a configured-depth response to a smaller requested k (a
+  /// prefix of a top-K ranking is the top-k ranking). k = 0 keeps the
+  /// configured depth.
+  static void TruncateToK(uint32_t k, TopKResponse* out);
+
   /// The hit fast path shared by TopK and TopKBatch: on a hit, bumps the
   /// stripe's counters, touches the LRU, copies the entry into `out` and
   /// returns true.
-  bool TryCacheHit(UserId u, TopKResult* out);
+  bool TryCacheHit(UserId u, TopKResponse* out);
 
   /// Miss-path core shared by TopK, the coalescer and TopKBatch: pins one
   /// (snapshot, epoch) for the whole batch, sweeps every user against it
@@ -369,20 +412,20 @@ class TopKServer {
   /// caller as a miss of its own, so the per-path counters must too —
   /// `ann_probes + exact_fallbacks == misses` stays exact).
   uint64_t SweepMisses(std::span<const UserId> users,
-                       std::vector<TopKResult>* results,
+                       std::vector<TopKResponse>* results,
                        size_t extra_requests = 0);
 
   /// Caches a finished miss for `u` under the pinned-epoch rule (and
   /// counts the miss) — the tail of the classic TopK miss path, shared
   /// verbatim by the batched paths so every batch member inserts exactly
   /// as its solo sweep would.
-  void InsertMissEntry(UserId u, const TopKResult& result,
+  void InsertMissEntry(UserId u, const TopKResponse& result,
                        uint64_t pinned_epoch);
 
-  /// The coalesced miss path (see TopKServerOptions::coalesce_misses):
-  /// queue behind an in-flight sweep, else become the leader, claim up to
-  /// max_coalesced_batch queued misses and sweep them as one batch.
-  TopKResult CoalescedMiss(UserId u);
+  /// The coalesced miss path (see BatchOptions::coalesce_misses): queue
+  /// behind an in-flight sweep, else become the leader, claim up to
+  /// batch.max_batch queued misses and sweep them as one batch.
+  TopKResponse CoalescedMiss(UserId u);
 
   /// Full-catalog sweep of `model` for `u` into a ranked top-k. Runs
   /// outside every stripe lock; fans out over the pool when the model
@@ -406,7 +449,7 @@ class TopKServer {
   /// exactly as Sweep's per-chunk pools do, so each user's ranking is
   /// bit-identical to a solo Sweep of the same snapshot.
   void BatchSweep(const ItemScorer& model, std::span<const UserId> users,
-                  std::vector<TopKResult>* results);
+                  std::vector<TopKResponse>* results);
 
   /// Multi-user ANN path: per-user queries written into one packed
   /// buffer, one ProbeBatch (the IVF shares a single centroid-matrix scan
@@ -414,7 +457,7 @@ class TopKServer {
   /// user's answer is bit-identical to a solo AnnSweep.
   void AnnBatchSweep(const ItemScorer& model, const CandidateIndex& index,
                      std::span<const UserId> users,
-                     std::vector<TopKResult>* results);
+                     std::vector<TopKResponse>* results);
 
   /// Maintenance-side index refresh against `snapshot`: incremental
   /// (CandidateIndex::Rebuilt over `dirty_items`) when a compatible index
@@ -452,7 +495,7 @@ class TopKServer {
   std::vector<Stripe> stripes_;
 
   /// Miss coalescer (reader-side): misses queue here while a batch leader
-  /// sweeps; the leader claims up to max_coalesced_batch of them on its
+  /// sweeps; the leader claims up to batch.max_batch of them on its
   /// way out. batch_mu_ only ever guards queue/flag manipulation — sweeps
   /// run outside it, so the hot uncontended miss pays one mutex hop.
   std::mutex batch_mu_;

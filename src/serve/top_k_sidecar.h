@@ -7,7 +7,7 @@
 // sidecar closes that gap: SaveTopKSidecar dumps the server's cached
 // rankings next to the model snapshot, and WarmFromSidecar primes a new
 // server with them, preserving the LRU order (per cache stripe — a
-// striped server has no global recency order; configure cache_stripes=1
+// striped server has no global recency order; configure cache.stripes=1
 // when the exact global order matters), so the first query of a
 // previously-hot user is a cache hit. Primed entries participate in
 // incremental AbsorbWrites refreshes like swept ones, so a warmed cache

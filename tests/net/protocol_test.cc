@@ -1,0 +1,257 @@
+// Codec-level protocol tests: byte-exact framing, checksum integrity,
+// and the FrameDecoder's reassembly + latch-on-violation contract.
+// These never open a socket — the decoder must behave identically no
+// matter how the transport splits the byte stream, so the tests drive
+// it with adversarial splits directly. The crafted-frame cases mirror
+// the LoadMars crafted-file bounds tests: every field that could let a
+// hostile peer over-read or over-allocate is violated once.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+namespace mars {
+namespace {
+
+std::vector<uint8_t> EncodedRequest(uint64_t id, UserId user, uint32_t k,
+                                    uint32_t flags) {
+  std::vector<uint8_t> bytes;
+  EncodeTopKRequest(id, TopKRequest{user, k, flags}, &bytes);
+  return bytes;
+}
+
+TopKResponse SampleResponse() {
+  TopKResponse r;
+  r.items = {7, 3, 101, 0};
+  r.scores = {9.5f, 3.25f, -1.0f, 0.0f};
+  r.epoch = 42;
+  r.status = TopKStatus::kOk;
+  r.from_cache = true;
+  return r;
+}
+
+TEST(ProtocolCodec, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check vector: crc32("123456789").
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data, sizeof(data)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(ProtocolCodec, RequestRoundTripsBitExact) {
+  const std::vector<uint8_t> bytes =
+      EncodedRequest(77, 12345, 10, kTopKFlagBypassCache);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 20);
+
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kTopKRequest);
+
+  WireRequest req;
+  ASSERT_TRUE(DecodeTopKRequestPayload(frame.payload, &req));
+  EXPECT_EQ(req.request_id, 77u);
+  EXPECT_EQ(req.request.user, 12345u);
+  EXPECT_EQ(req.request.k, 10u);
+  EXPECT_EQ(req.request.flags, kTopKFlagBypassCache);
+}
+
+TEST(ProtocolCodec, ResponseRoundTripsBitExact) {
+  const TopKResponse response = SampleResponse();
+  std::vector<uint8_t> bytes;
+  EncodeTopKResponse(9001, response, &bytes);
+
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kTopKResponse);
+
+  WireResponse got;
+  ASSERT_TRUE(DecodeTopKResponsePayload(frame.payload, &got));
+  EXPECT_EQ(got.request_id, 9001u);
+  EXPECT_EQ(got.status, WireStatus::kOk);
+  EXPECT_EQ(got.response.items, response.items);
+  EXPECT_EQ(got.response.scores, response.scores);  // bit-equal floats
+  EXPECT_EQ(got.response.epoch, 42u);
+  EXPECT_TRUE(got.response.from_cache);
+  EXPECT_EQ(got.response.status, TopKStatus::kOk);
+}
+
+TEST(ProtocolCodec, ErrorRoundTrips) {
+  std::vector<uint8_t> bytes;
+  EncodeError(5, WireStatus::kBadChecksum, &bytes);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  uint64_t id = 0;
+  WireStatus code = WireStatus::kOk;
+  ASSERT_TRUE(DecodeErrorPayload(frame.payload, &id, &code));
+  EXPECT_EQ(id, 5u);
+  EXPECT_EQ(code, WireStatus::kBadChecksum);
+}
+
+TEST(ProtocolDecoder, ReassemblesOneByteAtATime) {
+  const std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Append(&bytes[i], 1);
+    ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore)
+        << "after byte " << i;
+  }
+  decoder.Append(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  WireRequest req;
+  ASSERT_TRUE(DecodeTopKRequestPayload(frame.payload, &req));
+  EXPECT_EQ(req.request.user, 2u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ProtocolDecoder, DecodesBackToBackFramesFromOneAppend) {
+  std::vector<uint8_t> bytes = EncodedRequest(1, 10, 0, 0);
+  const std::vector<uint8_t> second = EncodedRequest(2, 20, 0, 0);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  WireRequest req;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  ASSERT_TRUE(DecodeTopKRequestPayload(frame.payload, &req));
+  EXPECT_EQ(req.request.user, 10u);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  ASSERT_TRUE(DecodeTopKRequestPayload(frame.payload, &req));
+  EXPECT_EQ(req.request.user, 20u);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(ProtocolDecoder, TruncatedFrameIsNeedMoreNotError) {
+  const std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  FrameDecoder decoder;
+  // Header plus half the payload: a stalled peer, not a hostile one.
+  decoder.Append(bytes.data(), kFrameHeaderBytes + 10);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(decoder.error(), WireStatus::kOk);
+}
+
+TEST(ProtocolDecoder, BadMagicLatchesBadFrame) {
+  std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  bytes[0] ^= 0xFF;
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kBad);
+  EXPECT_EQ(decoder.error(), WireStatus::kBadFrame);
+  // Latched: even appending a pristine frame cannot revive the stream.
+  const std::vector<uint8_t> good = EncodedRequest(4, 5, 6, 0);
+  decoder.Append(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kBad);
+}
+
+TEST(ProtocolDecoder, NonzeroReservedBitsLatchBadFrame) {
+  std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  bytes[6] = 0x01;  // reserved u16 at header offset 6
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kBad);
+  EXPECT_EQ(decoder.error(), WireStatus::kBadFrame);
+}
+
+TEST(ProtocolDecoder, WrongVersionLatchesBadVersion) {
+  std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  bytes[4] = kWireVersion + 1;
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kBad);
+  EXPECT_EQ(decoder.error(), WireStatus::kBadVersion);
+}
+
+TEST(ProtocolDecoder, OversizedLengthLatchesWithoutAllocating) {
+  std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  // Claim a payload over the decoder's cap; only the header arrives.
+  const uint32_t huge = 1u << 24;
+  std::memcpy(&bytes[8], &huge, sizeof(huge));
+  FrameDecoder decoder(/*max_payload=*/1u << 16);
+  decoder.Append(bytes.data(), kFrameHeaderBytes);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kBad);
+  EXPECT_EQ(decoder.error(), WireStatus::kOversized);
+}
+
+TEST(ProtocolDecoder, CorruptedPayloadLatchesBadChecksum) {
+  std::vector<uint8_t> bytes = EncodedRequest(1, 2, 3, 0);
+  bytes[kFrameHeaderBytes + 4] ^= 0x20;  // flip one payload bit
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kBad);
+  EXPECT_EQ(decoder.error(), WireStatus::kBadChecksum);
+}
+
+TEST(ProtocolDecoder, UnknownFrameTypePassesThroughForTheReceiver) {
+  // An unknown type with a valid header is *framed* correctly — the
+  // receiver answers kBadType and keeps the connection; the decoder
+  // must not latch (that policy lives above the codec).
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  std::vector<uint8_t> bytes;
+  AppendFrame(static_cast<FrameType>(99), payload, &bytes);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(static_cast<uint8_t>(frame.type), 99);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(decoder.error(), WireStatus::kOk);
+}
+
+TEST(ProtocolPayloads, RequestPayloadSizeIsExact) {
+  WireRequest req;
+  std::vector<uint8_t> payload(20, 0);
+  EXPECT_TRUE(DecodeTopKRequestPayload(payload, &req));
+  payload.resize(19);
+  EXPECT_FALSE(DecodeTopKRequestPayload(payload, &req));
+  payload.resize(21, 0);
+  EXPECT_FALSE(DecodeTopKRequestPayload(payload, &req));
+  EXPECT_FALSE(DecodeTopKRequestPayload({}, &req));
+}
+
+TEST(ProtocolPayloads, ResponseCountMustMatchPayloadBytes) {
+  std::vector<uint8_t> bytes;
+  EncodeTopKResponse(1, SampleResponse(), &bytes);
+  // Strip the frame header to operate on the raw payload.
+  std::vector<uint8_t> payload(bytes.begin() + kFrameHeaderBytes,
+                               bytes.end());
+  WireResponse out;
+  ASSERT_TRUE(DecodeTopKResponsePayload(payload, &out));
+
+  // Inflate the count field: decode must reject instead of over-read.
+  std::vector<uint8_t> inflated = payload;
+  const uint32_t lie = 1u << 30;
+  std::memcpy(&inflated[20], &lie, sizeof(lie));
+  EXPECT_FALSE(DecodeTopKResponsePayload(inflated, &out));
+
+  // Truncate one score byte: sizes no longer reconcile.
+  std::vector<uint8_t> truncated = payload;
+  truncated.pop_back();
+  EXPECT_FALSE(DecodeTopKResponsePayload(truncated, &out));
+
+  // Nonzero reserved bytes are a forward-compat fence, not padding.
+  std::vector<uint8_t> reserved = payload;
+  reserved[10] = 1;
+  EXPECT_FALSE(DecodeTopKResponsePayload(reserved, &out));
+
+  EXPECT_FALSE(DecodeTopKResponsePayload({}, &out));
+}
+
+}  // namespace
+}  // namespace mars

@@ -94,15 +94,15 @@ void ExpectAnnServerMatchesBruteForce(Recommender* model,
   const size_t k = 7, probe_users = 8;
   TopKServerOptions opts;
   opts.k = k;
-  opts.use_ann = true;
-  opts.ann.nprobe = kFullProbe;
+  opts.ann.enable = true;
+  opts.ann.index.nprobe = kFullProbe;
   TopKServer server(model, data.num_users(), data.num_items(), opts);
   EXPECT_EQ(model->index_geometry() != IndexGeometry::kNone, expect_probed)
       << model->name();
   for (UserId u = 0; u < probe_users; ++u) {
     const auto [want_items, want_scores] =
         BruteForceTopK(*model, u, data.num_items(), k);
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     ASSERT_EQ(got.items.size(), want_items.size()) << model->name();
     for (size_t i = 0; i < want_items.size(); ++i) {
       EXPECT_EQ(got.items[i], want_items[i])
@@ -232,13 +232,13 @@ TEST(TopKServerAnnTest, VpTreeServesExactlyAtDefaultsWithExclusions) {
 
   TopKServerOptions opts;
   opts.k = 9;
-  opts.use_ann = true;
+  opts.ann.enable = true;
   opts.exclude_interactions = data.get();
   TopKServer server(&model, data->num_users(), data->num_items(), opts);
   for (UserId u = 0; u < 16; ++u) {
     const auto [want_items, want_scores] =
         BruteForceTopK(model, u, data->num_items(), 9, data.get());
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items, want_items) << "user " << u;
     EXPECT_EQ(got.scores, want_scores) << "user " << u;
   }
@@ -252,14 +252,14 @@ TEST(TopKServerAnnTest, IvfFullProbeRespectsExclusions) {
 
   TopKServerOptions opts;
   opts.k = 9;
-  opts.use_ann = true;
-  opts.ann.nprobe = kFullProbe;
+  opts.ann.enable = true;
+  opts.ann.index.nprobe = kFullProbe;
   opts.exclude_interactions = data.get();
   TopKServer server(&model, data->num_users(), data->num_items(), opts);
   for (UserId u = 0; u < 16; ++u) {
     const auto [want_items, want_scores] =
         BruteForceTopK(model, u, data->num_items(), 9, data.get());
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items, want_items) << "user " << u;
     EXPECT_EQ(got.scores, want_scores) << "user " << u;
   }
@@ -297,13 +297,13 @@ TEST(TopKServerAnnTest, DefaultNprobeRecallFloorOnLargerCatalog) {
   const size_t k = 10, probe_users = 40;
   TopKServerOptions opts;
   opts.k = k;
-  opts.use_ann = true;
+  opts.ann.enable = true;
   TopKServer server(&model, data->num_users(), data->num_items(), opts);
   size_t hit = 0;
   for (UserId u = 0; u < probe_users; ++u) {
     const auto [want_items, want_scores] =
         BruteForceTopK(model, u, data->num_items(), k);
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items.size(), k);
     for (const ItemId v : got.items) {
       if (std::find(want_items.begin(), want_items.end(), v) !=
@@ -337,12 +337,12 @@ TEST(TopKServerAnnTest, InjectedIndexImpliesAnnServing) {
   ASSERT_NE(base, nullptr);
   TopKServerOptions opts;
   opts.k = 7;
-  opts.ann_index = base->CloneWithNprobe(base->num_centroids());
+  opts.ann.prebuilt = base->CloneWithNprobe(base->num_centroids());
   TopKServer server(&model, data->num_users(), data->num_items(), opts);
   for (UserId u = 0; u < 8; ++u) {
     const auto [want_items, want_scores] =
         BruteForceTopK(model, u, data->num_items(), 7);
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items, want_items) << "user " << u;
     EXPECT_EQ(got.scores, want_scores) << "user " << u;
   }
@@ -357,12 +357,12 @@ TEST(TopKServerAnnTest, AnnMissesFillTheCache) {
 
   TopKServerOptions opts;
   opts.k = 7;
-  opts.use_ann = true;
-  opts.ann.nprobe = kFullProbe;
+  opts.ann.enable = true;
+  opts.ann.index.nprobe = kFullProbe;
   TopKServer server(&model, data->num_users(), data->num_items(), opts);
-  const TopKResult miss = server.TopK(5);
+  const TopKResponse miss = server.TopK(5);
   EXPECT_FALSE(miss.from_cache);
-  const TopKResult hit = server.TopK(5);
+  const TopKResponse hit = server.TopK(5);
   EXPECT_TRUE(hit.from_cache);
   EXPECT_EQ(hit.items, miss.items);
   EXPECT_EQ(hit.scores, miss.scores);
@@ -389,10 +389,10 @@ TEST(TopKServerAnnTest, PublishEpochRebuildsIndexIncrementally) {
 
   TopKServerOptions opts;
   opts.k = 7;
-  opts.use_ann = true;
-  opts.ann.nprobe = kFullProbe;
-  opts.item_shards = kShards;
-  opts.max_cached_users = data->num_users();
+  opts.ann.enable = true;
+  opts.ann.index.nprobe = kFullProbe;
+  opts.cache.item_shards = kShards;
+  opts.cache.max_users = data->num_users();
   TopKServer server(std::shared_ptr<const ItemScorer>(model_a),
                     data->num_users(), data->num_items(), opts);
   for (UserId u = 0; u < 12; ++u) server.TopK(u);  // warm the cache
@@ -413,8 +413,8 @@ TEST(TopKServerAnnTest, PublishEpochRebuildsIndexIncrementally) {
   TopKServer cold(std::shared_ptr<const ItemScorer>(model_b),
                   data->num_users(), data->num_items(), opts);
   for (UserId u = 0; u < 12; ++u) {
-    const TopKResult got = server.TopK(u);
-    const TopKResult want = cold.TopK(u);
+    const TopKResponse got = server.TopK(u);
+    const TopKResponse want = cold.TopK(u);
     EXPECT_EQ(got.items, want.items) << "user " << u;
     EXPECT_EQ(got.scores, want.scores) << "user " << u;
   }
@@ -432,17 +432,17 @@ TEST(TopKServerAnnTest, ParallelAnnSweepMatchesSerial) {
   ThreadPool pool(3);
   TopKServerOptions par;
   par.k = 9;
-  par.use_ann = true;
+  par.ann.enable = true;
   par.pool = &pool;  // parallel index build, same served answers
   TopKServer parallel_server(&model, data->num_users(), data->num_items(),
                              par);
   TopKServerOptions ser;
   ser.k = 9;
-  ser.use_ann = true;
+  ser.ann.enable = true;
   TopKServer serial_server(&model, data->num_users(), data->num_items(), ser);
   for (UserId u = 0; u < 10; ++u) {
-    const TopKResult a = parallel_server.TopK(u);
-    const TopKResult b = serial_server.TopK(u);
+    const TopKResponse a = parallel_server.TopK(u);
+    const TopKResponse b = serial_server.TopK(u);
     EXPECT_EQ(a.items, b.items) << "user " << u;
     EXPECT_EQ(a.scores, b.scores) << "user " << u;
   }

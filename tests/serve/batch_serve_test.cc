@@ -63,10 +63,10 @@ void ExpectBatchMatchesSolo(Recommender* model, const ImplicitDataset& data,
   TopKServer solo_server(model, data.num_users(), data.num_items(), opts);
 
   const std::vector<UserId> users = {3, 0, 5, 0, 7, 1, 2, 6, 4, 3};
-  const std::vector<TopKResult> got = batch_server.TopKBatch(users);
+  const std::vector<TopKResponse> got = batch_server.TopKBatch(users);
   ASSERT_EQ(got.size(), users.size());
   for (size_t i = 0; i < users.size(); ++i) {
-    const TopKResult want = solo_server.TopK(users[i]);
+    const TopKResponse want = solo_server.TopK(users[i]);
     EXPECT_EQ(got[i].items, want.items)
         << model->name() << " position " << i << " user " << users[i];
     EXPECT_EQ(got[i].scores, want.scores)
@@ -75,7 +75,7 @@ void ExpectBatchMatchesSolo(Recommender* model, const ImplicitDataset& data,
 
   // Batched misses cache exactly like solo ones: the same batch again is
   // answered entirely from the cache, with the same payloads.
-  const std::vector<TopKResult> warm = batch_server.TopKBatch(users);
+  const std::vector<TopKResponse> warm = batch_server.TopKBatch(users);
   for (size_t i = 0; i < users.size(); ++i) {
     EXPECT_TRUE(warm[i].from_cache) << model->name() << " position " << i;
     EXPECT_EQ(warm[i].items, got[i].items) << model->name();
@@ -192,7 +192,7 @@ TEST(TopKServerBatchEquivalence, BprAnnSharedProbe) {
   Bpr model(BprConfig{.dim = 16});
   model.Fit(*data, QuickTrain());
   TopKServerOptions opts = ExactOpts(*data);
-  opts.use_ann = true;
+  opts.ann.enable = true;
   ExpectBatchMatchesSolo(&model, *data, opts);
 }
 
@@ -203,7 +203,7 @@ TEST(TopKServerBatchEquivalence, CmlAnnVpTreeDefaultProbeBatch) {
   Cml model(CmlConfig{.dim = 16});
   model.Fit(*data, QuickTrain());
   TopKServerOptions opts = ExactOpts(*data);
-  opts.use_ann = true;
+  opts.ann.enable = true;
   ExpectBatchMatchesSolo(&model, *data, opts);
 }
 
@@ -262,7 +262,7 @@ TEST(TopKServerBatchStats, OversizedBatchSplitsAtTheCoalescerCap) {
   ToyScorer scorer;
   TopKServerOptions opts;
   opts.k = 4;
-  opts.max_coalesced_batch = 4;
+  opts.batch.max_batch = 4;
   TopKServer server(&scorer, 40, 60, opts);
   // 10 distinct misses under a cap of 4 sweep as groups of 4 + 4 + 2.
   server.TopKBatch(std::vector<UserId>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
@@ -278,7 +278,7 @@ TEST(TopKServerBatchStats, EmptyAndSingletonBatches) {
   TopKServerOptions opts;
   opts.k = 4;
   TopKServer server(&scorer, 40, 60, opts);
-  EXPECT_TRUE(server.TopKBatch({}).empty());
+  EXPECT_TRUE(server.TopKBatch(std::span<const UserId>{}).empty());
   const auto one = server.TopKBatch(std::vector<UserId>{5});
   ASSERT_EQ(one.size(), 1u);
   EXPECT_EQ(one[0].items, server.TopK(5).items);
@@ -338,16 +338,16 @@ TEST(TopKServerCoalesceTest, WindowedLeaderGathersConcurrentMisses) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 0;  // no cache: every query is a miss
-  opts.max_coalesced_batch = kThreads;
-  opts.coalesce_window_us = 2'000'000;  // returns early once all queue up
+  opts.cache.max_users = 0;  // no cache: every query is a miss
+  opts.batch.max_batch = kThreads;
+  opts.batch.window_us = 2'000'000;  // returns early once all queue up
   TopKServer server(&scorer, kUsers, kItems, opts);
 
   std::atomic<size_t> wrong{0};
   std::vector<std::thread> threads;
   for (size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      const TopKResult got = server.TopK(static_cast<UserId>(t));
+      const TopKResponse got = server.TopK(static_cast<UserId>(t));
       if (got.items != want[t].first || got.scores != want[t].second) {
         wrong.fetch_add(1, std::memory_order_relaxed);
       }
@@ -361,7 +361,7 @@ TEST(TopKServerCoalesceTest, WindowedLeaderGathersConcurrentMisses) {
   EXPECT_GE(stats.batch_sweeps, 1u);
   EXPECT_GE(stats.coalesced_misses, 2u);
   EXPECT_GE(stats.max_batch_size, 2u);
-  EXPECT_LE(stats.max_batch_size, opts.max_coalesced_batch);
+  EXPECT_LE(stats.max_batch_size, opts.batch.max_batch);
   EXPECT_GE(stats.mean_batch_size, 2.0);
 }
 
@@ -388,7 +388,7 @@ TEST(TopKServerCoalesceTest, RacedCoalescedResponsesPinPublishedEpochs) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 0;  // all misses → maximal coalescer pressure
+  opts.cache.max_users = 0;  // all misses → maximal coalescer pressure
   TopKServer server(generations[0], kUsers, kItems, opts);
 
   std::atomic<bool> done{false};
@@ -399,7 +399,7 @@ TEST(TopKServerCoalesceTest, RacedCoalescedResponsesPinPublishedEpochs) {
       size_t q = 0;
       while (!done.load(std::memory_order_acquire)) {
         const UserId u = static_cast<UserId>((q * 3 + t) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         // The pinning contract, sharpened: not just "some generation" —
         // exactly the generation the result says it ranked.
         const bool ok = got.epoch < kGenerations &&
@@ -421,7 +421,7 @@ TEST(TopKServerCoalesceTest, RacedCoalescedResponsesPinPublishedEpochs) {
   EXPECT_EQ(wrong.load(), 0u);
   const TopKServerStats stats = server.stats();
   EXPECT_EQ(stats.hits, 0u);
-  EXPECT_LE(stats.max_batch_size, opts.max_coalesced_batch);
+  EXPECT_LE(stats.max_batch_size, opts.batch.max_batch);
   EXPECT_EQ(stats.coalesced_misses == 0, stats.batch_sweeps == 0);
   if (stats.batch_sweeps > 0) {
     EXPECT_GE(stats.mean_batch_size, 2.0);
@@ -440,9 +440,9 @@ TEST(TopKServerCoalesceTest, ConcurrentSameUserMissesShareOneSweep) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 0;
-  opts.max_coalesced_batch = kThreads;
-  opts.coalesce_window_us = 2'000'000;
+  opts.cache.max_users = 0;
+  opts.batch.max_batch = kThreads;
+  opts.batch.window_us = 2'000'000;
   TopKServer server(&scorer, kUsers, kItems, opts);
 
   const UserId u = 2;
@@ -450,7 +450,7 @@ TEST(TopKServerCoalesceTest, ConcurrentSameUserMissesShareOneSweep) {
   std::vector<std::thread> threads;
   for (size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
-      const TopKResult got = server.TopK(u);
+      const TopKResponse got = server.TopK(u);
       if (got.items != want[u].first || got.scores != want[u].second) {
         wrong.fetch_add(1, std::memory_order_relaxed);
       }
@@ -474,14 +474,14 @@ TEST(TopKServerCoalesceTest, PoolWorkersBypassTheCoalescer) {
   ThreadPool pool(3);
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 0;
+  opts.cache.max_users = 0;
   opts.pool = &pool;
   TopKServer server(&scorer, kUsers, kItems, opts);
 
   std::atomic<size_t> wrong{0};
   pool.RunBatch(kUsers, [&](size_t i) {
     const UserId u = static_cast<UserId>(i);
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     if (got.items != want[u].first || got.scores != want[u].second) {
       wrong.fetch_add(1, std::memory_order_relaxed);
     }

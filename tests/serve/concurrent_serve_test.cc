@@ -83,8 +83,8 @@ TEST(SnapshotHandleServeTest, ConcurrentQueriesMatchSingleThreaded) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 16;  // far below kUsers → constant eviction
-  opts.cache_stripes = 4;
+  opts.cache.max_users = 16;  // far below kUsers → constant eviction
+  opts.cache.stripes = 4;
   TopKServer server(&scorer, kUsers, kItems, opts);
 
   const size_t kThreads = 4, kQueriesPerThread = 400;
@@ -97,7 +97,7 @@ TEST(SnapshotHandleServeTest, ConcurrentQueriesMatchSingleThreaded) {
       for (size_t q = 0; q < kQueriesPerThread; ++q) {
         const UserId u =
             static_cast<UserId>((q * (t + 1) * 7 + t * 13) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         if (got.items != want[u].first || got.scores != want[u].second) {
           wrong.fetch_add(1, std::memory_order_relaxed);
         }
@@ -108,7 +108,7 @@ TEST(SnapshotHandleServeTest, ConcurrentQueriesMatchSingleThreaded) {
   EXPECT_EQ(wrong.load(), 0u);
   const TopKServerStats stats = server.stats();
   EXPECT_EQ(stats.hits + stats.misses, kThreads * kQueriesPerThread);
-  EXPECT_LE(stats.cached_users, opts.max_cached_users);
+  EXPECT_LE(stats.cached_users, opts.cache.max_users);
 }
 
 TEST(SnapshotHandleServeTest, EvictionChurnUnderConcurrentQueriesStaysExact) {
@@ -123,8 +123,8 @@ TEST(SnapshotHandleServeTest, EvictionChurnUnderConcurrentQueriesStaysExact) {
   ThreadPool sweep_pool(3);
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 6;
-  opts.cache_stripes = 3;
+  opts.cache.max_users = 6;
+  opts.cache.stripes = 3;
   opts.pool = &sweep_pool;
   TopKServer server(&scorer, kUsers, kItems, opts);
 
@@ -135,7 +135,7 @@ TEST(SnapshotHandleServeTest, EvictionChurnUnderConcurrentQueriesStaysExact) {
     threads.emplace_back([&, t] {
       for (size_t q = 0; q < kQueriesPerThread; ++q) {
         const UserId u = static_cast<UserId>((q * 5 + t * 11) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         if (got.items != want[u].first || got.scores != want[u].second) {
           wrong.fetch_add(1, std::memory_order_relaxed);
         }
@@ -147,7 +147,7 @@ TEST(SnapshotHandleServeTest, EvictionChurnUnderConcurrentQueriesStaysExact) {
   const TopKServerStats stats = server.stats();
   EXPECT_EQ(stats.hits + stats.misses, kThreads * kQueriesPerThread);
   EXPECT_GT(stats.evictions, 0u);
-  EXPECT_LE(stats.cached_users, opts.max_cached_users);
+  EXPECT_LE(stats.cached_users, opts.cache.max_users);
 }
 
 TEST(SnapshotHandleServeTest, QueriesRacingEpochSwapsSeeOnlySnapshots) {
@@ -172,8 +172,8 @@ TEST(SnapshotHandleServeTest, QueriesRacingEpochSwapsSeeOnlySnapshots) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = kUsers;
-  opts.cache_stripes = 4;
+  opts.cache.max_users = kUsers;
+  opts.cache.stripes = 4;
   TopKServer server(generations[0], kUsers, kItems, opts);
   WriteTracker tracker(kUsers, kItems);
 
@@ -186,7 +186,7 @@ TEST(SnapshotHandleServeTest, QueriesRacingEpochSwapsSeeOnlySnapshots) {
       size_t q = 0;
       while (!done.load(std::memory_order_acquire)) {
         const UserId u = static_cast<UserId>((q * 3 + t) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         bool matched = false;
         for (size_t g = 0; g < kGenerations && !matched; ++g) {
           matched = got.items == want[g][u].first &&
@@ -215,7 +215,7 @@ TEST(SnapshotHandleServeTest, QueriesRacingEpochSwapsSeeOnlySnapshots) {
   // generation (stale entries were dropped by the all-dirty tracker, and
   // the epoch guard blocks in-flight inserts of superseded sweeps).
   for (UserId u = 0; u < kUsers; ++u) {
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items, want[kGenerations - 1][u].first) << "user " << u;
     EXPECT_EQ(got.scores, want[kGenerations - 1][u].second) << "user " << u;
   }
@@ -271,9 +271,9 @@ TEST(SnapshotHandleServeTest, IncrementalAbsorbRacingQueriesStaysExact) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = kUsers;
-  opts.cache_stripes = 4;
-  opts.item_shards = kShards;
+  opts.cache.max_users = kUsers;
+  opts.cache.stripes = 4;
+  opts.cache.item_shards = kShards;
   TopKServer server(generations[0], kUsers, kItems, opts);
   WriteTracker tracker(kUsers, kItems, kShards);
 
@@ -288,7 +288,7 @@ TEST(SnapshotHandleServeTest, IncrementalAbsorbRacingQueriesStaysExact) {
       size_t q = 0;
       while (!done.load(std::memory_order_acquire)) {
         const UserId u = static_cast<UserId>((q * 7 + t * 5) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         bool matched = false;
         for (size_t g = 0; g < kGenerations && !matched; ++g) {
           matched = got.items == want[g][u].first &&
@@ -317,7 +317,7 @@ TEST(SnapshotHandleServeTest, IncrementalAbsorbRacingQueriesStaysExact) {
   const TopKServerStats stats = server.stats();
   EXPECT_GT(stats.refreshed, 0u);  // the incremental path actually ran
   for (UserId u = 0; u < kUsers; ++u) {
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items, want[kGenerations - 1][u].first) << "user " << u;
     EXPECT_EQ(got.scores, want[kGenerations - 1][u].second) << "user " << u;
   }
@@ -390,11 +390,11 @@ TEST(SnapshotHandleServeTest, AnnQueriesRacingIndexSwapsSeeOnlySnapshots) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = kUsers;
-  opts.cache_stripes = 4;
-  opts.item_shards = kShards;
-  opts.use_ann = true;
-  opts.ann.nprobe = 1u << 20;  // full probe → responses stay exact
+  opts.cache.max_users = kUsers;
+  opts.cache.stripes = 4;
+  opts.cache.item_shards = kShards;
+  opts.ann.enable = true;
+  opts.ann.index.nprobe = 1u << 20;  // full probe → responses stay exact
   TopKServer server(generations[0], kUsers, kItems, opts);
   WriteTracker tracker(kUsers, kItems, kShards);
   ASSERT_EQ(server.stats().exact_fallbacks, 0u);
@@ -407,7 +407,7 @@ TEST(SnapshotHandleServeTest, AnnQueriesRacingIndexSwapsSeeOnlySnapshots) {
       size_t q = 0;
       while (!done.load(std::memory_order_acquire)) {
         const UserId u = static_cast<UserId>((q * 3 + t) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         bool matched = false;
         for (size_t g = 0; g < kGenerations && !matched; ++g) {
           matched = got.items == want[g][u].first &&
@@ -447,7 +447,7 @@ TEST(SnapshotHandleServeTest, AnnQueriesRacingIndexSwapsSeeOnlySnapshots) {
   EXPECT_EQ(stats.exact_fallbacks, 0u);  // never silently lost the index
   EXPECT_EQ(stats.ann_probes, stats.misses);
   for (UserId u = 0; u < kUsers; ++u) {
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     EXPECT_EQ(got.items, want[kGenerations - 1][u].first) << "user " << u;
     EXPECT_EQ(got.scores, want[kGenerations - 1][u].second) << "user " << u;
   }
@@ -483,9 +483,9 @@ TEST(SnapshotHandleServeTest, NonThreadSafeModelSerializesSweepsAndRefreshes) {
 
   TopKServerOptions opts;
   opts.k = kK;
-  opts.max_cached_users = 8;  // eviction churn → steady stream of sweeps
-  opts.cache_stripes = 2;
-  opts.item_shards = kShards;
+  opts.cache.max_users = 8;  // eviction churn → steady stream of sweeps
+  opts.cache.stripes = 2;
+  opts.cache.item_shards = kShards;
   TopKServer server(&scorer, kUsers, kItems, opts);
   WriteTracker tracker(kUsers, kItems, kShards);
 
@@ -497,7 +497,7 @@ TEST(SnapshotHandleServeTest, NonThreadSafeModelSerializesSweepsAndRefreshes) {
       size_t q = 0;
       while (!done.load(std::memory_order_acquire)) {
         const UserId u = static_cast<UserId>((q * 5 + t * 7) % kUsers);
-        const TopKResult got = server.TopK(u);
+        const TopKResponse got = server.TopK(u);
         if (got.items != want[u].first || got.scores != want[u].second) {
           wrong.fetch_add(1, std::memory_order_relaxed);
         }

@@ -49,7 +49,7 @@ struct SidecarFixture : public ::testing::Test {
     // One stripe = one global LRU: sidecar order round-trips exactly (the
     // recency-order assertions below depend on it; striped servers only
     // order within each stripe).
-    opts.cache_stripes = 1;
+    opts.cache.stripes = 1;
     return TopKServer(model_.get(), dataset_->num_users(),
                       dataset_->num_items(), opts);
   }
@@ -68,9 +68,9 @@ TEST_F(SidecarFixture, WarmStartEqualsColdSweepRanking) {
   EXPECT_EQ(WarmFromSidecar(&fresh, path_), 20u);
   EXPECT_EQ(fresh.stats().primed, 20u);
   for (UserId u = 0; u < 20; ++u) {
-    const TopKResult warm = fresh.TopK(u);
+    const TopKResponse warm = fresh.TopK(u);
     EXPECT_TRUE(warm.from_cache) << "u=" << u;
-    const TopKResult cold = hot.TopK(u);
+    const TopKResponse cold = hot.TopK(u);
     ASSERT_EQ(warm.items.size(), cold.items.size());
     for (size_t i = 0; i < warm.items.size(); ++i) {
       EXPECT_EQ(warm.items[i], cold.items[i]) << "u=" << u << " pos=" << i;
@@ -93,8 +93,8 @@ TEST_F(SidecarFixture, WarmStartPreservesLruOrder) {
   // hottest users (2 and 9), not the coldest.
   TopKServerOptions opts;
   opts.k = 10;
-  opts.max_cached_users = 2;
-  opts.cache_stripes = 1;
+  opts.cache.max_users = 2;
+  opts.cache.stripes = 1;
   TopKServer tiny(model_.get(), dataset_->num_users(), dataset_->num_items(),
                   opts);
   WarmFromSidecar(&tiny, path_);
@@ -122,14 +122,14 @@ TEST_F(SidecarFixture, WarmedServerServesAMappedSnapshot) {
                     dataset_->num_items(), opts);
   EXPECT_EQ(WarmFromSidecar(&server, path_), 8u);
   for (UserId u = 0; u < 8; ++u) {
-    const TopKResult warm = server.TopK(u);
+    const TopKResponse warm = server.TopK(u);
     EXPECT_TRUE(warm.from_cache);
-    const TopKResult reference = hot.TopK(u);
+    const TopKResponse reference = hot.TopK(u);
     EXPECT_EQ(warm.items, reference.items);
   }
   // A user outside the sidecar sweeps the mapped tensors directly and must
   // rank exactly like the owned model.
-  const TopKResult swept = server.TopK(30);
+  const TopKResponse swept = server.TopK(30);
   EXPECT_FALSE(swept.from_cache);
   EXPECT_EQ(swept.items, hot.TopK(30).items);
 }
@@ -223,7 +223,7 @@ TEST_F(SidecarFixture, PrimeValidatesInput) {
   // Valid prime replaces an existing entry.
   EXPECT_TRUE(server.Prime(0, {3, 1}, {0.9f, 0.5f}));
   EXPECT_TRUE(server.Prime(0, {4}, {0.7f}));
-  const TopKResult r = server.TopK(0);
+  const TopKResponse r = server.TopK(0);
   EXPECT_TRUE(r.from_cache);
   ASSERT_EQ(r.items.size(), 1u);
   EXPECT_EQ(r.items[0], 4u);

@@ -95,7 +95,7 @@ void ExpectServerMatchesBruteForce(Recommender* model,
   for (UserId u = 0; u < 8; ++u) {
     const auto [want_items, want_scores] =
         BruteForceTopK(*model, u, data.num_items(), k);
-    const TopKResult got = server.TopK(u);
+    const TopKResponse got = server.TopK(u);
     ASSERT_EQ(got.items.size(), want_items.size()) << model->name();
     for (size_t i = 0; i < want_items.size(); ++i) {
       EXPECT_EQ(got.items[i], want_items[i])
@@ -216,8 +216,8 @@ TEST(TopKServerTest, ParallelSweepMatchesSerial) {
   TopKServer serial_server(&model, data->num_users(), data->num_items(), ser);
 
   for (UserId u = 0; u < 10; ++u) {
-    const TopKResult a = parallel_server.TopK(u);
-    const TopKResult b = serial_server.TopK(u);
+    const TopKResponse a = parallel_server.TopK(u);
+    const TopKResponse b = serial_server.TopK(u);
     EXPECT_EQ(a.items, b.items) << "user " << u;
     EXPECT_EQ(a.scores, b.scores) << "user " << u;
   }
@@ -239,7 +239,7 @@ TEST(TopKServerTest, NonThreadSafeModelIsSweptSeriallyAndCorrectly) {
   opts.sweep_shards = 4;
   TopKServer server(&scorer, 10, 40, opts);
   const auto [want_items, want_scores] = BruteForceTopK(scorer, 1, 40, 6);
-  const TopKResult got = server.TopK(1);
+  const TopKResponse got = server.TopK(1);
   EXPECT_EQ(got.items, want_items);
   EXPECT_EQ(got.scores, want_scores);
 }
@@ -250,7 +250,7 @@ TEST(TopKServerTest, KLargerThanCatalogReturnsWholeCatalogRanked) {
   opts.k = 50;
   opts.sweep_shards = 4;
   TopKServer server(&scorer, /*num_users=*/10, /*num_items=*/5, opts);
-  const TopKResult result = server.TopK(3);
+  const TopKResponse result = server.TopK(3);
   ASSERT_EQ(result.items.size(), 5u);
   const auto [want_items, want_scores] = BruteForceTopK(scorer, 3, 5, 50);
   EXPECT_EQ(result.items, want_items);
@@ -267,7 +267,7 @@ TEST(TopKServerTest, TiesBreakTowardSmallerItemId) {
   opts.k = 4;
   opts.sweep_shards = 3;
   TopKServer server(&scorer, 2, 20, opts);
-  const TopKResult result = server.TopK(0);
+  const TopKResponse result = server.TopK(0);
   EXPECT_EQ(result.items, (std::vector<ItemId>{0, 1, 2, 3}));
 }
 
@@ -282,7 +282,7 @@ TEST(TopKServerTest, ExcludesInteractedItemsAndServesZeroInteractionUsers) {
   opts.exclude_interactions = &data;
   TopKServer server(&scorer, data.num_users(), data.num_items(), opts);
 
-  const TopKResult seen = server.TopK(0);
+  const TopKResponse seen = server.TopK(0);
   ASSERT_EQ(seen.items.size(), 4u);  // 6 items minus the 2 interacted
   for (ItemId v : seen.items) {
     EXPECT_FALSE(data.HasInteraction(0, v));
@@ -292,7 +292,7 @@ TEST(TopKServerTest, ExcludesInteractedItemsAndServesZeroInteractionUsers) {
   EXPECT_EQ(seen.items, want);
 
   // A user with zero interactions is served the full catalog.
-  const TopKResult cold = server.TopK(2);
+  const TopKResponse cold = server.TopK(2);
   EXPECT_EQ(cold.items.size(), 6u);
   EXPECT_FALSE(cold.from_cache);
   EXPECT_TRUE(server.TopK(2).from_cache);
@@ -316,8 +316,8 @@ TEST(TopKServerTest, LruEvictionBoundsTheCache) {
   ToyScorer scorer;
   TopKServerOptions opts;
   opts.k = 3;
-  opts.max_cached_users = 2;
-  opts.cache_stripes = 1;  // one global LRU — the legacy eviction order
+  opts.cache.max_users = 2;
+  opts.cache.stripes = 1;  // one global LRU — the legacy eviction order
   TopKServer server(&scorer, 20, 30, opts);
   server.TopK(0);
   server.TopK(1);
@@ -336,8 +336,8 @@ TEST(TopKServerTest, StripedCacheDistributesTheBoundByUserShard) {
   ToyScorer scorer;
   TopKServerOptions opts;
   opts.k = 3;
-  opts.max_cached_users = 4;
-  opts.cache_stripes = 4;
+  opts.cache.max_users = 4;
+  opts.cache.stripes = 4;
   TopKServer server(&scorer, 40, 30, opts);
   ASSERT_EQ(server.num_cache_stripes(), 4u);
   server.TopK(35);  // stripe 3
@@ -353,7 +353,7 @@ TEST(TopKServerTest, ZeroCapacityDisablesCaching) {
   ToyScorer scorer;
   TopKServerOptions opts;
   opts.k = 3;
-  opts.max_cached_users = 0;
+  opts.cache.max_users = 0;
   TopKServer server(&scorer, 20, 30, opts);
   EXPECT_FALSE(server.TopK(5).from_cache);
   EXPECT_FALSE(server.TopK(5).from_cache);
@@ -366,7 +366,7 @@ TEST(TopKServerInvalidation, UserShardInvalidatesOnlyItsUsers) {
   WriteTracker tracker(users, 30, /*num_shards=*/8);
   TopKServerOptions opts;
   opts.k = 3;
-  opts.item_shards = 8;  // candidate lists must match the tracker's shards
+  opts.cache.item_shards = 8;  // candidate lists must match the tracker's shards
   TopKServer server(&scorer, users, 30, opts);
 
   const UserId a = 0, b = 63;  // first and last shard
@@ -393,10 +393,10 @@ TEST(TopKServerInvalidation, DirtyItemShardRefreshesEntriesInPlace) {
   WriteTracker tracker(64, 30, /*num_shards=*/8);
   TopKServerOptions opts;
   opts.k = 3;
-  opts.item_shards = 8;
+  opts.cache.item_shards = 8;
   TopKServer server(&scorer, 64, 30, opts);
-  const TopKResult before0 = server.TopK(0);
-  const TopKResult before63 = server.TopK(63);
+  const TopKResponse before0 = server.TopK(0);
+  const TopKResponse before63 = server.TopK(63);
 
   tracker.MarkItem(17);
   server.AbsorbWrites(&tracker);
@@ -405,11 +405,11 @@ TEST(TopKServerInvalidation, DirtyItemShardRefreshesEntriesInPlace) {
   // The cheap merge proved exactness (the model didn't change, so the
   // k-th rank held) — no entry was dropped for an unprovable merge.
   EXPECT_EQ(server.stats().refresh_drops, 0u);
-  const TopKResult after0 = server.TopK(0);
+  const TopKResponse after0 = server.TopK(0);
   EXPECT_TRUE(after0.from_cache);
   EXPECT_EQ(after0.items, before0.items);
   EXPECT_EQ(after0.scores, before0.scores);
-  const TopKResult after63 = server.TopK(63);
+  const TopKResponse after63 = server.TopK(63);
   EXPECT_TRUE(after63.from_cache);
   EXPECT_EQ(after63.items, before63.items);
 }
@@ -422,7 +422,7 @@ TEST(TopKServerInvalidation, EveryItemShardDirtyDropsInsteadOfRefreshing) {
   WriteTracker tracker(64, 30, /*num_shards=*/8);
   TopKServerOptions opts;
   opts.k = 3;
-  opts.item_shards = 8;
+  opts.cache.item_shards = 8;
   TopKServer server(&scorer, 64, 30, opts);
   server.TopK(0);
   server.TopK(63);
@@ -443,21 +443,21 @@ TEST(TopKServerInvalidation, PrimedEntriesRefreshLikeSweptOnes) {
   WriteTracker tracker(64, 30, /*num_shards=*/8);
   TopKServerOptions opts;
   opts.k = 3;
-  opts.item_shards = 8;
+  opts.cache.item_shards = 8;
   TopKServer server(&scorer, 64, 30, opts);
   TopKServer reference(&scorer, 64, 30, opts);
-  const TopKResult truth = reference.TopK(5);
+  const TopKResponse truth = reference.TopK(5);
   ASSERT_TRUE(server.Prime(5, truth.items, truth.scores));
-  const TopKResult swept = server.TopK(40);  // real sweep alongside
+  const TopKResponse swept = server.TopK(40);  // real sweep alongside
   tracker.MarkItem(17);
   server.AbsorbWrites(&tracker);
   EXPECT_EQ(server.stats().invalidated, 0u);
   EXPECT_EQ(server.stats().refreshed, 2u);
-  const TopKResult primed_after = server.TopK(5);
+  const TopKResponse primed_after = server.TopK(5);
   EXPECT_TRUE(primed_after.from_cache);
   EXPECT_EQ(primed_after.items, truth.items);
   EXPECT_EQ(primed_after.scores, truth.scores);
-  const TopKResult after = server.TopK(40);
+  const TopKResponse after = server.TopK(40);
   EXPECT_TRUE(after.from_cache);
   EXPECT_EQ(after.items, swept.items);
 }
@@ -467,7 +467,7 @@ TEST(TopKServerInvalidation, CleanTrackerInvalidatesNothing) {
   WriteTracker tracker(64, 30, 8);
   TopKServerOptions opts;
   opts.k = 3;
-  opts.item_shards = 8;
+  opts.cache.item_shards = 8;
   TopKServer server(&scorer, 64, 30, opts);
   server.TopK(7);
   server.AbsorbWrites(&tracker);
@@ -499,10 +499,10 @@ TEST(TopKServerInvalidation, SnapshotVsLiveDivergenceAfterTrainingEpoch) {
   opts.k = 10;
   TopKServer server(&before, data->num_users(), data->num_items(), opts);
   const UserId u = 3;
-  const TopKResult stale = server.TopK(u);
+  const TopKResponse stale = server.TopK(u);
 
   // Live model moved, server not refreshed: still the old snapshot's view.
-  const TopKResult still_stale = server.TopK(u);
+  const TopKResponse still_stale = server.TopK(u);
   EXPECT_TRUE(still_stale.from_cache);
   EXPECT_EQ(still_stale.scores, stale.scores);
   const auto [live_items, live_scores] =
@@ -516,7 +516,7 @@ TEST(TopKServerInvalidation, SnapshotVsLiveDivergenceAfterTrainingEpoch) {
   server.ReplaceModel(&after);
   server.AbsorbWrites(&tracker);
   EXPECT_EQ(server.epoch(), 1u);
-  const TopKResult fresh = server.TopK(u);
+  const TopKResponse fresh = server.TopK(u);
   EXPECT_EQ(fresh.items, live_items);
   EXPECT_EQ(fresh.scores, live_scores);
 }
@@ -577,12 +577,12 @@ void ExpectIncrementalAbsorbMatchesColdSweep(Recommender* model,
 
   TopKServerOptions opts;
   opts.k = k;
-  opts.item_shards = kShards;
+  opts.cache.item_shards = kShards;
   opts.exclude_interactions = &data;
   ShardShiftScorer old_epoch(model, 0.0f, {});
   TopKServer server(&old_epoch, users, items, opts);
   const size_t probe_users = 10;
-  std::vector<TopKResult> before(probe_users);
+  std::vector<TopKResponse> before(probe_users);
   for (UserId u = 0; u < probe_users; ++u) before[u] = server.TopK(u);
 
   // New epoch: shift scores inside item shards {1, 2, 5} only (a strict
@@ -619,8 +619,8 @@ void ExpectIncrementalAbsorbMatchesColdSweep(Recommender* model,
   TopKServer cold(&new_epoch, users, items, opts);
   bool any_moved = false;
   for (UserId u = 0; u < probe_users; ++u) {
-    const TopKResult got = server.TopK(u);
-    const TopKResult want = cold.TopK(u);
+    const TopKResponse got = server.TopK(u);
+    const TopKResponse want = cold.TopK(u);
     EXPECT_FALSE(want.from_cache);
     EXPECT_EQ(got.items, want.items) << model->name() << " user " << u;
     EXPECT_EQ(got.scores, want.scores) << model->name() << " user " << u;
