@@ -53,6 +53,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "ann/ivf_index.h"
@@ -63,6 +64,8 @@
 #include "models/bpr.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_runner.h"
 #include "serve/top_k_server.h"
 #include "serve/write_tracker.h"
 
@@ -559,35 +562,42 @@ int main(int argc, char** argv) {
       TopKServerOptions wopts;
       wopts.k = kTopK;
       wopts.cache.max_users = 256;
-      TopKServer wire_topk(&model, kUsers, num_items, wopts);
-      NetServerOptions nopts;
-      NetServer net(&wire_topk, nopts);
-      if (!net.Start()) {
-        std::fprintf(stderr, "wire: NetServer failed to start\n");
-        return 1;
-      }
-      wire_backend = net.backend_name();
 
-      // Wire ≡ in-process on the measured path (the acceptance
-      // bit-identity is pinned by tests/net; this guards the bench
-      // wiring itself).
-      {
-        TopKServer solo(&model, kUsers, num_items, wopts);
-        NetClient probe;
-        WireResponse got;
-        if (!probe.Connect("127.0.0.1", net.port()) ||
-            !probe.TopK(TopKRequest{.user = 0}, &got) ||
-            got.response.items != solo.TopK(0).items ||
-            got.response.scores != solo.TopK(0).scores) {
-          std::fprintf(stderr, "wire/in-process mismatch at items=%zu\n",
-                       num_items);
+      // Each burst depth gets a *fresh* TopKServer + NetServer: stat
+      // attribution is per-B by construction (a lingering connection or
+      // an in-flight flush from the previous depth can't bleed into the
+      // next depth's wire_batches_multi/batch_sweeps counters the way a
+      // shared server's before/after deltas could), and every depth
+      // starts from the identical pre-warmed cache state.
+      const size_t kHotSet = 64;
+      for (const size_t depth : {1ul, 8ul, 32ul}) {
+        TopKServer wire_topk(&model, kUsers, num_items, wopts);
+        NetServerOptions nopts;
+        NetServer net(&wire_topk, nopts);
+        if (!net.Start()) {
+          std::fprintf(stderr, "wire: NetServer failed to start\n");
           return 1;
         }
-      }
+        wire_backend = net.backend_name();
 
-      const size_t kHotSet = 64;
-      for (UserId u = 0; u < kHotSet; ++u) wire_topk.TopK(u);  // pre-warm
-      for (const size_t depth : {1ul, 8ul, 32ul}) {
+        // Wire ≡ in-process on the measured path (the acceptance
+        // bit-identity is pinned by tests/net; this guards the bench
+        // wiring itself).
+        {
+          TopKServer solo(&model, kUsers, num_items, wopts);
+          NetClient probe;
+          WireResponse got;
+          if (!probe.Connect("127.0.0.1", net.port()) ||
+              !probe.TopK(TopKRequest{.user = 0}, &got) ||
+              got.response.items != solo.TopK(0).items ||
+              got.response.scores != solo.TopK(0).scores) {
+            std::fprintf(stderr, "wire/in-process mismatch at items=%zu\n",
+                         num_items);
+            return 1;
+          }
+        }
+        for (UserId u = 0; u < kHotSet; ++u) wire_topk.TopK(u);  // pre-warm
+
         NetClient client;
         if (!client.Connect("127.0.0.1", net.port())) {
           std::fprintf(stderr, "wire: connect failed\n");
@@ -643,9 +653,37 @@ int main(int argc, char** argv) {
             "p99 %8.1f us   (%llu served, %llu multi-req batches)\n",
             wire_backend.c_str(), depth, wr.qps, wr.p50_us, wr.p99_us,
             wr.served, wr.wire_batches_multi);
+        net.Stop();
       }
-      net.Stop();
     }
+  }
+
+  // --- Scenario sweep: the whole catalog of deterministic traffic
+  // scenarios (src/scenario) runs against the live stack — trainer
+  // publishing epochs, full-probe ANN serving, NetServer over loopback —
+  // with every invariant checker armed. The digests pin the exact
+  // traffic (replayable from name + seed); violations must be zero on
+  // any host; the latencies are provenance, diffed only when both runs
+  // saw > 1 CPU (scripts/check_bench.py check_serve_scenarios). --------
+  constexpr uint64_t kScenarioSeed = 42;
+  std::vector<std::pair<std::string, ScenarioReport>> scenario_results;
+  std::printf("\n  scenarios (seed %llu):\n",
+              static_cast<unsigned long long>(kScenarioSeed));
+  for (const std::string& name : ScenarioNames()) {
+    ScenarioRunner runner(CanonicalScenarioSpec(name, kScenarioSeed));
+    ScenarioReport rep = runner.Run();
+    if (!rep.ran) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", name.c_str(),
+                   rep.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "    %-20s digest %016llx  %5zu responses  %zu violations  "
+        "p50 %6.3f ms  p99 %6.3f ms%s\n",
+        name.c_str(), static_cast<unsigned long long>(rep.trace_digest),
+        rep.responses, rep.violations(), rep.p50_ms, rep.p99_ms,
+        rep.p99_enforced ? "" : "  (p99 unenforced: 1 cpu)");
+    scenario_results.emplace_back(name, std::move(rep));
   }
 
   FILE* out = std::fopen(out_path.c_str(), "w");
@@ -752,6 +790,27 @@ int main(int argc, char** argv) {
                  r.pipeline, r.qps, r.p50_us, r.p99_us, r.served,
                  r.wire_batches_multi, r.batch_sweeps,
                  i + 1 < wire_results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
+  std::fprintf(out,
+               "  \"scenarios\": {\"host_cpus\": %u, \"seed\": %llu, "
+               "\"results\": [\n",
+               host_cpus, static_cast<unsigned long long>(kScenarioSeed));
+  for (size_t i = 0; i < scenario_results.size(); ++i) {
+    const ScenarioReport& r = scenario_results[i].second;
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"digest\": \"%016llx\", "
+        "\"responses\": %zu, \"published_epochs\": %zu, "
+        "\"violations\": %zu, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"p99_enforced\": %s, \"reconnects\": %zu, "
+        "\"stream_closes\": %zu, \"backpressure_closes\": %llu}%s\n",
+        scenario_results[i].first.c_str(),
+        static_cast<unsigned long long>(r.trace_digest), r.responses,
+        r.published_epochs, r.violations(), r.p50_ms, r.p99_ms,
+        r.p99_enforced ? "true" : "false", r.reconnects, r.stream_closes,
+        static_cast<unsigned long long>(r.backpressure_closes),
+        i + 1 < scenario_results.size() ? "," : "");
   }
   std::fprintf(out, "  ]}\n}\n");
   std::fclose(out);

@@ -1,0 +1,93 @@
+// Standalone scenario runner: replays one scenario (or the whole
+// catalog) against the live stack and prints the report — the operator
+// side of the deterministic traffic harness (docs/SCENARIOS.md).
+//
+//   run_scenarios                 # whole catalog, seed 42
+//   run_scenarios <scenario>      # one scenario, seed 42
+//   run_scenarios <scenario> <seed>
+//   run_scenarios all <seed>
+//
+// Exit status: 0 when every run finished with zero invariant
+// violations, 1 otherwise — usable directly as a CI gate or to bisect a
+// failing (scenario, seed) pair reported by the test matrix. Unknown
+// scenario names and malformed specs print the validation error and the
+// catalog; they never abort.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "scenario/scenario_runner.h"
+
+namespace {
+
+int RunOne(const std::string& name, uint64_t seed) {
+  using mars::ScenarioReport;
+  const mars::ScenarioSpec spec = mars::CanonicalScenarioSpec(name, seed);
+  std::printf("== %s (seed %llu) ==\n", name.c_str(),
+              static_cast<unsigned long long>(seed));
+  mars::ScenarioRunner runner(spec);
+  const ScenarioReport rep = runner.Run();
+  if (!rep.ran) {
+    std::printf("  error: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("  trace digest        %016llx  (%zu events)\n",
+              static_cast<unsigned long long>(rep.trace_digest),
+              rep.events);
+  std::printf("  responses           %zu  (published epochs: %zu)\n",
+              rep.responses, rep.published_epochs);
+  std::printf("  membership          %zu violations\n",
+              rep.membership_violations);
+  std::printf("  epoch monotonicity  %zu regressions\n",
+              rep.epoch_regressions);
+  std::printf("  status soundness    %zu violations\n",
+              rep.status_violations);
+  std::printf("  unexpected closes   %zu\n", rep.unexpected_closes);
+  std::printf("  latency             p50 %.3f ms  p99 %.3f ms  (bound %.1f"
+              " ms, %s)\n",
+              rep.p50_ms, rep.p99_ms, spec.p99_bound_ms,
+              rep.p99_enforced ? (rep.p99_ok ? "ok" : "EXCEEDED")
+                               : "unenforced: 1 cpu");
+  std::printf("  reconnects          %zu  (stream closes: %zu, "
+              "backpressure closes: %llu)\n",
+              rep.reconnects, rep.stream_closes,
+              static_cast<unsigned long long>(rep.backpressure_closes));
+  const size_t v = rep.violations();
+  std::printf("  => %s (%zu violations)\n\n", v == 0 ? "CLEAN" : "FAILED",
+              v);
+  return v == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "all";
+  uint64_t seed = 42;
+  if (argc > 2) {
+    char* end = nullptr;
+    seed = std::strtoull(argv[2], &end, 0);
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "bad seed '%s' (want an integer)\n", argv[2]);
+      return 1;
+    }
+  }
+
+  std::vector<std::string> names;
+  if (which == "all") {
+    names = mars::ScenarioNames();
+  } else {
+    names.push_back(which);
+  }
+
+  int failures = 0;
+  for (const std::string& name : names) failures += RunOne(name, seed);
+  if (failures > 0) {
+    std::printf("%d scenario(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all %zu scenario(s) clean\n", names.size());
+  return 0;
+}

@@ -131,6 +131,7 @@ def check_serve(base, fresh, threshold):
     check_serve_incremental(base, fresh, threshold)
     check_serve_mt(base, fresh, threshold)
     check_serve_wire(base, fresh, threshold)
+    check_serve_scenarios(base, fresh, threshold)
 
 
 def check_serve_batch(base, fresh, threshold):
@@ -363,6 +364,90 @@ def check_serve_wire(base, fresh, threshold):
                  f"{base_q:.0f}")
         else:
             ok(f"serve wire qps @B={d}: {fresh_q:.0f} vs {base_q:.0f}")
+
+
+def check_serve_scenarios(base, fresh, threshold):
+    """Deterministic traffic scenarios: the live-system invariant suite.
+
+    Correctness is an invariant at any core count: every shipped scenario
+    must have run, answered traffic, and finished with zero invariant
+    violations (snapshot membership, per-user epoch monotonicity, status
+    soundness, unexpected closes, and — where enforced — the p99 bound);
+    slow_reader must actually have tripped the backpressure cap and
+    restart_mid_traffic must show the post-restart reconnects. Digests are
+    diffed against the baseline when the same seed was used: a digest
+    change means the generated traffic itself changed — a deliberate,
+    baseline-updating event, never drift. Latency diffs (p50/p99) are
+    host_cpus-guarded like every other scaling gate.
+    """
+    if "scenarios" not in fresh:
+        fail("topk_serve: fresh run has no 'scenarios' section")
+        return
+    fresh_rows = {r["name"]: r for r in fresh["scenarios"]["results"]}
+    expected = {"zipf_hot_users", "flash_crowd", "publish_storm",
+                "restart_mid_traffic", "slow_reader"}
+    missing = expected - set(fresh_rows)
+    if missing:
+        fail(f"serve scenarios: missing {sorted(missing)}")
+    for name, r in sorted(fresh_rows.items()):
+        if r["violations"] != 0:
+            fail(f"serve scenario {name}: {r['violations']} invariant "
+                 f"violations")
+        elif r["responses"] <= 0:
+            fail(f"serve scenario {name}: no responses served")
+        else:
+            ok(f"serve scenario {name}: {r['responses']} responses, "
+               f"0 violations")
+    if "slow_reader" in fresh_rows:
+        bp = fresh_rows["slow_reader"]["backpressure_closes"]
+        if bp < 1:
+            fail(f"serve scenario slow_reader: backpressure never tripped "
+                 f"(backpressure_closes={bp})")
+        else:
+            ok(f"serve scenario slow_reader: {bp} backpressure close(s)")
+    if "restart_mid_traffic" in fresh_rows:
+        rc = fresh_rows["restart_mid_traffic"]["reconnects"]
+        if rc < 1:
+            fail(f"serve scenario restart_mid_traffic: no reconnects "
+                 f"across the restart boundary")
+        else:
+            ok(f"serve scenario restart_mid_traffic: {rc} reconnect(s) "
+               f"across the persistence boundary")
+
+    base_rows = {r["name"]: r
+                 for r in base.get("scenarios", {}).get("results", [])}
+    if base_rows:
+        if base.get("scenarios", {}).get("seed") == \
+                fresh["scenarios"].get("seed"):
+            for name in sorted(set(base_rows) & set(fresh_rows)):
+                if base_rows[name]["digest"] != fresh_rows[name]["digest"]:
+                    fail(f"serve scenario {name}: trace digest changed "
+                         f"({base_rows[name]['digest']} -> "
+                         f"{fresh_rows[name]['digest']}) at the same seed "
+                         f"— traffic generation changed; update baselines "
+                         f"deliberately")
+                else:
+                    ok(f"serve scenario {name}: digest stable "
+                       f"({fresh_rows[name]['digest']})")
+        else:
+            skip("serve scenario digests: baseline used a different seed")
+    else:
+        skip("serve scenario diff: baseline has no 'scenarios' section "
+             "(pre-scenario baseline; invariants still checked)")
+
+    base_cpus = base.get("scenarios", {}).get("host_cpus",
+                                              base.get("host_cpus", 1))
+    fresh_cpus = fresh["scenarios"].get("host_cpus",
+                                        fresh.get("host_cpus", 1))
+    if base_cpus <= 1 or fresh_cpus <= 1:
+        skip_cpu("serve scenario latency diff: host_cpus == 1 on at least "
+                 "one side (actors, reactor, and trainer time-slice one "
+                 "core; the percentile measures the scheduler)")
+        return
+    for name in sorted(set(base_rows) & set(fresh_rows)):
+        check_slower(f"serve scenario {name} p99_ms",
+                     base_rows[name]["p99_ms"],
+                     fresh_rows[name]["p99_ms"], threshold)
 
 
 def check_load(base, fresh, threshold):

@@ -89,6 +89,14 @@ if [ -n "$SANITIZER" ]; then
   # pass, where the kernel refuses a ring), so the fallback path is
   # exercised in CI regardless of io_uring support. Zero suppressions.
   FILTER="$FILTER:Protocol*:Net*:*NetServerTest*:RequestApi*"
+  # The scenario harness: whole-stack traffic scenarios (trainer thread
+  # publishing epochs, actor threads over loopback TCP, restart
+  # teardown) with every invariant checker armed — publish_storm and
+  # flash_crowd are the densest publish-vs-serve races in the repo.
+  # Suite names are prefixed Scenario; the leading * also catches the
+  # parameterized instantiations (Catalog/..., Backends/...). Zero
+  # suppressions, like the rest of the serve/net layers.
+  FILTER="$FILTER:*Scenario*"
   if [ "$SANITIZER" = address ]; then
     # mmap'd serving is a classic lifetime-bug nest (views into unmapped
     # pages, keepalive ordering): run the persistence/mapped-store/sidecar
@@ -133,7 +141,7 @@ have_gbench=1
 if grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
   have_gbench=0
 fi
-for src in examples/*.cpp bench/*.cpp; do
+for src in examples/*.cpp bench/*.cpp bench/scenarios/*.cpp; do
   bin="$(basename "${src%.cpp}")"
   if [ "$have_gbench" = 0 ] && grep -q 'benchmark/benchmark\.h' "$src"; then
     continue

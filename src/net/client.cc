@@ -16,10 +16,15 @@ namespace mars {
 NetClient::~NetClient() { Close(); }
 
 bool NetClient::Connect(const std::string& host, uint16_t port,
-                        int recv_timeout_ms) {
+                        int recv_timeout_ms, int rcvbuf_bytes) {
   Close();
   fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
+  if (rcvbuf_bytes > 0) {
+    // Must precede connect(): the window is negotiated at SYN time.
+    setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+               sizeof(rcvbuf_bytes));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

@@ -32,8 +32,11 @@ class NetClient {
 
   /// Connects with a receive timeout (so a wedged peer fails a test in
   /// seconds instead of hanging it). False on refusal/timeout.
+  /// `rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting — the
+  /// slow-reader seam: a tiny receive window makes an undrained client
+  /// push queued bytes back into the server's buffers quickly.
   bool Connect(const std::string& host, uint16_t port,
-               int recv_timeout_ms = 5000);
+               int recv_timeout_ms = 5000, int rcvbuf_bytes = 0);
   void Close();
   bool connected() const { return fd_ >= 0; }
 

@@ -1,6 +1,7 @@
 #include "net/connection.h"
 
 #include <errno.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace mars {
@@ -15,10 +16,19 @@ Connection::~Connection() {
 bool Connection::ReadAndDecode(std::vector<WireRequest>* out) {
   if (read_done_) return false;
   uint8_t chunk[16 * 1024];
-  for (;;) {
+  // Per-wake-up read budget. Without it, a peer that keeps the pipe
+  // full delivers full chunks forever and one connection monopolizes
+  // the event loop — starving every other connection and deferring the
+  // response/backpressure cycle for the duration of its backlog. Under
+  // level-triggered readiness (epoll) or the reactor's lazy oneshot
+  // re-arm (io_uring), leftover bytes simply fire the next wake-up.
+  constexpr size_t kMaxBytesPerWake = 16 * sizeof(chunk);  // 256 KiB
+  size_t consumed = 0;
+  while (consumed < kMaxBytesPerWake) {
     const ssize_t n = read(fd_, chunk, sizeof(chunk));
     if (n > 0) {
       decoder_.Append(chunk, static_cast<size_t>(n));
+      consumed += static_cast<size_t>(n);
       if (static_cast<size_t>(n) < sizeof(chunk)) {
         // Short read: the socket is drained for now; decode what we
         // have. (A full chunk loops — more may be buffered.)
@@ -85,10 +95,17 @@ void Connection::QueueResponse(uint64_t request_id,
   EncodeTopKResponse(request_id, response, &outbuf_);
 }
 
+void Connection::QueueError(uint64_t request_id, WireStatus code) {
+  EncodeError(request_id, code, &outbuf_);
+}
+
 bool Connection::Flush() {
   while (write_pos_ < outbuf_.size()) {
-    const ssize_t n = write(fd_, outbuf_.data() + write_pos_,
-                            outbuf_.size() - write_pos_);
+    // MSG_NOSIGNAL: a peer that resets mid-flush must surface as EPIPE,
+    // not a process-killing SIGPIPE (the backpressure shed provokes
+    // exactly this race).
+    const ssize_t n = send(fd_, outbuf_.data() + write_pos_,
+                           outbuf_.size() - write_pos_, MSG_NOSIGNAL);
     if (n > 0) {
       write_pos_ += static_cast<size_t>(n);
       continue;

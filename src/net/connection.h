@@ -46,6 +46,10 @@ class Connection {
   /// Appends a response frame to the outbound buffer.
   void QueueResponse(uint64_t request_id, const TopKResponse& response);
 
+  /// Appends a kError frame to the outbound buffer (the server's seam
+  /// for connection-level conditions such as backpressure shedding).
+  void QueueError(uint64_t request_id, WireStatus code);
+
   /// Writes buffered bytes until EAGAIN or empty. Returns false on a
   /// fatal socket error (connection should be dropped immediately).
   bool Flush();
@@ -53,6 +57,10 @@ class Connection {
   /// Outbound bytes still buffered (caller keeps write interest while
   /// nonzero).
   bool wants_write() const { return write_pos_ < outbuf_.size(); }
+
+  /// Outbound bytes queued but not yet accepted by the socket — the
+  /// quantity NetServerOptions::max_queued_response_bytes bounds.
+  size_t queued_bytes() const { return outbuf_.size() - write_pos_; }
 
   /// True once the connection has nothing left to do: read side done
   /// and outbound buffer drained.

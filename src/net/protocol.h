@@ -79,6 +79,7 @@ enum class WireStatus : uint8_t {
   kOversized = 19,    // payload_len above the receiver's cap
   kBadChecksum = 20,  // CRC-32 mismatch over the payload
   kInternal = 21,     // receiver-side failure unrelated to the bytes
+  kOverloaded = 22,   // receiver shed the connection under backpressure
 };
 
 inline WireStatus WireStatusOf(TopKStatus s) {

@@ -52,6 +52,11 @@ bool NetServer::Start() {
   if (listen_fd_ < 0) return false;
   const int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options_.sndbuf_bytes > 0) {
+    // Accepted sockets inherit the listener's buffer sizing.
+    setsockopt(listen_fd_, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+               sizeof(options_.sndbuf_bytes));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -230,7 +235,22 @@ void NetServer::ServeDecoded(
       const auto& [fd, wire] = (*decoded)[positions[i]];
       auto it = connections_.find(fd);
       if (it == connections_.end()) continue;  // dropped mid-batch
-      it->second->QueueResponse(wire.request_id, responses[i]);
+      Connection* conn = it->second.get();
+      conn->QueueResponse(wire.request_id, responses[i]);
+      // Backpressure: a peer that pipelines requests without draining
+      // responses grows this queue without bound (the socket buffer is
+      // full, Flush can't shrink it). Shed the connection: one
+      // best-effort kError naming the overload, one flush attempt for
+      // whatever the socket still accepts, then close. Responses already
+      // queued for this fd die with it — the peer declared itself
+      // uninterested in reading them.
+      if (options_.max_queued_response_bytes > 0 &&
+          conn->queued_bytes() > options_.max_queued_response_bytes) {
+        conn->QueueError(0, WireStatus::kOverloaded);
+        conn->Flush();
+        backpressure_closes_.fetch_add(1, std::memory_order_relaxed);
+        DropConnection(fd);
+      }
     }
     at += n;
   }
@@ -274,6 +294,8 @@ NetServerStats NetServer::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   s.connections_dropped =
       connections_dropped_.load(std::memory_order_relaxed);
+  s.backpressure_closes =
+      backpressure_closes_.load(std::memory_order_relaxed);
   s.frames_decoded = frames_decoded_.load(std::memory_order_relaxed);
   s.requests_served = requests_served_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);

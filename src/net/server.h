@@ -54,6 +54,18 @@ struct NetServerOptions {
   /// chunks of this size (the serve layer further splits sweeps by its
   /// own batch.max_batch).
   size_t max_wire_batch = 64;
+  /// Backpressure: a connection whose queued-but-unsent response bytes
+  /// exceed this cap is shed — one best-effort kError(kOverloaded) frame,
+  /// then close (stats().backpressure_closes counts them). A reader that
+  /// keeps up never comes near the cap; only a peer that pipelines
+  /// requests while refusing to drain responses does. 0 = unbounded
+  /// (the pre-backpressure behavior).
+  size_t max_queued_response_bytes = 8u << 20;
+  /// When nonzero, SO_SNDBUF for accepted sockets (set on the listener,
+  /// inherited on accept). A test/bench seam: shrinking the kernel's
+  /// buffer makes the userspace queue — and the cap above — observable
+  /// with small traffic volumes.
+  int sndbuf_bytes = 0;
   /// Serving options for the owning constructor (ignored by the
   /// non-owning one, which wraps an already-configured server).
   TopKServerOptions serve;
@@ -62,6 +74,8 @@ struct NetServerOptions {
 struct NetServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_dropped = 0;  // over max_connections
+  /// Connections shed for exceeding max_queued_response_bytes.
+  uint64_t backpressure_closes = 0;
   uint64_t frames_decoded = 0;
   uint64_t requests_served = 0;
   uint64_t protocol_errors = 0;
@@ -132,6 +146,7 @@ class NetServer {
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_dropped_{0};
+  std::atomic<uint64_t> backpressure_closes_{0};
   std::atomic<uint64_t> frames_decoded_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};

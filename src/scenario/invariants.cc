@@ -1,0 +1,63 @@
+#include "scenario/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mars {
+
+SnapshotOracle::SnapshotOracle(size_t num_users, size_t num_items, size_t k)
+    : num_users_(num_users), num_items_(num_items), k_(k) {}
+
+void SnapshotOracle::Register(uint32_t incarnation, uint64_t epoch,
+                              std::shared_ptr<const ItemScorer> snapshot) {
+  TopKServerOptions opts;
+  opts.k = k_;
+  // Exact sweeps only: the reference must be the ground-truth ranking
+  // the live server's (full-probe) ANN path is pinned against. The
+  // cache doubles as the per-user memo table.
+  opts.cache.max_users = num_users_;
+  auto ref = std::make_unique<TopKServer>(std::move(snapshot), num_users_,
+                                          num_items_, opts);
+  std::unique_lock<std::mutex> lock(mu_);
+  refs_[{incarnation, epoch}] = std::move(ref);
+}
+
+bool SnapshotOracle::Check(uint32_t incarnation, UserId u, uint64_t epoch,
+                           uint32_t k, std::span<const ItemId> items,
+                           std::span<const float> scores) {
+  if (u >= num_users_) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = refs_.find({incarnation, epoch});
+  if (it == refs_.end()) return false;  // response names an unpublished epoch
+  const TopKResponse ref = it->second->TopK(u);
+  const size_t depth = (k == 0) ? ref.items.size()
+                                : std::min<size_t>(k, ref.items.size());
+  if (items.size() != depth || scores.size() != depth) return false;
+  for (size_t i = 0; i < depth; ++i) {
+    // Bitwise score equality: the serving path and the reference sweep
+    // run the same kernels over the same snapshot.
+    if (items[i] != ref.items[i] || scores[i] != ref.scores[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TopKStatus ExpectedStatus(const ScenarioEvent& ev,
+                          const ScenarioSpec& spec) {
+  if (ev.user >= spec.num_users) return TopKStatus::kInvalidUser;
+  if (ev.k > spec.k) return TopKStatus::kInvalidK;
+  if ((ev.flags & ~kTopKFlagsMask) != 0) return TopKStatus::kInvalidFlags;
+  return TopKStatus::kOk;
+}
+
+double PercentileMs(std::vector<double>* samples, double pct) {
+  if (samples == nullptr || samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(samples->size() * pct / 100.0));
+  return (*samples)[idx];
+}
+
+}  // namespace mars

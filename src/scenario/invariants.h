@@ -1,0 +1,76 @@
+// The scenario harness's online invariant checkers (docs/SCENARIOS.md):
+//
+//  (a) snapshot membership — every kOk response must be bit-identical to
+//      the exact ranking of the snapshot published as the epoch the
+//      response is labeled with (SnapshotOracle). This is the PR 5/7
+//      oracle generalized: the response's epoch names which snapshot, so
+//      membership is an exact lookup, not a search over generations.
+//  (b) epoch monotonicity per user — tracked per actor in the runner
+//      (a plain per-user floor array; no shared state).
+//  (c) status soundness — ExpectedStatus gives the one status a
+//      request-level event must come back with; frame/stream-level
+//      expectations are encoded in the runner per docs/PROTOCOL.md.
+//  (d) bounded p99 — PercentileMs over the merged round-trip samples.
+#ifndef MARS_SCENARIO_INVARIANTS_H_
+#define MARS_SCENARIO_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "serve/request.h"
+#include "serve/top_k_server.h"
+
+namespace mars {
+
+/// Registers every published snapshot (keyed by server incarnation +
+/// epoch) and checks responses against the exact cold-sweep ranking of
+/// the snapshot they claim. Reference rankings are computed by a
+/// per-snapshot TopKServer with the ANN tier off — the same kernels the
+/// live server sweeps with, so equality is bitwise — and memoized by its
+/// cache. Thread-safe: actors check concurrently while the trainer
+/// registers.
+///
+/// Registration order contract: Register(incarnation, epoch, snapshot)
+/// must happen *before* the snapshot is published to the live server
+/// (exactly the quickstart step-7 callback order); then no response can
+/// ever name an unknown epoch, and an unknown epoch is itself a
+/// membership violation.
+class SnapshotOracle {
+ public:
+  SnapshotOracle(size_t num_users, size_t num_items, size_t k);
+
+  void Register(uint32_t incarnation, uint64_t epoch,
+                std::shared_ptr<const ItemScorer> snapshot);
+
+  /// True when (items, scores) is exactly the registered snapshot's
+  /// ranking for `u`, truncated to the request's depth (k = 0 means the
+  /// configured depth).
+  bool Check(uint32_t incarnation, UserId u, uint64_t epoch, uint32_t k,
+             std::span<const ItemId> items, std::span<const float> scores);
+
+ private:
+  const size_t num_users_;
+  const size_t num_items_;
+  const size_t k_;
+  std::mutex mu_;
+  std::map<std::pair<uint32_t, uint64_t>, std::unique_ptr<TopKServer>>
+      refs_;
+};
+
+/// The status a request-level event must come back with (invariant (c)).
+/// Only meaningful for kQuery / kInvalidRequest events.
+TopKStatus ExpectedStatus(const ScenarioEvent& ev, const ScenarioSpec& spec);
+
+/// The `pct`-th percentile (0-100) of `samples` in milliseconds; sorts
+/// in place. 0 for an empty sample set.
+double PercentileMs(std::vector<double>* samples, double pct);
+
+}  // namespace mars
+
+#endif  // MARS_SCENARIO_INVARIANTS_H_

@@ -315,6 +315,20 @@ void TopKServer::InsertMissEntry(UserId u, const TopKResponse& result,
     it->second.scores = result.scores;
     it->second.epoch = pinned_epoch;
     EvictIfOverCap(&stripe);
+  } else if (stripe.capacity > 0) {
+    // The epoch moved mid-sweep, so this ranking must not be cached —
+    // but the caller has already been *served* it at pinned_epoch. An
+    // older entry for the same user may still be cached during the
+    // publisher's swap-to-absorb window (AbsorbWrites hasn't reached
+    // this stripe yet); serving it next would make this caller observe
+    // the epoch going backwards. Drop it: per-user observed epochs stay
+    // monotone, at the price of one lazy re-miss.
+    const auto it = stripe.map.find(u);
+    if (it != stripe.map.end() && it->second.epoch < pinned_epoch) {
+      ++stripe.invalidated;
+      stripe.lru.erase(it->second.lru_pos);
+      stripe.map.erase(it);
+    }
   }
 }
 
