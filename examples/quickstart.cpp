@@ -8,9 +8,11 @@
 //   4. evaluate with the sampled-candidate protocol,
 //   5. serve top-10 recommendations for one user through the TopKServer
 //      (full-catalog batched sweep + per-user cache),
-//   6. persist the model as a format-v3 snapshot plus a top-k sidecar,
-//      mmap it back zero-copy, and serve from the mapping — the restart /
-//      model-swap path (docs/FORMAT.md),
+//   6. persist the whole restart unit — format-v3 model snapshot, ANN
+//      candidate index, top-k sidecar — mmap all of it back zero-copy,
+//      and serve from the mappings: the restart / model-swap path skips
+//      both the cold sweeps *and* the k-means index build
+//      (docs/FORMAT.md),
 //   7. serve *concurrently while training*: a background run keeps
 //      training and publishes a fresh snapshot at every epoch boundary
 //      (TrainOptions::epoch_callback → TopKServer::PublishEpoch) while
@@ -28,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "ann/index_io.h"
 #include "core/mars.h"
 #include "core/persistence.h"
 #include "data/split.h"
@@ -100,6 +103,13 @@ int main(int argc, char** argv) {
   TopKServerOptions serve_opts;
   serve_opts.k = 10;
   serve_opts.exclude_interactions = split.train.get();
+  // The ANN retrieval tier, at full probe: every miss goes probe →
+  // exact re-rank through the candidate index, but probing every list
+  // keeps the answers bit-identical to the exact sweep — so all the
+  // equality checks below still hold while the index machinery (build,
+  // per-epoch rebuild, persistence in step 6) is exercised end to end.
+  serve_opts.ann.enable = true;
+  serve_opts.ann.index.nprobe = 1u << 20;
   TopKServer server(&model, dataset->num_users(), dataset->num_items(),
                     serve_opts);
   const TopKResponse recs = server.TopK(user);  // cold full-catalog sweep
@@ -114,32 +124,48 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server.stats().hits),
               static_cast<unsigned long long>(server.stats().misses));
 
-  // 6. Persistence: save an aligned-stride v3 snapshot + top-k sidecar,
-  //    then restart serving by mmap'ing the snapshot (zero copy — the
-  //    facet tensors are read straight from the page cache) and warming
-  //    the new server's cache from the sidecar.
+  // 6. Persistence: save the restart unit — aligned-stride v3 snapshot,
+  //    the server's live ANN index, the top-k sidecar — then restart
+  //    serving by mmap'ing the snapshot *and* the index (zero copy — the
+  //    facet tensors and the inverted lists are read straight from the
+  //    page cache; no k-means re-run) and warming the new server's cache
+  //    from the sidecar. The three files pair with each other: regenerate
+  //    them together.
   const char* model_path = "quickstart_model.v3";
+  const char* index_path = "quickstart_ann.annidx";
   const char* sidecar_path = "quickstart_topk.sidecar";
+  const std::shared_ptr<const CandidateIndex> live_index =
+      server.AnnIndexSnapshot();
   const bool persisted = SaveMarsV3(model, model_path) &&
+                         live_index != nullptr &&
+                         SaveCandidateIndex(*live_index, index_path) &&
                          SaveTopKSidecar(server, sidecar_path);
-  // The mapping keeps serving after the unlink, so the files can be
+  // The mappings keep serving after the unlink, so the files can be
   // consumed-and-removed immediately — no stray files on any exit path.
   const auto mapped = persisted ? LoadMarsMapped(model_path) : nullptr;
+  const auto mapped_index =
+      mapped != nullptr ? LoadCandidateIndexMapped(index_path, *mapped,
+                                                   dataset->num_items())
+                        : nullptr;
   std::remove(model_path);
-  if (mapped == nullptr) {
+  std::remove(index_path);
+  if (mapped == nullptr || mapped_index == nullptr) {
     std::remove(sidecar_path);
-    std::fprintf(stderr, "failed to persist or mmap the v3 snapshot\n");
+    std::fprintf(stderr, "failed to persist or mmap the restart unit\n");
     return 1;
   }
+  TopKServerOptions restart_opts = serve_opts;
+  restart_opts.ann.prebuilt = mapped_index;  // zero-rebuild restart
   TopKServer restarted(mapped.get(), dataset->num_users(),
-                       dataset->num_items(), serve_opts);
+                       dataset->num_items(), restart_opts);
   const size_t warmed = WarmFromSidecar(&restarted, sidecar_path);
   std::remove(sidecar_path);
   const TopKResponse after_restart = restarted.TopK(user);
   std::printf(
-      "mmap-served top-10 after restart (%zu cache entries warmed, "
-      "first query %s cache): ",
-      warmed, after_restart.from_cache ? "from" : "missed");
+      "mmap-served top-10 after restart (mapped %s index, %zu cache "
+      "entries warmed, first query %s cache): ",
+      mapped_index->kind(), warmed,
+      after_restart.from_cache ? "from" : "missed");
   bool identical = after_restart.items.size() == recs.items.size();
   for (size_t i = 0; identical && i < recs.items.size(); ++i) {
     identical = after_restart.items[i] == recs.items[i];

@@ -244,6 +244,59 @@ def check_serve_ann(base, fresh, threshold):
             else:
                 ok(f"serve ann speedup_vs_cold @{m} items: "
                    f"{speedup:.2f}x >= 3x")
+    check_serve_ann_restart(base, fresh, threshold)
+
+
+def check_serve_ann_restart(base, fresh, threshold):
+    """Persisted-index restart: mmap the MRSI file vs rebuild from scratch.
+
+    Invariants at any core count (the section is single-threaded and its
+    two sides run on the same host back to back): the mapped index must
+    answer *identically* to the freshly built one — recall@10 at the
+    default nprobe equal to the last recorded digit and every sampled
+    response bit-identical — and at the million-item point the warm
+    restart (mmap + validate + first query) must beat the cold restart
+    (k-means + assignment + first query) by >= 5x. The speedup gate is
+    full-mode only because fast mode shrinks the catalog to 100k; the
+    identity gates hold at any size.
+    """
+    if "ann_restart" not in fresh:
+        fail("topk_serve: fresh run has no 'ann_restart' section")
+        return
+    r = fresh["ann_restart"]
+    m = r["num_items"]
+    if r["recall_mapped"] != r["recall_built"]:
+        fail(f"serve ann_restart @{m} items: mapped recall@10 "
+             f"{r['recall_mapped']:.4f} != built {r['recall_built']:.4f} "
+             f"(mapped probes must be bit-identical)")
+    else:
+        ok(f"serve ann_restart @{m} items: recall@10 {r['recall_mapped']:.4f}"
+           f" identical built vs mapped")
+    if r["responses_identical"] != r["responses_checked"] or \
+            r["responses_checked"] <= 0:
+        fail(f"serve ann_restart @{m} items: only {r['responses_identical']}"
+             f"/{r['responses_checked']} responses identical built vs mapped")
+    else:
+        ok(f"serve ann_restart @{m} items: {r['responses_identical']}"
+           f"/{r['responses_checked']} responses identical")
+    if m >= 1000000:
+        speedup = r["restart_speedup"]
+        if speedup < 5.0:
+            fail(f"serve ann_restart @{m} items: restart_speedup "
+                 f"{speedup:.1f}x < 5x (mapped index must skip the rebuild)")
+        else:
+            ok(f"serve ann_restart @{m} items: restart_speedup "
+               f"{speedup:.1f}x >= 5x")
+    elif not fresh.get("fast_mode"):
+        fail(f"serve ann_restart: full mode must measure the million-item "
+             f"point (got {m} items)")
+    b = base.get("ann_restart")
+    if b is None:
+        skip("serve ann_restart diff: baseline has no 'ann_restart' section "
+             "(pre-persistence baseline; invariants still checked)")
+    elif b["num_items"] == m:
+        check_slower(f"serve ann_restart warm_restart_ms @{m} items",
+                     b["warm_restart_ms"], r["warm_restart_ms"], threshold)
 
 
 def check_serve_incremental(base, fresh, threshold):
@@ -467,6 +520,19 @@ def check_load(base, fresh, threshold):
         check_slower(f"load v3_warm_total_ms @{m} items",
                      base_by_m[m]["v3_warm_total_ms"],
                      fresh_by_m[m]["v3_warm_total_ms"], threshold)
+        # The retrieval-tier restart unit (mmap model + mapped ANN index +
+        # sidecar -> first query) must have been measured; diffed when the
+        # baseline has it.
+        if "v3_index_warm_total_ms" not in fresh_by_m[m]:
+            fail(f"load @{m} items: no v3_index_warm_total_ms (the mapped-"
+                 f"index lifecycle must be measured)")
+        elif "v3_index_warm_total_ms" in base_by_m[m]:
+            check_slower(f"load v3_index_warm_total_ms @{m} items",
+                         base_by_m[m]["v3_index_warm_total_ms"],
+                         fresh_by_m[m]["v3_index_warm_total_ms"], threshold)
+        else:
+            skip(f"load v3_index_warm_total_ms @{m} items: baseline predates "
+                 f"the mapped-index lifecycle (invariant still checked)")
         # Roadmap acceptance invariant, not a diff: the v3 restart lifecycle
         # (mmap + sidecar warm + first query) must reach its first served
         # query >= 5x faster than v2 copy-load at >= 10k items.

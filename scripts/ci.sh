@@ -100,8 +100,11 @@ if [ -n "$SANITIZER" ]; then
   if [ "$SANITIZER" = address ]; then
     # mmap'd serving is a classic lifetime-bug nest (views into unmapped
     # pages, keepalive ordering): run the persistence/mapped-store/sidecar
-    # suites under ASAN as well.
+    # suites under ASAN as well, plus the ANN index-file suites — the
+    # mapped index serves borrowed-buffer views, and the reject fixture
+    # feeds the loader deliberately corrupt headers/payloads.
     FILTER="$FILTER:PersistenceFixture.*:MappedStoreFixture.*:SidecarFixture.*"
+    FILTER="$FILTER:IndexIoFixture.*:IndexIoRejectFixture.*"
   fi
   echo "== $SANITIZER-sanitized tests ($FILTER) =="
   if [ "$SANITIZER" = thread ]; then

@@ -123,6 +123,12 @@ class CandidateIndex {
       const ItemScorer& model, const std::vector<size_t>& dirty_shards,
       size_t num_shards, ThreadPool* pool) const = 0;
 
+  /// True when any of the index's flat arrays is borrowed from a mapped
+  /// file rather than owned (ann/index_io.h LoadCandidateIndexMapped).
+  /// Borrowed state is pinned by an internal keepalive shared_ptr, which
+  /// copies through Rebuilt()/clones, so views never dangle.
+  virtual bool mapped() const { return storage_keepalive_ != nullptr; }
+
  protected:
   CandidateIndex() = default;
   CandidateIndex(const CandidateIndex&) = default;
@@ -130,6 +136,11 @@ class CandidateIndex {
 
   size_t num_items_ = 0;
   size_t dim_ = 0;
+  /// Pins the backing storage of borrowed buffers (the MappedFile of a
+  /// loaded index file). Null for fully owned indexes. Default-copied so
+  /// every derived index (Rebuilt, CloneWithNprobe) keeps the mapping
+  /// alive for as long as any borrowed span survives.
+  std::shared_ptr<const void> storage_keepalive_;
 };
 
 /// Builds the index matching `model`'s declared geometry: IVF for kDot,

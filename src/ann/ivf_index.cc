@@ -27,20 +27,20 @@ bool CanFanOut(ThreadPool* pool) {
 /// chunks re-use it across RunBatch tasks instead of paying a
 /// chunk-sized allocation each.
 void AssignRange(const ItemScorer& model, ItemId begin, ItemId end,
-                 const std::vector<float>& centroids, size_t num_centroids,
-                 size_t dim, uint32_t* assign) {
+                 const float* centroids, size_t num_centroids, size_t dim,
+                 uint32_t* assign) {
   if (begin >= end) return;
   static thread_local std::vector<float> rows;
   rows.resize((end - begin) * dim);
   model.CopyIndexVectors(begin, end, rows.data());
-  NearestCentroidDotBatch(rows.data(), end - begin, dim, centroids.data(),
+  NearestCentroidDotBatch(rows.data(), end - begin, dim, centroids,
                           num_centroids, dim, dim, assign + begin);
 }
 
 /// Full-catalog assignment, fanned over balanced contiguous chunks.
 void AssignAll(const ItemScorer& model, size_t num_items,
-               const std::vector<float>& centroids, size_t num_centroids,
-               size_t dim, ThreadPool* pool, uint32_t* assign) {
+               const float* centroids, size_t num_centroids, size_t dim,
+               ThreadPool* pool, uint32_t* assign) {
   const size_t chunks =
       CanFanOut(pool)
           ? std::max<size_t>(1, std::min(num_items, 4 * pool->num_threads()))
@@ -117,11 +117,11 @@ std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::Build(
   std::iota(perm.begin(), perm.end(), size_t{0});
   Rng rng(options.seed);
   rng.Shuffle(&perm);
-  index->centroids_.resize(ncent * dim);
+  auto& centroids = index->centroids_.mutable_vec();
+  centroids.resize(ncent * dim);
   for (size_t c = 0; c < ncent; ++c) {
-    Copy(sample.data() + perm[c] * dim, index->centroids_.data() + c * dim,
-         dim);
-    NormalizeCentroid(index->centroids_.data() + c * dim, dim);
+    Copy(sample.data() + perm[c] * dim, centroids.data() + c * dim, dim);
+    NormalizeCentroid(centroids.data() + c * dim, dim);
   }
 
   // Lloyd iterations with the spherical mean-direction update.
@@ -130,7 +130,7 @@ std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::Build(
   std::vector<uint32_t> counts(ncent);
   for (size_t iter = 0; iter < options.kmeans_iters; ++iter) {
     NearestCentroidDotBatch(sample.data(), sample_count, dim,
-                            index->centroids_.data(), ncent, dim, dim,
+                            centroids.data(), ncent, dim, dim,
                             sample_assign.data());
     std::fill(sums.begin(), sums.end(), 0.0f);
     std::fill(counts.begin(), counts.end(), 0u);
@@ -140,7 +140,7 @@ std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::Build(
       ++counts[sample_assign[i]];
     }
     for (size_t c = 0; c < ncent; ++c) {
-      float* row = index->centroids_.data() + c * dim;
+      float* row = centroids.data() + c * dim;
       if (counts[c] == 0) {
         // Empty cluster: reseed deterministically from the sample so the
         // centroid count never silently shrinks.
@@ -153,21 +153,43 @@ std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::Build(
     }
   }
 
-  index->assign_.resize(num_items);
-  AssignAll(model, num_items, index->centroids_, ncent, dim, pool,
-            index->assign_.data());
+  index->assign_.mutable_vec().resize(num_items);
+  AssignAll(model, num_items, centroids.data(), ncent, dim, pool,
+            index->assign_.mutable_data());
   index->RebuildLists();
   return index;
 }
 
+std::unique_ptr<SphericalIvfIndex> SphericalIvfIndex::Borrow(
+    size_t num_items, size_t dim, size_t num_centroids, size_t nprobe,
+    const float* centroids, const uint32_t* assign, const uint32_t* offsets,
+    const ItemId* list_ids, std::shared_ptr<const void> keepalive) {
+  MARS_CHECK(num_items >= 1 && dim >= 1);
+  MARS_CHECK(num_centroids >= 1 && num_centroids <= num_items);
+  auto index = std::unique_ptr<SphericalIvfIndex>(new SphericalIvfIndex());
+  index->num_items_ = num_items;
+  index->dim_ = dim;
+  index->num_centroids_ = num_centroids;
+  index->nprobe_ = std::min(std::max<size_t>(1, nprobe), num_centroids);
+  index->centroids_.Borrow(centroids, num_centroids * dim);
+  index->assign_.Borrow(assign, num_items);
+  index->offsets_.Borrow(offsets, num_centroids + 1);
+  index->list_ids_.Borrow(list_ids, num_items);
+  index->storage_keepalive_ = std::move(keepalive);
+  return index;
+}
+
 void SphericalIvfIndex::RebuildLists() {
-  offsets_.assign(num_centroids_ + 1, 0);
-  for (const uint32_t c : assign_) ++offsets_[c + 1];
-  for (size_t c = 0; c < num_centroids_; ++c) offsets_[c + 1] += offsets_[c];
-  list_ids_.resize(num_items_);
-  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  auto& offsets = offsets_.mutable_vec();
+  auto& list_ids = list_ids_.mutable_vec();
+  const uint32_t* assign = assign_.data();
+  offsets.assign(num_centroids_ + 1, 0);
+  for (size_t v = 0; v < num_items_; ++v) ++offsets[assign[v] + 1];
+  for (size_t c = 0; c < num_centroids_; ++c) offsets[c + 1] += offsets[c];
+  list_ids.resize(num_items_);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (size_t v = 0; v < num_items_; ++v) {
-    list_ids_[cursor[assign_[v]]++] = static_cast<ItemId>(v);
+    list_ids[cursor[assign[v]]++] = static_cast<ItemId>(v);
   }
 }
 
@@ -250,12 +272,18 @@ std::unique_ptr<CandidateIndex> SphericalIvfIndex::Rebuilt(
   if (dirty_shards.empty()) return next;
   // Centroids are reused: only dirty rows are re-read and re-assigned, so
   // an epoch that dirtied 1/64th of the catalog pays ~1/64th of the full
-  // assignment (the k-means cost is never repaid).
+  // assignment (the k-means cost is never repaid). On a mapped index this
+  // is the copy-on-write step: assign_ is materialized (the lists below
+  // are regenerated outright), centroids_ stays borrowed from the mapping
+  // — the keepalive copied with *this keeps it valid.
+  next->assign_.EnsureOwned();
+  if (next->offsets_.borrowed()) next->offsets_ = {};
+  if (next->list_ids_.borrowed()) next->list_ids_ = {};
   const auto reassign_shard = [&](size_t i) {
     const auto [begin, end] =
         FacetStore::ShardRange(num_items_, dirty_shards[i], num_shards);
-    AssignRange(model, begin, end, next->centroids_, num_centroids_, dim_,
-                next->assign_.data());
+    AssignRange(model, begin, end, next->centroids_.data(), num_centroids_,
+                dim_, next->assign_.mutable_data());
   };
   if (CanFanOut(pool) && dirty_shards.size() > 1) {
     pool->RunBatch(dirty_shards.size(), reassign_shard);

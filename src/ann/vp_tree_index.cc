@@ -69,7 +69,8 @@ std::unique_ptr<VpTreeIndex> VpTreeIndex::Build(const ItemScorer& model,
   index->parallel_depth_ = options.vp_parallel_depth;
   index->seed_ = options.seed;
 
-  index->vectors_.resize(num_items * dim);
+  index->vectors_.mutable_vec().resize(num_items * dim);
+  float* vec_data = index->vectors_.mutable_data();
   const size_t chunks =
       CanFanOut(pool)
           ? std::max<size_t>(1, std::min(num_items, 4 * pool->num_threads()))
@@ -77,7 +78,7 @@ std::unique_ptr<VpTreeIndex> VpTreeIndex::Build(const ItemScorer& model,
   const auto copy_chunk = [&](size_t c) {
     const auto [begin, end] = FacetStore::ShardRange(num_items, c, chunks);
     if (begin >= end) return;
-    model.CopyIndexVectors(begin, end, index->vectors_.data() + begin * dim);
+    model.CopyIndexVectors(begin, end, vec_data + begin * dim);
   };
   if (chunks > 1) {
     pool->RunBatch(chunks, copy_chunk);
@@ -85,22 +86,43 @@ std::unique_ptr<VpTreeIndex> VpTreeIndex::Build(const ItemScorer& model,
     copy_chunk(0);
   }
 
-  index->ids_.resize(num_items);
-  std::iota(index->ids_.begin(), index->ids_.end(), ItemId{0});
-  index->radii_.assign(num_items, 0.0f);
+  auto& ids = index->ids_.mutable_vec();
+  ids.resize(num_items);
+  std::iota(ids.begin(), ids.end(), ItemId{0});
+  index->radii_.mutable_vec().assign(num_items, 0.0f);
   index->BuildTree(pool);
+  return index;
+}
+
+std::unique_ptr<VpTreeIndex> VpTreeIndex::Borrow(
+    size_t num_items, size_t dim, size_t leaf_size, size_t parallel_depth,
+    uint64_t seed, const float* vectors, const ItemId* ids, const float* radii,
+    std::shared_ptr<const void> keepalive) {
+  MARS_CHECK(num_items >= 1 && dim >= 1 && leaf_size >= 1);
+  auto index = std::unique_ptr<VpTreeIndex>(new VpTreeIndex());
+  index->num_items_ = num_items;
+  index->dim_ = dim;
+  index->leaf_size_ = leaf_size;
+  index->parallel_depth_ = parallel_depth;
+  index->seed_ = seed;
+  index->vectors_.Borrow(vectors, num_items * dim);
+  index->ids_.Borrow(ids, num_items);
+  index->radii_.Borrow(radii, num_items);
+  index->storage_keepalive_ = std::move(keepalive);
   return index;
 }
 
 std::pair<std::pair<size_t, size_t>, std::pair<size_t, size_t>>
 VpTreeIndex::PartitionNode(size_t begin, size_t end) {
+  ItemId* ids = ids_.mutable_data();
+  float* radii = radii_.mutable_data();
   const size_t n = end - begin;
   // Vantage pick: seeded hash of the range — deterministic, and
   // independent of which thread partitions the node.
   uint64_t h = seed_ ^ (begin * 0x9E3779B97F4A7C15ULL + end);
   const size_t pick = SplitMix64(&h) % n;
-  std::swap(ids_[begin], ids_[begin + pick]);
-  const float* vp = vectors_.data() + ids_[begin] * dim_;
+  std::swap(ids[begin], ids[begin + pick]);
+  const float* vp = vectors_.data() + ids[begin] * dim_;
 
   const size_t cn = n - 1;
   // Thread-local scratch: recursion uses the buffers strictly before
@@ -110,17 +132,17 @@ VpTreeIndex::PartitionNode(size_t begin, size_t end) {
   static thread_local std::vector<std::pair<float, ItemId>> children;
   d2.resize(cn);
   children.resize(cn);
-  SquaredDistanceGather(vp, vectors_.data(), dim_, &ids_[begin + 1], cn, dim_,
+  SquaredDistanceGather(vp, vectors_.data(), dim_, &ids[begin + 1], cn, dim_,
                         d2.data());
-  for (size_t i = 0; i < cn; ++i) children[i] = {d2[i], ids_[begin + 1 + i]};
+  for (size_t i = 0; i < cn; ++i) children[i] = {d2[i], ids[begin + 1 + i]};
 
   // Median split by (distance², id); the id tiebreak keeps the partition
   // deterministic when many children are equidistant.
   const size_t near_count = (cn + 1) / 2;
   std::nth_element(children.begin(), children.begin() + (near_count - 1),
                    children.end(), RanksNearer);
-  radii_[begin] = std::sqrt(children[near_count - 1].first);
-  for (size_t i = 0; i < cn; ++i) ids_[begin + 1 + i] = children[i].second;
+  radii[begin] = std::sqrt(children[near_count - 1].first);
+  for (size_t i = 0; i < cn; ++i) ids[begin + 1 + i] = children[i].second;
 
   return {{begin + 1, begin + 1 + near_count}, {begin + 1 + near_count, end}};
 }
@@ -232,20 +254,27 @@ std::unique_ptr<CandidateIndex> VpTreeIndex::Rebuilt(
   // Dirty rows land straight in the vector table (tight rows addressed by
   // id); clean rows are byte-identical by the tracker contract, so the
   // deterministic re-partition below equals a fresh Build over the
-  // updated model.
+  // updated model. On a mapped index this is the copy-on-write step: all
+  // three arrays are materialized (the whole tree re-partitions).
+  next->vectors_.EnsureOwned();
+  next->ids_.EnsureOwned();
+  next->radii_.EnsureOwned();
+  float* vec_data = next->vectors_.mutable_data();
   const auto refresh_shard = [&](size_t i) {
     const auto [begin, end] =
         FacetStore::ShardRange(num_items_, dirty_shards[i], num_shards);
     if (begin >= end) return;
-    model.CopyIndexVectors(begin, end, next->vectors_.data() + begin * dim_);
+    model.CopyIndexVectors(begin, end, vec_data + begin * dim_);
   };
   if (CanFanOut(pool) && dirty_shards.size() > 1) {
     pool->RunBatch(dirty_shards.size(), refresh_shard);
   } else {
     for (size_t i = 0; i < dirty_shards.size(); ++i) refresh_shard(i);
   }
-  std::iota(next->ids_.begin(), next->ids_.end(), ItemId{0});
-  std::fill(next->radii_.begin(), next->radii_.end(), 0.0f);
+  auto& next_ids = next->ids_.mutable_vec();
+  std::iota(next_ids.begin(), next_ids.end(), ItemId{0});
+  auto& next_radii = next->radii_.mutable_vec();
+  std::fill(next_radii.begin(), next_radii.end(), 0.0f);
   next->BuildTree(pool);
   return next;
 }

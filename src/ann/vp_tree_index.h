@@ -29,10 +29,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "ann/candidate_index.h"
+#include "common/maybe_owned.h"
 
 namespace mars {
 
@@ -46,6 +48,19 @@ class VpTreeIndex : public CandidateIndex {
                                             const AnnIndexOptions& options,
                                             ThreadPool* pool);
 
+  /// Wraps caller-owned flat arrays (a mapped index file) without copying
+  /// a byte: `vectors` is the num_items x dim tight table addressed by
+  /// id, `ids`/`radii` the in-place tree (the node array). The build
+  /// parameters must be the ones the persisted tree was built with —
+  /// `leaf_size` shapes the node ranges the search walks, and `seed`
+  /// keeps a later Rebuilt() deterministic. `keepalive` pins the backing
+  /// storage; probes over the borrowed arrays are bit-identical to the
+  /// freshly built index holding the same bytes.
+  static std::unique_ptr<VpTreeIndex> Borrow(
+      size_t num_items, size_t dim, size_t leaf_size, size_t parallel_depth,
+      uint64_t seed, const float* vectors, const ItemId* ids,
+      const float* radii, std::shared_ptr<const void> keepalive);
+
   const char* kind() const override { return "vp_tree"; }
   /// Appends the exact min(want, num_items) nearest items to the query
   /// (by (distance, id) — the id tiebreak matches the serving rank order).
@@ -56,8 +71,14 @@ class VpTreeIndex : public CandidateIndex {
       size_t num_shards, ThreadPool* pool) const override;
 
   /// Test surface: the id permutation and per-node boundary radii.
-  const std::vector<ItemId>& ids() const { return ids_; }
-  const std::vector<float>& radii() const { return radii_; }
+  std::span<const ItemId> ids() const { return ids_.span(); }
+  std::span<const float> radii() const { return radii_.span(); }
+  // Flat-state spans and build parameters for persistence
+  // (ann/index_io.cc) and tests.
+  std::span<const float> vectors() const { return vectors_.span(); }
+  size_t leaf_size() const { return leaf_size_; }
+  size_t parallel_depth() const { return parallel_depth_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   VpTreeIndex() = default;
@@ -81,9 +102,12 @@ class VpTreeIndex : public CandidateIndex {
   size_t leaf_size_ = 32;
   size_t parallel_depth_ = 3;
   uint64_t seed_ = 0;
-  std::vector<float> vectors_;  // num_items x dim, tight, indexed by id
-  std::vector<ItemId> ids_;     // tree permutation
-  std::vector<float> radii_;    // parallel to ids_; valid at node slots
+  // Owned when built, borrowed from the mapping when loaded
+  // (common/maybe_owned.h); Rebuilt() materializes all three (dirty rows
+  // land in the vector table and the whole tree re-partitions).
+  MaybeOwned<float> vectors_;  // num_items x dim, tight, indexed by id
+  MaybeOwned<ItemId> ids_;     // tree permutation
+  MaybeOwned<float> radii_;    // parallel to ids_; valid at node slots
 };
 
 }  // namespace mars

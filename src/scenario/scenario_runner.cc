@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "ann/index_io.h"
 #include "core/mars.h"
 #include "core/persistence.h"
 #include "data/synthetic.h"
@@ -398,11 +399,14 @@ ScenarioReport ScenarioRunner::Run() {
     }
     if (trainer.joinable()) trainer.join();
 
-    char mpath[96], spath[96];
+    char mpath[96], spath[96], ipath[96];
     std::snprintf(mpath, sizeof(mpath), "scenario_restart_%d_%llu.v3",
                   static_cast<int>(getpid()),
                   static_cast<unsigned long long>(spec_.seed));
     std::snprintf(spath, sizeof(spath), "scenario_restart_%d_%llu.sidecar",
+                  static_cast<int>(getpid()),
+                  static_cast<unsigned long long>(spec_.seed));
+    std::snprintf(ipath, sizeof(ipath), "scenario_restart_%d_%llu.annidx",
                   static_cast<int>(getpid()),
                   static_cast<unsigned long long>(spec_.seed));
     // Re-warm against the final (quiesced) weights so the sidecar pairs
@@ -410,8 +414,17 @@ ScenarioReport ScenarioRunner::Run() {
     topk->InvalidateAll();
     const size_t warm_users = std::min<size_t>(spec_.num_users, 16);
     for (UserId u = 0; u < warm_users; ++u) topk->TopK(u);
-    const bool persisted =
-        SaveMarsV3(model, mpath) && SaveTopKSidecar(*topk, spath);
+    // The restart unit is snapshot + index + sidecar: the server's live
+    // candidate index was (re)built against the final published snapshot,
+    // so persisting it here lets the rebuilt server skip k-means and
+    // still answer bit-identically (the loader re-verifies the pairing
+    // against the mapped model).
+    const std::shared_ptr<const CandidateIndex> live_index =
+        topk->AnnIndexSnapshot();
+    const bool persisted = SaveMarsV3(model, mpath) &&
+                           SaveTopKSidecar(*topk, spath) &&
+                           live_index != nullptr &&
+                           SaveCandidateIndex(*live_index, ipath);
 
     rep.backpressure_closes += net->stats().backpressure_closes;
     net->Stop();
@@ -421,15 +434,24 @@ ScenarioReport ScenarioRunner::Run() {
     std::shared_ptr<const Mars> mapped =
         persisted ? std::shared_ptr<const Mars>(LoadMarsMapped(mpath))
                   : nullptr;
-    if (mapped == nullptr) {
+    std::shared_ptr<const CandidateIndex> mapped_index =
+        mapped != nullptr
+            ? LoadCandidateIndexMapped(ipath, *mapped, spec_.num_items)
+            : nullptr;
+    if (mapped == nullptr || mapped_index == nullptr) {
       rep.error = "restart_mid_traffic: persist or mmap-load failed";
       sh.port.store(0, std::memory_order_release);  // actors give up fast
     } else {
       const uint32_t inc =
           sh.incarnation.load(std::memory_order_relaxed) + 1;
       oracle.Register(inc, 0, mapped);
+      // Zero-rebuild restart: the mapped index plugs in as the prebuilt
+      // index (same bytes, same nprobe → the full-probe exactness that
+      // the membership oracle relies on carries across the boundary).
+      TopKServerOptions ropts = sopts;
+      ropts.ann.prebuilt = mapped_index;
       topk = std::make_unique<TopKServer>(mapped, spec_.num_users,
-                                          spec_.num_items, sopts);
+                                          spec_.num_items, ropts);
       WarmFromSidecar(topk.get(), spath);
       net = std::make_unique<NetServer>(topk.get(), nopts);
       if (net->Start()) {
@@ -442,6 +464,7 @@ ScenarioReport ScenarioRunner::Run() {
     }
     std::remove(mpath);
     std::remove(spath);
+    std::remove(ipath);
     {
       std::unique_lock<std::mutex> lk(sh.mu);
       sh.restart_done = true;

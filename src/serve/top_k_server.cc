@@ -751,6 +751,21 @@ void TopKServer::AbsorbWrites(WriteTracker* tracker) {
   if (!dirty_items.empty()) {
     RefreshAnnIndex(snapshot, all_items_dirty ? nullptr : &dirty_items);
   }
+  // Pin the just-rebuilt index for the refresh scan below: a compatible
+  // one turns each entry refresh from "re-score every dirty shard" into
+  // one probe + a handful of exact scores (RefreshEntry's ANN path). The
+  // usual per-miss compatibility re-check applies — a kNone model or a
+  // shape change keeps the refresh on the exact path.
+  std::shared_ptr<const CandidateIndex> refresh_index;
+  if (ann_enabled_ && !dirty_items.empty() && !all_items_dirty) {
+    refresh_index = ann_index_.Acquire();
+    if (refresh_index != nullptr &&
+        (snapshot->index_geometry() == IndexGeometry::kNone ||
+         snapshot->index_dim() != refresh_index->dim() ||
+         refresh_index->num_items() != num_items_)) {
+      refresh_index = nullptr;
+    }
+  }
   RefreshScratch scratch;
   for (Stripe& stripe : stripes_) {
     std::unique_lock<std::mutex> lock(stripe.mu);
@@ -760,8 +775,8 @@ void TopKServer::AbsorbWrites(WriteTracker* tracker) {
           tracker->UserShardDirty(tracker->UserShardOf(it->first));
       bool drop = user_dirty || all_items_dirty;
       if (!drop && !dirty_items.empty()) {
-        if (RefreshEntry(*snapshot, it->first, dirty_items, &scratch,
-                         &entry)) {
+        if (RefreshEntry(*snapshot, it->first, dirty_items,
+                         refresh_index.get(), &scratch, &entry)) {
           entry.epoch = current_epoch;
           ++stripe.refreshed;
         } else {
@@ -786,6 +801,7 @@ void TopKServer::AbsorbWrites(WriteTracker* tracker) {
 
 bool TopKServer::RefreshEntry(const ItemScorer& model, UserId u,
                               const std::vector<size_t>& dirty,
+                              const CandidateIndex* ann,
                               RefreshScratch* scratch, CacheEntry* entry) {
   const size_t k = std::min(options_.k, num_items_);
   if (k == 0) return true;  // nothing cached at k == 0; trivially exact
@@ -822,30 +838,74 @@ bool TopKServer::RefreshEntry(const ItemScorer& model, UserId u,
   // catalog sizes). The threshold only tightens when accepts pile up.
   std::pair<float, ItemId> threshold = old_kth;
   bool has_threshold = old_full;
-  const size_t buf_cap = candidates.size() + 4 * k;
   {
     // Same guard as Sweep: a model with shared internal scoring scratch
     // must not be scored here while a frontend miss sweeps it.
     std::unique_lock<std::mutex> model_lock(serial_model_mu_,
                                             std::defer_lock);
     if (!model.thread_safe()) model_lock.lock();
-    for (const size_t s : dirty) {
-      const auto [begin, end] =
-          FacetStore::ShardRange(num_items_, s, item_shards_);
-      if (begin >= end) continue;
-      scratch->scores.resize(end - begin);
-      model.ScoreItemRange(u, begin, end, scratch->scores.data());
-      for (ItemId v = begin; v < end; ++v) {
+    if (ann != nullptr) {
+      // ANN candidate path: one probe of the rebuilt index supplies the
+      // dirty-shard candidates, and only those few are exact-scored. The
+      // want mirrors the miss path's (k·overfetch, widened by the user's
+      // exclusion count), which is what makes an exhaustive probe
+      // sufficient: any dirty item that can enter the new top-k ranks in
+      // the global top-(k + excluded) under the new snapshot, so it is in
+      // the probe set; every clean item above the old cutoff is already a
+      // survivor. The acceptance threshold and exactness cutoff below are
+      // shared with the exact path, so the refreshed entry — and the drop
+      // decision — match it bit for bit (an approximate probe costs
+      // candidate coverage only, the usual ANN recall axis).
+      ann_refresh_probes_.fetch_add(1, std::memory_order_relaxed);
+      const size_t overfetch =
+          std::max<size_t>(1, options_.ann.index.overfetch);
+      const size_t excluded =
+          exclude != nullptr ? exclude->UserDegree(u) : 0;
+      const size_t want = std::max(k * overfetch, k + excluded);
+      scratch->query.resize(ann->dim());
+      model.WriteIndexQuery(u, scratch->query.data());
+      scratch->probe_ids.clear();
+      ann->Probe(scratch->query.data(), want, &scratch->probe_ids);
+      std::vector<ItemId>& dirty_cands = scratch->dirty_cands;
+      dirty_cands.clear();
+      for (const ItemId v : scratch->probe_ids) {
+        const size_t s = FacetStore::ShardOf(num_items_, v, item_shards_);
+        if (!std::binary_search(dirty.begin(), dirty.end(), s)) continue;
         if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
-        const std::pair<float, ItemId> cand{scratch->scores[v - begin], v};
-        // Reject only what is *strictly* worse than the threshold — the
-        // old k-th member itself must survive its shard being dirtied.
-        if (has_threshold && RanksBetter(threshold, cand)) continue;
-        candidates.push_back(cand);
-        if (candidates.size() >= buf_cap) {
-          CompactTopK(&candidates, k);
-          threshold = candidates[k - 1];
-          has_threshold = true;
+        dirty_cands.push_back(v);
+      }
+      if (!dirty_cands.empty()) {
+        scratch->scores.resize(dirty_cands.size());
+        model.ScoreItems(u, dirty_cands, scratch->scores.data());
+        for (size_t i = 0; i < dirty_cands.size(); ++i) {
+          const std::pair<float, ItemId> cand{scratch->scores[i],
+                                              dirty_cands[i]};
+          // Strictly-worse rejection, as below: the old k-th member must
+          // survive its shard being dirtied.
+          if (has_threshold && RanksBetter(threshold, cand)) continue;
+          candidates.push_back(cand);
+        }
+      }
+    } else {
+      const size_t buf_cap = candidates.size() + 4 * k;
+      for (const size_t s : dirty) {
+        const auto [begin, end] =
+            FacetStore::ShardRange(num_items_, s, item_shards_);
+        if (begin >= end) continue;
+        scratch->scores.resize(end - begin);
+        model.ScoreItemRange(u, begin, end, scratch->scores.data());
+        for (ItemId v = begin; v < end; ++v) {
+          if (exclude != nullptr && exclude->HasInteraction(u, v)) continue;
+          const std::pair<float, ItemId> cand{scratch->scores[v - begin], v};
+          // Reject only what is *strictly* worse than the threshold — the
+          // old k-th member itself must survive its shard being dirtied.
+          if (has_threshold && RanksBetter(threshold, cand)) continue;
+          candidates.push_back(cand);
+          if (candidates.size() >= buf_cap) {
+            CompactTopK(&candidates, k);
+            threshold = candidates[k - 1];
+            has_threshold = true;
+          }
         }
       }
     }
@@ -975,6 +1035,7 @@ TopKServerStats TopKServer::stats() const {
   }
   s.ann_probes = ann_probes_.load(std::memory_order_relaxed);
   s.exact_fallbacks = exact_fallbacks_.load(std::memory_order_relaxed);
+  s.ann_refresh_probes = ann_refresh_probes_.load(std::memory_order_relaxed);
   s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
   s.batch_sweeps = batch_sweeps_.load(std::memory_order_relaxed);
   s.max_batch_size = max_batch_.load(std::memory_order_relaxed);

@@ -207,6 +207,14 @@ struct TopKServerStats {
   uint64_t ann_probes = 0;   // misses served via the ANN probe/re-rank path
   uint64_t exact_fallbacks = 0;  // misses served by the exact full sweep
                                  // (ann_probes + exact_fallbacks == misses)
+  uint64_t ann_refresh_probes = 0;  // entry refreshes whose dirty-shard
+                                    // candidates came from an ANN probe
+                                    // instead of full shard re-scores. A
+                                    // maintenance-side counter: not an
+                                    // ann_probe, so the miss identity
+                                    // above stays exact. refreshed +
+                                    // refresh_drops - ann_refresh_probes
+                                    // = exact-path refresh attempts.
   // Batching efficacy (the miss coalescer + TopKBatch; a "batch" here is
   // a multi-user sweep of >= 2 users — solo misses don't count):
   uint64_t coalesced_misses = 0;  // misses served by a multi-user sweep
@@ -297,7 +305,10 @@ class TopKServer {
   /// tracker's shard counts must match the server's (same defaults, same
   /// clamping). When ANN serving is on, dirty item shards are first
   /// re-inserted into the candidate index (an epoch-swapped Rebuilt — see
-  /// the file comment) so post-absorb misses probe fresh lists. Each
+  /// the file comment) so post-absorb misses probe fresh lists, and the
+  /// surviving entries then refresh *through* that rebuilt index: one
+  /// probe supplies the dirty-shard candidates instead of re-scoring
+  /// whole shards (stats().ann_refresh_probes; see RefreshEntry). Each
   /// stripe is refreshed under its own lock, so hits for
   /// that stripe's users stall for its refresh (≤ 1/4 of a cold sweep
   /// per entry on a mostly-clean epoch) while every other stripe keeps
@@ -335,6 +346,18 @@ class TopKServer {
       const std::function<void(UserId, const std::vector<ItemId>&,
                                const std::vector<float>&)>& fn) const;
 
+  /// The currently published candidate index — null when ANN serving is
+  /// off, the model declares no geometry, or no index exists yet. The
+  /// persistence hook: save it next to the model snapshot + sidecar
+  /// (ann/index_io.h SaveCandidateIndex) so a restart can inject the
+  /// mapped file back through AnnOptions::prebuilt instead of re-running
+  /// the build. The returned snapshot is pinned like any in-flight
+  /// probe's; call at a quiesced boundary so it pairs with the model
+  /// being saved.
+  std::shared_ptr<const CandidateIndex> AnnIndexSnapshot() const {
+    return ann_index_.Acquire();
+  }
+
   TopKServerStats stats() const;
 
  private:
@@ -370,6 +393,11 @@ class TopKServer {
     std::vector<std::pair<float, ItemId>> candidates;
     std::vector<ItemId> merged_items;
     std::vector<float> merged_scores;
+    // ANN refresh path (see RefreshEntry): probe query, probed ids, and
+    // the dirty-shard subset that actually gets re-scored.
+    std::vector<float> query;
+    std::vector<ItemId> probe_ids;
+    std::vector<ItemId> dirty_cands;
   };
 
   /// One miss waiting in the coalescer: filled in and flagged done by the
@@ -466,14 +494,24 @@ class TopKServer {
   void RefreshAnnIndex(const std::shared_ptr<const ItemScorer>& snapshot,
                        const std::vector<size_t>* dirty_items);
 
-  /// Incremental refresh: re-scores exactly the `dirty` item shards
-  /// (sorted ids) and merges with the entry's surviving rows. Returns
-  /// false when the merge cannot prove exactness (the k-th-rank cutoff
-  /// dropped) — the caller drops the entry and its next query re-sweeps
-  /// lazily, keeping the per-entry stripe-lock hold bounded.
+  /// Incremental refresh: re-scores the `dirty` item shards (sorted ids)
+  /// and merges with the entry's surviving rows. With `ann` non-null (the
+  /// just-rebuilt, snapshot-compatible candidate index) the dirty-shard
+  /// candidates come from one index probe filtered to the dirty shards —
+  /// probe cost instead of full shard re-scores — and only those few
+  /// candidates are exact-scored; the acceptance threshold, merge, and
+  /// exactness cutoff are the exact path's, so under an exhaustive probe
+  /// (VP-tree, or IVF at full nprobe) the refreshed entry and the drop
+  /// decision are bit-identical to `ann == nullptr`. An approximate probe
+  /// degrades candidate coverage only — the same recall axis as
+  /// ANN-served misses, never a mis-scored item. Returns false when the
+  /// merge cannot prove exactness (the k-th-rank cutoff dropped) — the
+  /// caller drops the entry and its next query re-sweeps lazily, keeping
+  /// the per-entry stripe-lock hold bounded.
   bool RefreshEntry(const ItemScorer& model, UserId u,
                     const std::vector<size_t>& dirty,
-                    RefreshScratch* scratch, CacheEntry* entry);
+                    const CandidateIndex* ann, RefreshScratch* scratch,
+                    CacheEntry* entry);
 
   void EvictIfOverCap(Stripe* stripe);
 
@@ -491,6 +529,7 @@ class TopKServer {
   SnapshotHandle<CandidateIndex> ann_index_;
   std::atomic<uint64_t> ann_probes_{0};
   std::atomic<uint64_t> exact_fallbacks_{0};
+  std::atomic<uint64_t> ann_refresh_probes_{0};
 
   std::vector<Stripe> stripes_;
 

@@ -81,8 +81,11 @@ std::vector<ItemId> BruteForceKnn(const L2Scorer& model, size_t num_items,
 }
 
 void ExpectSameTree(const VpTreeIndex& a, const VpTreeIndex& b) {
-  EXPECT_EQ(a.ids(), b.ids());
-  EXPECT_EQ(a.radii(), b.radii());
+  ASSERT_EQ(a.ids().size(), b.ids().size());
+  EXPECT_TRUE(std::equal(a.ids().begin(), a.ids().end(), b.ids().begin()));
+  ASSERT_EQ(a.radii().size(), b.radii().size());
+  EXPECT_TRUE(
+      std::equal(a.radii().begin(), a.radii().end(), b.radii().begin()));
 }
 
 TEST(VpTreeIndexTest, ProbeReturnsExactNearestNeighbours) {
@@ -171,8 +174,9 @@ TEST(VpTreeIndexTest, RebuiltDirtyShardsEqualsFreshBuild) {
   L2Scorer model(4, kItems, kDim, 4);
   const auto idx =
       VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
-  const std::vector<ItemId> before_ids = idx->ids();
-  const std::vector<float> before_radii = idx->radii();
+  const std::vector<ItemId> before_ids(idx->ids().begin(), idx->ids().end());
+  const std::vector<float> before_radii(idx->radii().begin(),
+                                        idx->radii().end());
 
   const std::vector<size_t> dirty = {2, 5};
   for (const size_t s : dirty) {
@@ -188,12 +192,16 @@ TEST(VpTreeIndexTest, RebuiltDirtyShardsEqualsFreshBuild) {
       VpTreeIndex::Build(model, kItems, AnnIndexOptions{}, nullptr);
   ASSERT_NE(rebuilt, nullptr);
   ExpectSameTree(static_cast<const VpTreeIndex&>(*rebuilt), *fresh);
-  EXPECT_NE(fresh->ids(), before_ids);  // the perturbation really re-split
+  // The perturbation really re-split the tree.
+  EXPECT_FALSE(std::equal(fresh->ids().begin(), fresh->ids().end(),
+                          before_ids.begin(), before_ids.end()));
 
   // The receiver is untouched (in-flight probes keep it), and a
   // pool-parallel rebuild matches the serial one.
-  EXPECT_EQ(idx->ids(), before_ids);
-  EXPECT_EQ(idx->radii(), before_radii);
+  EXPECT_TRUE(std::equal(idx->ids().begin(), idx->ids().end(),
+                         before_ids.begin(), before_ids.end()));
+  EXPECT_TRUE(std::equal(idx->radii().begin(), idx->radii().end(),
+                         before_radii.begin(), before_radii.end()));
   ThreadPool pool(3);
   const auto parallel = idx->Rebuilt(model, dirty, kShards, &pool);
   ExpectSameTree(static_cast<const VpTreeIndex&>(*parallel), *fresh);
